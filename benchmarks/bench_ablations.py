@@ -1,0 +1,213 @@
+"""Ablation benches for the design choices the paper argues through.
+
+* Memory: L3 misses (Eq. 2) vs bus transactions (Eq. 3) across all
+  workloads — the paper's Section 4.2.2 decision.
+* I/O: interrupts vs DMA accesses vs uncacheable accesses — the
+  Section 4.2.4 event selection.
+* Disk: interrupts+DMA vs each alone — the Section 4.2.3 combination.
+* Chipset: constant vs a linear bus-transaction model — Section 4.2.5
+  (the constant wins because the derived measurement is not causally
+  related to any CPU event).
+* CPU: with vs without the halted-cycles term — the Section 4.2.1
+  improvement over the prior fetch-only model.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.events import Subsystem
+from repro.core.features import FeatureSet
+from repro.core.models import ConstantModel, PolynomialModel
+from repro.core.validation import average_error
+from repro.workloads.registry import PAPER_WORKLOADS
+
+
+def _errors_on_all(context, model, subsystem):
+    errors = {}
+    for name in PAPER_WORKLOADS:
+        run = context.run(name)
+        errors[name] = average_error(
+            model.predict(run.counters), run.power.power(subsystem)
+        )
+    return errors
+
+
+def test_ablation_memory_l3_vs_bus(benchmark, context, show):
+    run = context.run("mcf")
+    measured = run.power.power(Subsystem.MEMORY)
+    features = FeatureSet.of("bus_transactions_per_mcycle")
+    benchmark(lambda: PolynomialModel.fit(features, 2, run.counters, measured))
+
+    l3_model = context.l3_suite().model(Subsystem.MEMORY)
+    bus_model = context.paper_suite().model(Subsystem.MEMORY)
+    l3_errors = _errors_on_all(context, l3_model, Subsystem.MEMORY)
+    bus_errors = _errors_on_all(context, bus_model, Subsystem.MEMORY)
+    rows = [
+        [name, l3_errors[name], bus_errors[name]] for name in PAPER_WORKLOADS
+    ]
+    rows.append(
+        [
+            "average",
+            float(np.mean(list(l3_errors.values()))),
+            float(np.mean(list(bus_errors.values()))),
+        ]
+    )
+    show(
+        format_table(
+            "Ablation: memory model input (error %, per workload)",
+            ("workload", "L3 misses (Eq.2)", "bus tx (Eq.3)"),
+            rows,
+        )
+    )
+    # The bus model fixes mcf without breaking mesa.
+    assert bus_errors["mcf"] < l3_errors["mcf"] / 2.0
+    assert bus_errors["mesa"] < 3.0
+
+
+def test_ablation_io_event_selection(benchmark, context, show):
+    """Interrupts are the best single I/O predictor."""
+    train = context.run("DiskLoad")
+    measured = train.power.power(Subsystem.IO)
+    candidates = {
+        "interrupts": FeatureSet.of("interrupts_per_mcycle"),
+        "dma_accesses": FeatureSet.of("dma_accesses_per_mcycle"),
+        "uncacheable": FeatureSet.of("uncacheable_accesses_per_mcycle"),
+    }
+    models = {
+        name: PolynomialModel.fit(features, 2, train.counters, measured)
+        for name, features in candidates.items()
+    }
+    benchmark(
+        lambda: PolynomialModel.fit(
+            candidates["interrupts"], 2, train.counters, measured
+        )
+    )
+
+    rows = []
+    averages = {}
+    for name, model in models.items():
+        errors = _errors_on_all(context, model, Subsystem.IO)
+        averages[name] = float(np.mean(list(errors.values())))
+        rows.append([name, errors["DiskLoad"], errors["dbt-2"], averages[name]])
+    show(
+        format_table(
+            "Ablation: I/O model event selection (error %)",
+            ("event", "DiskLoad", "dbt-2", "all-workload avg"),
+            rows,
+            precision=3,
+        )
+    )
+    assert averages["interrupts"] <= averages["dma_accesses"] + 0.05
+    assert averages["interrupts"] <= averages["uncacheable"] + 0.05
+
+
+def test_ablation_disk_event_combination(benchmark, context, show):
+    """Interrupts + DMA beats either event alone for disk power."""
+    train = context.run("DiskLoad")
+    measured = train.power.power(Subsystem.DISK)
+    candidates = {
+        "interrupts+dma": FeatureSet.of(
+            "disk_interrupts_per_mcycle", "dma_accesses_per_mcycle"
+        ),
+        "interrupts": FeatureSet.of("disk_interrupts_per_mcycle"),
+        "dma": FeatureSet.of("dma_accesses_per_mcycle"),
+    }
+    models = {
+        name: PolynomialModel.fit(features, 2, train.counters, measured)
+        for name, features in candidates.items()
+    }
+    benchmark(
+        lambda: PolynomialModel.fit(
+            candidates["interrupts+dma"], 2, train.counters, measured
+        )
+    )
+    rows = []
+    averages = {}
+    for name, model in models.items():
+        errors = _errors_on_all(context, model, Subsystem.DISK)
+        averages[name] = float(np.mean(list(errors.values())))
+        rows.append(
+            [name, errors["DiskLoad"], averages[name], model.diagnostics.r_squared]
+        )
+    show(
+        format_table(
+            "Ablation: disk model event combination",
+            ("events", "DiskLoad err%", "all-workload err%", "train R^2"),
+            rows,
+            precision=3,
+        )
+    )
+    # All variants sit under 1% error (the DC term dominates); the
+    # combined model fits the training variation at least as well as
+    # either event alone — the paper's reason for using both.
+    assert models["interrupts+dma"].diagnostics.r_squared >= (
+        models["interrupts"].diagnostics.r_squared - 1e-9
+    )
+    assert models["interrupts+dma"].diagnostics.r_squared >= (
+        models["dma"].diagnostics.r_squared - 1e-9
+    )
+    assert all(avg < 2.0 for avg in averages.values())
+
+
+def test_ablation_chipset_constant_vs_linear(benchmark, context, show):
+    """A linear chipset model does not beat the constant: the derived
+    chipset measurement is not causally tied to any CPU event."""
+    train = context.run("gcc")
+    measured = train.power.power(Subsystem.CHIPSET)
+    features = FeatureSet.of("bus_transactions_per_mcycle")
+    benchmark(lambda: ConstantModel.fit(train.counters, measured))
+
+    constant = context.paper_suite().model(Subsystem.CHIPSET)
+    linear = PolynomialModel.fit(features, 1, train.counters, measured)
+    constant_errors = _errors_on_all(context, constant, Subsystem.CHIPSET)
+    linear_errors = _errors_on_all(context, linear, Subsystem.CHIPSET)
+    const_avg = float(np.mean(list(constant_errors.values())))
+    linear_avg = float(np.mean(list(linear_errors.values())))
+    show(
+        format_table(
+            "Ablation: chipset model form (error %, all-workload average)",
+            ("model", "avg error"),
+            [["constant 19.9W-like", const_avg], ["linear(bus tx)", linear_avg]],
+        )
+    )
+    # The linear model overfits its training run's derivation offset
+    # and transfers no better (often worse) than the constant.
+    assert const_avg < linear_avg + 2.0
+
+
+def test_ablation_cpu_halted_cycles_term(benchmark, context, show):
+    """Dropping the halted-cycles (clock gating) term breaks idle.
+
+    The prior fetch-based model the paper improves on (its reference
+    [3]) was built for busy processors, so the ablation trains it on
+    the loaded steady state of gcc; without a halted-cycles term it has
+    no way to express the 36 W -> 9 W clock-gating drop and projects
+    loaded baseline power onto an idle machine.
+    """
+    train = context.steady_run("gcc")
+    measured = train.power.power(Subsystem.CPU)
+    with_halt = context.paper_suite().model(Subsystem.CPU)
+    fetch_only = PolynomialModel.fit(
+        FeatureSet.of("fetched_uops_per_cycle"), 1, train.counters, measured
+    )
+    benchmark(
+        lambda: PolynomialModel.fit(
+            FeatureSet.of("fetched_uops_per_cycle"), 1, train.counters, measured
+        )
+    )
+    idle = context.run("idle")
+    idle_measured = idle.power.power(Subsystem.CPU)
+    halt_error = average_error(with_halt.predict(idle.counters), idle_measured)
+    fetch_error = average_error(fetch_only.predict(idle.counters), idle_measured)
+    show(
+        format_table(
+            "Ablation: CPU model halted-cycles term (idle error %)",
+            ("model", "idle error"),
+            [
+                ["active_fraction + fetched_uops (Eq.1)", halt_error],
+                ["fetched_uops only (prior work)", fetch_error],
+            ],
+        )
+    )
+    assert halt_error < 5.0
+    assert fetch_error > 3.0 * halt_error

@@ -1,0 +1,67 @@
+"""Ensemble power management bench (paper Section 2.3 lineage).
+
+Regenerates the Rajamani-style result on the simulated cluster: node
+power-down under diurnal demand saves a large fraction of energy versus
+the all-nodes-on baseline, at the cost of boot-edge service risk that
+headroom buys back.
+"""
+
+from repro.analysis.tables import format_table
+from repro.cluster import (
+    Cluster,
+    PowerAwareManager,
+    StaticManager,
+    diurnal_demand,
+)
+
+
+def test_cluster_power_down_savings(benchmark, context, show):
+    demand = diurnal_demand(
+        150, peak_threads=20, trough_threads=2, period_s=150.0, seed=context.seed
+    )
+    static = Cluster(n_nodes=4, seed=context.seed).run(demand, StaticManager())
+
+    rows = [
+        [
+            "static (baseline)",
+            static.energy_j / 1e3,
+            0.0,
+            sum(static.nodes_on) / len(static.nodes_on),
+            static.dropped_thread_seconds,
+        ]
+    ]
+    results = {}
+    for headroom in (2, 8):
+        trace = Cluster(n_nodes=4, seed=context.seed).run(
+            demand, PowerAwareManager(headroom_threads=headroom)
+        )
+        results[headroom] = trace
+        rows.append(
+            [
+                f"power-aware (headroom {headroom})",
+                trace.energy_j / 1e3,
+                100.0 * (1.0 - trace.energy_j / static.energy_j),
+                sum(trace.nodes_on) / len(trace.nodes_on),
+                trace.dropped_thread_seconds,
+            ]
+        )
+    benchmark(lambda: static.energy_j)
+    show(
+        format_table(
+            "Ensemble power management (4 nodes, diurnal demand)",
+            ("manager", "energy kJ", "savings %", "avg nodes on", "dropped"),
+            rows,
+        )
+    )
+
+    # Static never drops and never powers down.
+    assert static.dropped_thread_seconds == 0
+    # Consolidation saves meaningful energy (Rajamani's 30-50% came
+    # from deeper-idling web clusters; our nodes idle at ~65% of load).
+    tight = results[2]
+    assert tight.energy_j < static.energy_j * 0.85
+    # The headroom trade-off is monotone: more headroom, fewer drops,
+    # more energy.
+    roomy = results[8]
+    assert roomy.dropped_thread_seconds <= tight.dropped_thread_seconds
+    assert roomy.energy_j >= tight.energy_j

@@ -1,0 +1,41 @@
+"""Figure 3: L3-miss memory model on mesa (the case where it works).
+
+The paper trains Equation 2 on multi-instance mesa and reports ~1 %
+error; utilisation tapers as instances approach the hardware-thread
+count.  Benchmarked operation: fitting the quadratic L3 model.
+"""
+
+from repro.analysis.experiments import figure3_memory_l3
+from repro.analysis.tables import format_trace_summary
+from repro.core.events import Subsystem
+from repro.core.features import FeatureSet
+from repro.core.models import PolynomialModel
+
+
+def test_fig3_memory_l3(benchmark, context, show):
+    result = figure3_memory_l3(context)
+    run = context.run("mesa")
+    features = FeatureSet.of("l3_misses_per_mcycle")
+    measured = run.power.power(Subsystem.MEMORY)
+    benchmark(lambda: PolynomialModel.fit(features, 2, run.counters, measured))
+
+    show(
+        format_trace_summary(
+            result.title,
+            result.timestamps,
+            result.measured,
+            result.modeled,
+            result.avg_error_pct,
+        )
+    )
+    show(
+        "Equation 2 analogue: "
+        + context.l3_suite().model(Subsystem.MEMORY).describe()
+    )
+
+    assert result.avg_error_pct < 2.0  # paper: ~1 %
+    # Memory power rises with instance count then tapers near 8 threads.
+    t = result.timestamps
+    early = result.measured[t < 30.0].mean()
+    late = result.measured[t > 230.0].mean()
+    assert late > early + 2.0

@@ -1,0 +1,51 @@
+"""Figure 4: prefetch vs non-prefetch bus transactions under mcf.
+
+The diagnostic behind the memory-model switch: as mcf instances pile
+up, demand (non-prefetch) transactions saturate under bus congestion
+while prefetch traffic keeps growing — so L3 load misses stop tracking
+memory power but total bus transactions (demand + prefetch + DMA) keep
+tracking it.  Benchmarked operation: building the three series from the
+counter trace.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import figure4_prefetch_bus
+from repro.analysis.tables import sparkline
+
+
+def test_fig4_prefetch_bus(benchmark, context, show):
+    result = benchmark.pedantic(
+        figure4_prefetch_bus, args=(context,), iterations=1, rounds=3
+    )
+
+    lines = [result.title]
+    for label, series in result.series.items():
+        lines.append(
+            f"  {label:13}|{sparkline(series)}| "
+            f"first-q={series[: len(series) // 4].mean():7.0f} "
+            f"last-q={series[-len(series) // 4 :].mean():7.0f} tx/Mcycle"
+        )
+    show("\n".join(lines))
+
+    prefetch = result.series["prefetch"]
+    non_prefetch = result.series["non_prefetch"]
+    total = result.series["all"]
+    quarter = len(prefetch) // 4
+
+    # Prefetch traffic grows strongly from ramp to full load...
+    assert prefetch[-quarter:].mean() > prefetch[:quarter].mean() * 2.0
+    # ...and becomes a substantial share of bus traffic at full load.
+    share_late = prefetch[-quarter:].mean() / total[-quarter:].mean()
+    assert share_late > 0.15
+    # Series are consistent: all = prefetch + non_prefetch.
+    assert np.allclose(total, prefetch + non_prefetch, rtol=1e-6)
+    # Demand transactions grow much less than prefetch late in the run
+    # (the saturation that breaks the L3-miss model).
+    demand_growth = non_prefetch[-quarter:].mean() / max(
+        non_prefetch[:quarter].mean(), 1.0
+    )
+    prefetch_growth = prefetch[-quarter:].mean() / max(
+        prefetch[:quarter].mean(), 1.0
+    )
+    assert prefetch_growth > demand_growth

@@ -1,0 +1,39 @@
+"""Figure 5: bus-transaction memory model on mcf (the fix).
+
+The workload the L3-miss model could not handle, tracked by the
+Equation-3 analogue at ~2 % error.  Benchmarked operation: memory model
+evaluation on the mcf trace.
+"""
+
+from repro.analysis.experiments import figure5_memory_bus
+from repro.analysis.tables import format_trace_summary
+from repro.core.events import Subsystem
+from repro.core.validation import average_error
+
+
+def test_fig5_memory_bus(benchmark, context, show):
+    result = figure5_memory_bus(context)
+    run = context.run("mcf")
+    suite = context.paper_suite()
+    benchmark(lambda: suite.predict(Subsystem.MEMORY, run.counters))
+
+    show(
+        format_trace_summary(
+            result.title,
+            result.timestamps,
+            result.measured,
+            result.modeled,
+            result.avg_error_pct,
+        )
+    )
+    show("Equation 3 analogue: " + suite.model(Subsystem.MEMORY).describe())
+
+    assert result.avg_error_pct < 4.0  # paper: 2.2 %
+
+    # The L3-miss model fails on this exact trace: it underestimates at
+    # full load and errs several times worse than the bus model.
+    l3_modeled = context.l3_suite().predict(Subsystem.MEMORY, run.counters)
+    l3_error = average_error(l3_modeled, result.measured)
+    assert l3_error > 2.0 * result.avg_error_pct
+    third = len(result.measured) // 3
+    assert l3_modeled[-third:].mean() < result.measured[-third:].mean()

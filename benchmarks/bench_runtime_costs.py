@@ -1,0 +1,63 @@
+"""Runtime-cost benches: the paper's "low computational cost" claim.
+
+The models exist to run *online* inside a power-management loop, so
+their evaluation cost matters: Section 3.3.1 restricts the form to
+linear/quadratic regressions for exactly this reason.  These benches
+measure single-sample estimation latency, batch prediction throughput,
+and the simulator's own speed (for reproducibility budgeting).
+"""
+
+import numpy as np
+
+from repro.core.estimator import SystemPowerEstimator
+from repro.simulator.config import fast_config
+from repro.simulator.system import Server
+from repro.workloads.registry import get_workload
+
+
+def test_estimator_single_sample_latency(benchmark, context, show):
+    """One 1 Hz estimation step must be microseconds, not milliseconds."""
+    suite = context.paper_suite()
+    run = context.run("gcc")
+    counts = {
+        event: run.counters.per_cpu(event)[-1] for event in run.counters.events
+    }
+
+    def step():
+        estimator = SystemPowerEstimator(suite)
+        return estimator.estimate(counts, duration_s=1.0)
+
+    estimate = benchmark(step)
+    show(
+        f"single-sample complete-system estimate: total={estimate.total_w:.1f}W "
+        f"({', '.join(f'{s.value}={w:.1f}' for s, w in estimate.subsystem_w.items())})"
+    )
+    assert estimate.total_w > 100.0
+
+
+def test_suite_batch_prediction_throughput(benchmark, context, show):
+    """Predicting a whole 300-sample trace for all five subsystems."""
+    suite = context.paper_suite()
+    run = context.run("mcf")
+    result = benchmark(lambda: suite.predict_total(run.counters))
+    show(
+        f"batch prediction over {run.n_samples} samples x 5 subsystems; "
+        f"mean total={float(np.mean(result)):.1f}W"
+    )
+    assert len(result) == run.n_samples
+
+
+def test_simulator_tick_throughput(benchmark, show):
+    """Simulated ticks per second of the full-system model."""
+    config = fast_config()
+    server = Server(config, get_workload("SPECjbb"), seed=3)
+
+    def hundred_ticks():
+        for _ in range(100):
+            server.tick()
+
+    benchmark.pedantic(hundred_ticks, iterations=1, rounds=10)
+    show(
+        "simulator throughput: 100 ticks (1 s simulated at 10 ms tick) "
+        "per round; see benchmark stats above"
+    )

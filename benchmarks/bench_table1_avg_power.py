@@ -1,0 +1,44 @@
+"""Table 1: subsystem average power for all twelve workloads.
+
+Regenerates the paper's workload power characterisation and prints it
+next to the reference values.  The benchmarked operation is the
+steady-state aggregation over all runs (the simulation itself is cached
+at session scope).
+"""
+
+from repro.analysis.experiments import table1_average_power
+from repro.analysis.tables import format_table
+
+
+def test_table1_average_power(benchmark, context, show):
+    result = benchmark.pedantic(
+        table1_average_power, args=(context,), iterations=1, rounds=3
+    )
+    show(format_table(result.title, result.headers, result.rows))
+    show(
+        format_table(
+            "Paper Table 1 (reference)", result.headers, result.paper_rows
+        )
+    )
+
+    # Shape assertions from the paper's Section 4.1.
+    idle = result.measured_row("idle")
+    assert idle[-1] < 0.55 * max(row[-1] for row in result.rows), (
+        "idle should be ~46% of peak total power"
+    )
+    for name in ("gcc", "mcf", "vortex", "art", "lucas", "mesa", "mgrid", "wupwise"):
+        row = result.measured_row(name)
+        assert row[1] > 0.5 * row[-1], f"{name}: CPU should dominate (>50% of total)"
+    lucas_memory = result.measured_row("lucas")[3]
+    assert lucas_memory == max(
+        result.measured_row(n)[3]
+        for n in ("gcc", "mcf", "vortex", "art", "lucas", "mesa")
+    ), "lucas draws the most memory power of the SPEC set"
+    diskload = result.measured_row("DiskLoad")
+    assert diskload[4] == max(row[4] for row in result.rows), (
+        "DiskLoad produces the highest I/O power"
+    )
+    idle_disk, diskload_disk = idle[5], diskload[5]
+    assert diskload_disk < idle_disk * 1.06, (
+        "disk power barely moves (paper: +2.8% under DiskLoad)"
+    )

@@ -1,0 +1,35 @@
+"""Table 2: subsystem power standard deviation per workload.
+
+The paper uses Table 2 to show which subsystems actually vary: CPU and
+memory swing by Watts while chipset, I/O and disk are nearly flat —
+the reason the chipset model can be a constant and the I/O/disk models
+live off a large DC term.
+"""
+
+from repro.analysis.experiments import table2_power_stddev
+from repro.analysis.tables import format_table
+
+
+def test_table2_power_stddev(benchmark, context, show):
+    result = benchmark.pedantic(
+        table2_power_stddev, args=(context,), iterations=1, rounds=3
+    )
+    show(format_table(result.title, result.headers, result.rows, precision=3))
+    show(
+        format_table(
+            "Paper Table 2 (reference)",
+            result.headers,
+            result.paper_rows,
+            precision=3,
+        )
+    )
+
+    for row in result.rows:
+        name, cpu_std, chipset_std, memory_std, io_std, disk_std, _ = row
+        assert chipset_std < 0.8, f"{name}: chipset is nearly flat"
+        assert io_std < 1.5, f"{name}: I/O variation is small"
+        assert disk_std < 0.5, f"{name}: disk variation is tiny"
+    # CPU and memory carry the workload variation.
+    gcc = result.measured_row("gcc")
+    assert gcc[1] > 1.0, "gcc CPU power varies by Watts across phases"
+    assert gcc[3] > 0.2, "gcc memory power varies measurably"

@@ -1,0 +1,54 @@
+"""Table 4: model validation errors on the floating-point set.
+
+The paper's FP result: memory errors are highest for the workloads with
+the highest sustained memory power (lucas, wupwise, mgrid) because the
+CPU-visible model cannot see the read/write mix or bank activations —
+it underestimates under sustained streaming writes.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import table4_fp_errors
+from repro.analysis.tables import format_table
+from repro.core.events import Subsystem
+
+
+def test_table4_fp_errors(benchmark, context, show):
+    result = benchmark.pedantic(
+        table4_fp_errors, args=(context,), iterations=1, rounds=3
+    )
+    show(format_table(result.title, result.headers, result.rows))
+    show(
+        format_table(
+            "Paper Table 4 (reference)", result.headers, result.paper_rows
+        )
+    )
+
+    averages = result.rows[-1]
+    cpu_avg, chipset_avg, memory_avg, io_avg, disk_avg = averages[1:]
+    assert cpu_avg < 10.0
+    assert io_avg < 2.0
+    assert disk_avg < 2.0
+    # FP memory error exceeds the integer-set level: the streaming
+    # write-heavy workloads expose the model's blind spots.
+    assert 3.0 < memory_avg < 20.0
+    memory_errors = {row[0]: row[3] for row in result.rows[:-1]}
+    heavy = np.mean([memory_errors[n] for n in ("lucas", "mgrid", "wupwise")])
+    light = np.mean([memory_errors[n] for n in ("art", "mesa")])
+    assert heavy > light, (
+        "memory error concentrates in the high-sustained-power workloads"
+    )
+
+    # The paper notes its model *under*estimates these workloads; on
+    # the simulated DRAM the mcf-trained quadratic *over*estimates them
+    # instead (documented deviation in EXPERIMENTS.md) — either way the
+    # CPU-visible model misjudges sustained streaming writes by >8 W
+    # equivalent while staying accurate elsewhere.
+    suite = context.paper_suite()
+    for name in ("lucas", "mgrid", "wupwise"):
+        run = context.run(name)
+        modeled = suite.predict(Subsystem.MEMORY, run.counters)
+        measured = run.power.power(Subsystem.MEMORY)
+        third = len(measured) // 3
+        gap = abs(modeled[-third:].mean() - measured[-third:].mean())
+        assert gap > 2.0, name

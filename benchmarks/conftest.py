@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+One :class:`~repro.analysis.experiments.ExperimentContext` is built per
+session with paper-scale runs (300 s per workload, twelve workloads).
+Simulated runs are cached under ``.repro-cache`` so repeated benchmark
+sessions skip the ~1 minute of simulation.
+
+Environment knobs:
+    REPRO_BENCH_TICK_MS   simulation tick (default 10 ms)
+    REPRO_BENCH_DURATION  seconds per workload (default 300)
+    REPRO_BENCH_SEED      run seed (default 7)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import ExperimentContext
+from repro.simulator.config import SystemConfig
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    tick_ms = float(os.environ.get("REPRO_BENCH_TICK_MS", "10"))
+    duration = float(os.environ.get("REPRO_BENCH_DURATION", "300"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+    cache = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+    return ExperimentContext(
+        config=SystemConfig(tick_s=tick_ms / 1000.0),
+        seed=seed,
+        duration_s=duration,
+        cache_dir=cache,
+    )
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print straight to the terminal, bypassing pytest capture, so the
+    regenerated paper tables appear in the benchmark log."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,61 @@
+"""Ensemble power management: node power-down on a simulated cluster.
+
+Rajamani & Lefurgy (cited in the paper's Section 2.3) report 30-50 %
+energy savings from powering down idle web-cluster nodes.  This example
+reproduces the mechanism on four simulated servers under a compressed
+diurnal demand curve, and shows the trade-off Chen's work adds: boot
+latency means consolidation needs headroom, and too little headroom
+drops work on the rising edge.
+
+Run:  python examples/cluster_power_down.py
+"""
+
+from repro.cluster import (
+    Cluster,
+    PowerAwareManager,
+    StaticManager,
+    diurnal_demand,
+)
+
+DURATION_S = 240
+N_NODES = 4
+
+
+def main() -> None:
+    demand = diurnal_demand(
+        DURATION_S, peak_threads=22, trough_threads=2, period_s=200.0
+    )
+    print(
+        f"{N_NODES}-node cluster, {DURATION_S}s compressed diurnal demand "
+        f"(trough 2 -> peak 22 worker threads)\n"
+    )
+
+    static = Cluster(n_nodes=N_NODES, seed=11).run(demand, StaticManager())
+    print(
+        f"static (all nodes on): {static.energy_j / 1e3:7.1f} kJ, "
+        f"avg nodes on {sum(static.nodes_on) / len(static.nodes_on):.2f}, "
+        f"dropped {static.dropped_thread_seconds} thread-seconds"
+    )
+
+    print("\npower-aware consolidation, by boot headroom:")
+    print(f"{'headroom':>9} {'energy kJ':>10} {'savings':>8} {'nodes on':>9} "
+          f"{'dropped':>8}")
+    for headroom in (2, 6, 10):
+        manager = PowerAwareManager(headroom_threads=headroom)
+        trace = Cluster(n_nodes=N_NODES, seed=11).run(demand, manager)
+        savings = 1.0 - trace.energy_j / static.energy_j
+        print(
+            f"{headroom:>9} {trace.energy_j / 1e3:10.1f} {savings:8.1%} "
+            f"{sum(trace.nodes_on) / len(trace.nodes_on):9.2f} "
+            f"{trace.dropped_thread_seconds:8d}"
+        )
+    print(
+        "\nsmall headroom saves the most energy but drops work while nodes"
+        "\nboot on the rising edge — the reliability/latency cost Chen's"
+        "\nstudy attaches to on/off cycling. (Rajamani measured 30-50%"
+        "\nsavings on deeper-idling web clusters.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

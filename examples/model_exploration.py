@@ -1,0 +1,113 @@
+"""Event-selection study: which counter best predicts each subsystem?
+
+Replays the paper's Section 4.2 reasoning as an experiment: for each
+subsystem, fit single-event quadratics on that subsystem's training
+workload and compare transfer error across all other workloads.  The
+paper's final selection (fetched uops + halted cycles for CPU, bus
+transactions for memory, interrupts for I/O, interrupts+DMA for disk)
+should fall out of the table.
+
+Run:  python examples/model_exploration.py
+"""
+
+import numpy as np
+
+from repro import fast_config
+from repro.analysis.tables import format_table
+from repro.core.events import Subsystem
+from repro.core.features import FeatureSet, PAPER_FEATURES
+from repro.core.models import PolynomialModel
+from repro.core.validation import average_error
+from repro.simulator.system import simulate_workload
+from repro.workloads.registry import get_workload
+
+SEED = 5
+CONFIG = fast_config()
+WORKLOADS = ("idle", "gcc", "mcf", "mesa", "lucas", "SPECjbb", "DiskLoad")
+
+#: Subsystem -> (training workload, candidate feature names).
+STUDY = {
+    Subsystem.CPU: (
+        "gcc",
+        (
+            "fetched_uops_per_cycle",
+            "active_fraction",
+            "l3_misses_per_mcycle",
+            "bus_transactions_per_mcycle",
+        ),
+    ),
+    Subsystem.MEMORY: (
+        "mcf",
+        (
+            "bus_transactions_per_mcycle",
+            "l3_misses_per_mcycle",
+            "tlb_misses_per_mcycle",
+            "fetched_uops_per_cycle",
+        ),
+    ),
+    Subsystem.IO: (
+        "DiskLoad",
+        (
+            "interrupts_per_mcycle",
+            "dma_accesses_per_mcycle",
+            "uncacheable_accesses_per_mcycle",
+        ),
+    ),
+    Subsystem.DISK: (
+        "DiskLoad",
+        (
+            "disk_interrupts_per_mcycle",
+            "interrupts_per_mcycle",
+            "dma_accesses_per_mcycle",
+        ),
+    ),
+}
+
+
+def main() -> None:
+    print("simulating workloads...")
+    runs = {
+        name: simulate_workload(
+            get_workload(name), duration_s=260.0, seed=SEED, config=CONFIG
+        ).drop_warmup(2)
+        for name in WORKLOADS
+    }
+
+    for subsystem, (train_name, candidates) in STUDY.items():
+        train = runs[train_name]
+        measured = train.power.power(subsystem)
+        rows = []
+        for feature_name in candidates:
+            model = PolynomialModel.fit(
+                FeatureSet.of(feature_name), 2, train.counters, measured
+            )
+            errors = [
+                average_error(
+                    model.predict(run.counters), run.power.power(subsystem)
+                )
+                for run in runs.values()
+            ]
+            rows.append(
+                [
+                    feature_name,
+                    model.diagnostics.r_squared,
+                    float(np.mean(errors)),
+                    float(np.max(errors)),
+                ]
+            )
+        rows.sort(key=lambda row: row[2])
+        print()
+        print(
+            format_table(
+                f"{subsystem.value} power: single-event quadratics "
+                f"(trained on {train_name})",
+                ("event", "train R^2", "avg err %", "worst err %"),
+                rows,
+                precision=3,
+            )
+        )
+        print(f"  -> best transferring event: {rows[0][0]}")
+
+
+if __name__ == "__main__":
+    main()

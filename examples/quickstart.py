@@ -1,0 +1,71 @@
+"""Quickstart: train the paper's models and estimate system power.
+
+Reproduces the core loop of Bircher & John (ISPASS 2007) end to end:
+
+1. run instrumented workloads on the simulated 4-way Xeon server
+   (sense resistors + DAQ for power, perfctr-style counters at 1 Hz);
+2. train the five trickle-down models per the paper's recipe
+   (Equations 1-5);
+3. validate on workloads the models never saw;
+4. use the fitted suite as a runtime estimator — no power sensing.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ModelTrainer,
+    Subsystem,
+    SystemPowerEstimator,
+    fast_config,
+    get_workload,
+    simulate_workload,
+    validate_suite,
+)
+
+SEED = 42
+CONFIG = fast_config()  # 10 ms tick: fast, fidelity-preserving
+
+
+def main() -> None:
+    # 1. Instrumented training runs (the paper's Section 3.2 set-up).
+    print("simulating training workloads (idle, gcc, mcf, DiskLoad)...")
+    runs = {
+        name: simulate_workload(
+            get_workload(name), duration_s=280.0, seed=SEED, config=CONFIG
+        ).drop_warmup(2)
+        for name in ("idle", "gcc", "mcf", "DiskLoad")
+    }
+
+    # 2. Fit the per-subsystem models.
+    suite = ModelTrainer().train(runs)
+    print("\nfitted models:")
+    print(suite.describe())
+
+    # 3. Validate on an unseen workload.
+    print("\nsimulating a validation workload (SPECjbb)...")
+    jbb = simulate_workload(
+        get_workload("SPECjbb"), duration_s=200.0, seed=SEED + 1, config=CONFIG
+    ).drop_warmup(2)
+    report = validate_suite(suite, [jbb])
+    print("SPECjbb average error per subsystem (Equation 6):")
+    for subsystem in Subsystem:
+        print(f"  {subsystem.value:>8}: {report.error('SPECjbb', subsystem):5.2f} %")
+
+    # 4. Runtime estimation from raw counter samples — what a power
+    #    management daemon would do, with no power sensors attached.
+    estimator = SystemPowerEstimator(suite)
+    print("\nstreaming estimation over the last five SPECjbb samples:")
+    for i in range(jbb.n_samples - 5, jbb.n_samples):
+        counts = {e: jbb.counters.per_cpu(e)[i] for e in jbb.counters.events}
+        estimate = estimator.estimate(
+            counts, duration_s=float(jbb.counters.durations[i])
+        )
+        measured = float(jbb.power.total()[i])
+        print(
+            f"  t={jbb.counters.timestamps[i]:6.1f}s  "
+            f"estimated {estimate.total_w:6.1f} W   measured {measured:6.1f} W"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Calibration helper: simulated steady-state power vs paper Table 1.
+
+Run with ``python scripts/calibrate.py [workload ...]``.  Prints
+simulated/target pairs for each subsystem, measured over the
+steady-state window (after every staggered thread has started), plus
+the counter rates that drive the models — the knobs in
+``repro/workloads/*.py`` and ``repro/simulator/config.py`` are tuned
+against this output.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.events import Event, SUBSYSTEMS
+from repro.simulator.config import fast_config
+from repro.simulator.system import simulate_workload
+from repro.workloads.registry import PAPER_WORKLOADS, get_workload
+
+#: Paper Table 1 (Watts): cpu, chipset, memory, io, disk.
+TABLE1 = {
+    "idle": (38.4, 19.9, 28.1, 32.9, 21.6),
+    "gcc": (162, 20.0, 34.2, 32.9, 21.8),
+    "mcf": (167, 20.0, 39.6, 32.9, 21.9),
+    "vortex": (175, 17.3, 35.0, 32.9, 21.9),
+    "art": (159, 18.7, 35.8, 33.5, 21.9),
+    "lucas": (135, 19.5, 46.4, 33.5, 22.1),
+    "mesa": (165, 16.8, 33.9, 33.0, 21.8),
+    "mgrid": (146, 19.0, 45.1, 32.9, 22.1),
+    "wupwise": (167, 18.8, 45.2, 33.5, 22.1),
+    "dbt-2": (48.3, 19.8, 29.0, 33.2, 21.6),
+    "SPECjbb": (112, 18.7, 37.8, 32.9, 21.9),
+    "DiskLoad": (123, 19.9, 42.5, 35.2, 22.2),
+}
+
+
+def steady_state_start(spec) -> float:
+    """First time every thread has been running for a while."""
+    return max(plan.start_time_s for plan in spec.threads) + 20.0
+
+
+def main(argv: "list[str]") -> None:
+    names = argv or list(PAPER_WORKLOADS)
+    config = fast_config()
+    print(f"{'wl':9} " + " ".join(f"{s.value:>13}" for s in SUBSYSTEMS) + "   upc  l3/ms  bus/ms")
+    t0 = time.time()
+    for name in names:
+        spec = get_workload(name)
+        start = steady_state_start(spec)
+        run = simulate_workload(spec, duration_s=start + 90.0, seed=7, config=config)
+        keep = run.counters.timestamps >= start
+        idx = keep.nonzero()[0]
+        run = run.drop_warmup(int(idx[0])) if idx[0] > 0 else run
+        row = [run.power.mean(s) for s in SUBSYSTEMS]
+        targets = TABLE1[name]
+        cycles = run.counters.total(Event.CYCLES).mean()
+        upc = run.counters.total(Event.FETCHED_UOPS).mean() / cycles * 4
+        l3 = run.counters.total(Event.L3_MISSES).mean() / cycles * 4e6
+        bus = run.counters.total(Event.BUS_TRANSACTIONS).mean() / cycles * 4e6
+        print(
+            f"{name:9} "
+            + " ".join(f"{v:6.1f}/{t:6.1f}" for v, t in zip(row, targets))
+            + f"  {upc:5.2f} {l3:6.0f} {bus:7.0f}"
+        )
+    print("wall %.1fs" % (time.time() - t0))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

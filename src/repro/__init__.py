@@ -1,0 +1,87 @@
+"""repro: complete-system power estimation from performance events.
+
+A full reproduction of W. Lloyd Bircher and Lizy K. John, *"Complete
+System Power Estimation: A Trickle-Down Approach Based on Performance
+Events"* (ISPASS 2007): trickle-down power models for CPU, chipset,
+memory, I/O and disk driven only by processor-visible performance
+counters, plus the simulated 4-way SMP server, instrumentation and
+workloads needed to train and validate them without the original
+hardware.
+
+Quickstart::
+
+    from repro import (
+        ModelTrainer, get_workload, simulate_workload, validate_suite,
+    )
+
+    runs = {
+        name: simulate_workload(get_workload(name), duration_s=120.0)
+        for name in ("idle", "gcc", "mcf", "DiskLoad")
+    }
+    suite = ModelTrainer().train(runs)
+    print(suite.describe())
+    report = validate_suite(suite, runs)
+"""
+
+from repro.core import (
+    ConstantModel,
+    CounterTrace,
+    Event,
+    MeasuredRun,
+    ModelTrainer,
+    PAPER_FEATURES,
+    PAPER_RECIPE,
+    PolynomialModel,
+    PowerTrace,
+    Subsystem,
+    SystemPowerEstimator,
+    TrainingRecipe,
+    TrickleDownSuite,
+    ValidationReport,
+    average_error,
+    validate_suite,
+)
+from repro.core.accounting import PowerAccountant, bill_processes
+from repro.core.phases import PhaseDetector
+from repro.core.selection import EventSelector
+from repro.simulator import Server, SystemConfig, simulate_workload
+from repro.simulator.config import fast_config
+from repro.simulator.thermal import RcThermalModel, ThermalSensor
+from repro.workloads import WorkloadSpec, get_workload, list_workloads
+from repro.workloads.mixes import mix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstantModel",
+    "EventSelector",
+    "PhaseDetector",
+    "PowerAccountant",
+    "RcThermalModel",
+    "ThermalSensor",
+    "bill_processes",
+    "mix",
+    "CounterTrace",
+    "Event",
+    "MeasuredRun",
+    "ModelTrainer",
+    "PAPER_FEATURES",
+    "PAPER_RECIPE",
+    "PolynomialModel",
+    "PowerTrace",
+    "Server",
+    "Subsystem",
+    "SystemConfig",
+    "SystemPowerEstimator",
+    "TrainingRecipe",
+    "TrickleDownSuite",
+    "ValidationReport",
+    "WorkloadSpec",
+    "average_error",
+    "fast_config",
+    "get_workload",
+    "list_workloads",
+    "simulate_workload",
+    "validate_suite",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+:mod:`repro.analysis.experiments` has one entry point per artefact
+(Tables 1-4, Figures 1-7, the fitted equations); :mod:`repro.analysis.tables`
+renders them as text; :mod:`repro.analysis.report` assembles the
+paper-vs-measured record for EXPERIMENTS.md.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentContext,
+    figure2_cpu_model,
+    figure3_memory_l3,
+    figure4_prefetch_bus,
+    figure5_memory_bus,
+    figure6_disk_model,
+    figure7_io_model,
+    table1_average_power,
+    table2_power_stddev,
+    table3_integer_errors,
+    table4_fp_errors,
+)
+from repro.analysis.tables import format_table, format_trace_summary
+
+__all__ = [
+    "ExperimentContext",
+    "table1_average_power",
+    "table2_power_stddev",
+    "table3_integer_errors",
+    "table4_fp_errors",
+    "figure2_cpu_model",
+    "figure3_memory_l3",
+    "figure4_prefetch_bus",
+    "figure5_memory_bus",
+    "figure6_disk_model",
+    "figure7_io_model",
+    "format_table",
+    "format_trace_summary",
+]

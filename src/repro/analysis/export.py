@@ -1,0 +1,93 @@
+"""Export measured runs to CSV for external analysis.
+
+A :class:`~repro.core.traces.MeasuredRun` flattens naturally to one row
+per sampling window: timestamps, per-CPU event counts, and per-domain
+measured power.  The format round-trips (``run_from_csv``) so traces
+can be shipped to spreadsheet/pandas users or re-imported after
+external processing — the JSON format (``MeasuredRun.save``) remains
+the canonical one.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+
+from repro.core.events import Event, Subsystem
+from repro.core.traces import CounterTrace, MeasuredRun, PowerTrace
+
+#: Column prefixes used in the CSV layout.
+_EVENT_PREFIX = "ev"
+_POWER_PREFIX = "pw"
+
+
+def run_to_csv(run: MeasuredRun, path: str) -> None:
+    """Write one row per sampling window.
+
+    Columns: ``timestamp_s``, ``duration_s``,
+    ``ev:<event>:cpu<k>`` for every event and CPU, and
+    ``pw:<subsystem>`` for every measured domain.
+    """
+    counters, power = run.counters, run.power
+    header = ["timestamp_s", "duration_s"]
+    for event in counters.events:
+        for cpu in range(counters.n_cpus):
+            header.append(f"{_EVENT_PREFIX}:{event.value}:cpu{cpu}")
+    for subsystem in power.subsystems:
+        header.append(f"{_POWER_PREFIX}:{subsystem.value}")
+
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([f"# workload={run.workload} seed={run.seed}"])
+        writer.writerow(header)
+        for i in range(run.n_samples):
+            row = [f"{counters.timestamps[i]:.6f}", f"{counters.durations[i]:.6f}"]
+            for event in counters.events:
+                row.extend(
+                    f"{value:.6g}" for value in counters.counts[event][i]
+                )
+            for subsystem in power.subsystems:
+                row.append(f"{power.watts[subsystem][i]:.6f}")
+            writer.writerow(row)
+
+
+def run_from_csv(path: str) -> MeasuredRun:
+    """Rebuild a MeasuredRun written by :func:`run_to_csv`."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        meta_row = next(reader)
+        header = next(reader)
+        rows = [row for row in reader if row]
+
+    if not rows:
+        raise ValueError(f"{path}: no data rows")
+    meta = meta_row[0].lstrip("# ").split()
+    fields = dict(part.split("=", 1) for part in meta if "=" in part)
+
+    columns = {name: i for i, name in enumerate(header)}
+    data = np.asarray(rows, dtype=float)
+    timestamps = data[:, columns["timestamp_s"]]
+    durations = data[:, columns["duration_s"]]
+
+    counts: "dict[Event, list[list[float]]]" = {}
+    cpu_columns: "dict[Event, list[int]]" = {}
+    watts: "dict[Subsystem, np.ndarray]" = {}
+    for name, index in columns.items():
+        if name.startswith(f"{_EVENT_PREFIX}:"):
+            _, event_name, _cpu = name.split(":")
+            cpu_columns.setdefault(Event(event_name), []).append(index)
+        elif name.startswith(f"{_POWER_PREFIX}:"):
+            _, subsystem_name = name.split(":")
+            watts[Subsystem(subsystem_name)] = data[:, index]
+    for event, indices in cpu_columns.items():
+        counts[event] = data[:, indices]
+
+    return MeasuredRun(
+        workload=fields.get("workload", "csv-import"),
+        seed=int(fields.get("seed", 0)),
+        counters=CounterTrace(
+            timestamps=timestamps, durations=durations, counts=counts
+        ),
+        power=PowerTrace(timestamps=timestamps, watts=watts),
+    )

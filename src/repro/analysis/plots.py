@@ -1,0 +1,104 @@
+"""ASCII line charts for figure reproduction in the terminal.
+
+The paper's Figures 2-7 are measured-vs-modeled traces.  `ascii_chart`
+renders a handful of labelled series into a fixed-size character grid
+with a y-axis, good enough to see the staircase of Figure 2 or the
+sync oscillation of Figure 7 without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Glyph assigned to each series, in order.
+_SERIES_GLYPHS = "*o+x#@"
+
+
+def _downsample(values: np.ndarray, width: int) -> np.ndarray:
+    """Average-bin a series to at most ``width`` points."""
+    values = np.asarray(values, dtype=float)
+    if values.size <= width:
+        return values
+    edges = np.linspace(0, values.size, width + 1).astype(int)
+    return np.array(
+        [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+    )
+
+
+def ascii_chart(
+    series: "dict[str, np.ndarray]",
+    width: int = 72,
+    height: int = 16,
+    y_label: str = "W",
+) -> str:
+    """Render labelled series into one character grid.
+
+    Later series overdraw earlier ones where they collide (like
+    plotting order in any chart library).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to be legible")
+    sampled = {name: _downsample(vals, width) for name, vals in series.items()}
+    for name, vals in sampled.items():
+        if vals.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+    lo = min(float(v.min()) for v in sampled.values())
+    hi = max(float(v.max()) for v in sampled.values())
+    span = hi - lo if hi > lo else 1.0
+    lo -= span * 0.05
+    hi += span * 0.05
+    span = hi - lo
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), glyph in zip(sampled.items(), _SERIES_GLYPHS):
+        for x, value in enumerate(values[:width]):
+            y = int(round((value - lo) / span * (height - 1)))
+            grid[height - 1 - y][x] = glyph
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{hi:8.1f} |"
+        elif row_index == height - 1:
+            label = f"{lo:8.1f} |"
+        elif row_index == height // 2:
+            label = f"{(lo + hi) / 2.0:8.1f} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{glyph}={name}"
+        for (name, _), glyph in zip(sampled.items(), _SERIES_GLYPHS)
+    )
+    lines.append(" " * 10 + legend + f"   (y: {y_label})")
+    return "\n".join(lines)
+
+
+def residual_summary(
+    measured: np.ndarray, modeled: np.ndarray
+) -> "dict[str, float]":
+    """Residual diagnostics beyond Equation 6.
+
+    Returns bias (mean signed error, W), RMSE (W), the 95th-percentile
+    absolute error (W), and the correlation between model and
+    measurement — the quantities that distinguish "accurate on average"
+    from "tracks the trace".
+    """
+    measured = np.asarray(measured, dtype=float)
+    modeled = np.asarray(modeled, dtype=float)
+    if measured.shape != modeled.shape or measured.ndim != 1 or measured.size < 2:
+        raise ValueError("need two equal-length series with >= 2 samples")
+    residual = modeled - measured
+    if np.std(measured) > 0 and np.std(modeled) > 0:
+        correlation = float(np.corrcoef(measured, modeled)[0, 1])
+    else:
+        correlation = float("nan")
+    return {
+        "bias_w": float(residual.mean()),
+        "rmse_w": float(np.sqrt(np.mean(residual**2))),
+        "p95_abs_error_w": float(np.percentile(np.abs(residual), 95)),
+        "correlation": correlation,
+    }

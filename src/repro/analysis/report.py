@@ -1,0 +1,191 @@
+"""Assemble the paper-vs-measured record (EXPERIMENTS.md).
+
+``python -m repro.cli report`` (or :func:`build_report`) runs every
+table and figure experiment, renders measured values next to the
+paper's, and returns the markdown document that is checked in as
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.analysis.experiments import (
+    ExperimentContext,
+    FigureResult,
+    TableResult,
+    figure2_cpu_model,
+    figure3_memory_l3,
+    figure4_prefetch_bus,
+    figure5_memory_bus,
+    figure6_disk_model,
+    figure7_io_model,
+    table1_average_power,
+    table2_power_stddev,
+    table3_integer_errors,
+    table4_fp_errors,
+)
+from repro.core.events import Subsystem
+from repro.core.validation import average_error, dc_adjusted_error
+
+
+def _markdown_table(result: TableResult, precision: int = 2) -> str:
+    out = io.StringIO()
+    headers = list(result.headers)
+    out.write("| " + " | ".join(headers) + " |\n")
+    out.write("|" + "|".join(["---"] * len(headers)) + "|\n")
+    for row, paper_row in zip(result.rows, result.paper_rows):
+        cells = [str(row[0])]
+        for measured, paper in zip(row[1:], paper_row[1:]):
+            cells.append(f"{measured:.{precision}f} *({paper:.{precision}f})*")
+        out.write("| " + " | ".join(cells) + " |\n")
+    return out.getvalue()
+
+
+def _figure_section(result: FigureResult) -> str:
+    paper = (
+        f"paper quotes ~{result.paper_error_pct:g} %"
+        if result.paper_error_pct is not None
+        else "no paper error quoted"
+    )
+    return (
+        f"**{result.title}**  \n"
+        f"Average error: **{result.avg_error_pct:.2f} %** ({paper}).  \n"
+        f"Measured {result.measured.mean():.1f} W "
+        f"[{result.measured.min():.1f}, {result.measured.max():.1f}]; "
+        f"modeled {result.modeled.mean():.1f} W "
+        f"[{result.modeled.min():.1f}, {result.modeled.max():.1f}] "
+        f"over {len(result.measured)} one-second samples.\n"
+    )
+
+
+def build_report(context: "ExperimentContext | None" = None) -> str:
+    """Run every experiment and return the EXPERIMENTS.md markdown."""
+    context = context or ExperimentContext()
+    out = io.StringIO()
+    out.write("# EXPERIMENTS — paper vs. measured\n\n")
+    out.write(
+        "Every table and figure of Bircher & John (ISPASS 2007), regenerated "
+        "on the simulated server. Values are `measured *(paper)*`. Absolute "
+        "Watts depend on the substrate; the reproduction target is the "
+        "*shape*: subsystem rankings, model failure modes, error bands.\n\n"
+        f"Configuration: seed={context.seed}, duration={context.duration_s:g}s "
+        f"per workload, tick={context.config.tick_s * 1e3:g}ms.\n\n"
+    )
+
+    for builder in (table1_average_power, table2_power_stddev):
+        result = builder(context)
+        out.write(f"## {result.title}\n\n")
+        out.write(_markdown_table(result))
+        out.write("\n")
+
+    suite = context.paper_suite()
+    out.write("## Fitted models (Equations 1-5 analogues)\n\n```\n")
+    out.write(suite.describe())
+    out.write("\n```\n\n")
+    out.write("L3-miss memory model (Equation 2 analogue, ablation):\n\n```\n")
+    out.write(context.l3_suite().model(Subsystem.MEMORY).describe())
+    out.write("\n```\n\n")
+
+    for builder in (table3_integer_errors, table4_fp_errors):
+        result = builder(context)
+        out.write(f"## {result.title}\n\n")
+        out.write(_markdown_table(result))
+        out.write("\n")
+
+    out.write("## Figures\n\n")
+    for builder in (
+        figure2_cpu_model,
+        figure3_memory_l3,
+        figure5_memory_bus,
+        figure6_disk_model,
+        figure7_io_model,
+    ):
+        out.write(_figure_section(builder(context)))
+        out.write("\n")
+
+    fig4 = figure4_prefetch_bus(context)
+    n = len(fig4.timestamps)
+    quarter = max(1, n // 4)
+    out.write(f"**{fig4.title}**  \n")
+    for label, series in fig4.series.items():
+        out.write(
+            f"{label}: {series[:quarter].mean():.0f} -> "
+            f"{series[-quarter:].mean():.0f} tx/Mcycle "
+            "(first vs last quarter)  \n"
+        )
+    out.write(
+        "\nPrefetch traffic grows with congestion while demand misses "
+        "saturate — the mechanism behind the L3-miss model failure "
+        "(Section 4.2.2 of the paper).\n\n"
+    )
+
+    # DC-adjusted errors the paper quotes in Sections 4.2.3/4.2.4.
+    disk = figure6_disk_model(context)
+    io_fig = figure7_io_model(context)
+    disk_dc = dc_adjusted_error(disk.modeled, disk.measured, 21.6)
+    io_raw = average_error(io_fig.modeled, io_fig.measured)
+    io_dc = dc_adjusted_error(io_fig.modeled, io_fig.measured, 32.65)
+    out.write("## DC-offset-adjusted errors (Sections 4.2.3-4.2.4)\n\n")
+    out.write(
+        f"- Disk model on DiskLoad, DC-adjusted: **{disk_dc:.1f} %** "
+        "(paper: 1.75 %)\n"
+        f"- I/O model on DiskLoad: raw **{io_raw:.2f} %** (paper < 1 %), "
+        f"DC-adjusted **{io_dc:.1f} %** (paper: 32 %)\n"
+    )
+
+    out.write(
+        "\n## Extensions (beyond the paper's evaluation)\n\n"
+        "Regenerated by `pytest benchmarks/bench_extensions.py "
+        "benchmarks/bench_sensitivity.py benchmarks/bench_dvfs_models.py "
+        "benchmarks/bench_cluster.py --benchmark-only`:\n\n"
+        "- **Per-vector interrupt attribution**: with a NIC active, a "
+        "disk model keyed on total interrupts mispredicts by >3x the "
+        "per-vector model's error — why the paper simulated vector "
+        "information from `/proc/interrupts`.\n"
+        "- **Thermal detection lead**: the counter-based power estimate "
+        "sees a load step tens of seconds before a realistic "
+        "temperature sensor (the Section-1 motivation, measured).\n"
+        "- **DVFS**: a nominal-trained suite misestimates CPU power by "
+        ">50 % at a lower operating point; a per-state bank stays under "
+        "~1 %; a frequency-aware single model lands in between because "
+        "the paper's cross-term-free family cannot express V^2*f x "
+        "activity.\n"
+        "- **PMU multiplexing**: the eight-event model survives on 2-4 "
+        "counter slots with graceful error growth (<5 % total).\n"
+        "- **Training budget**: the staggered-start protocol makes the "
+        "recipe robust down to ~10 % of the training trace.\n"
+        "- **Mixes**: homogeneous-trained models hold (<10 % total "
+        "error) on heterogeneous consolidation mixes.\n"
+        "- **Ensemble power-down**: Rajamani-style consolidation saves "
+        "15-30 % cluster energy on the simulated diurnal demand, with "
+        "the boot-headroom service trade-off quantified.\n"
+    )
+
+    out.write(
+        "\n## Known deviations from the paper\n\n"
+        "1. **Heavy-FP memory error sign.** The paper notes its memory "
+        "model *under*estimates the high-sustained-power FP workloads "
+        "(lucas/mgrid/wupwise). On the simulated DRAM the mcf-trained "
+        "quadratic *over*estimates them instead: those workloads run at "
+        "bus-transaction rates ~2x beyond the training range, and the "
+        "fitted curvature extrapolates high. Error *magnitudes* match the "
+        "paper's Table 4 band (~10-17 %) and the cause is the same model "
+        "blind spot (read/write mix and bank behaviour invisible to the "
+        "CPU counters).\n"
+        "2. **Chipset per-workload means.** The paper measured specific "
+        "derived-chipset offsets per workload (e.g. mesa at 16.8 W). The "
+        "simulator draws each run's derivation offset from a seeded "
+        "distribution, so individual workloads land at different offsets "
+        "than the paper's, while the within-run flatness and the 0.5-13 % "
+        "constant-model error band are preserved.\n"
+        "3. **Table 2 magnitudes.** Within-workload power variation "
+        "depends on program-phase amplitude, which behavioural profiles "
+        "only approximate; the subsystem ordering (CPU >> memory >> "
+        "chipset/I/O/disk; SPECjbb and DiskLoad most variable) is "
+        "reproduced, absolute standard deviations are smaller.\n"
+        "4. **Interrupt-vector accounting.** Like the paper, per-vector "
+        "interrupt counts come from the OS (`/proc/interrupts` analogue), "
+        "not from a hardware counter event.\n"
+    )
+    return out.getvalue()

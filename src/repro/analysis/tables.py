@@ -1,0 +1,86 @@
+"""Plain-text rendering of paper-style tables and trace figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(
+    title: str,
+    headers: "Sequence[str]",
+    rows: "Sequence[Sequence]",
+    precision: int = 2,
+) -> str:
+    """Fixed-width table with a title row, like the paper's tables."""
+    if not rows:
+        raise ValueError("table needs at least one row")
+    rendered_rows = [
+        [
+            cell if isinstance(cell, str) else f"{float(cell):.{precision}f}"
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered_rows))
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 72) -> str:
+    """A coarse ASCII rendering of a series (for trace figures)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot render an empty series")
+    if values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo if hi > lo else 1.0
+    idx = ((values - lo) / span * (len(_SPARK_CHARS) - 1)).round().astype(int)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def format_trace_summary(
+    title: str,
+    timestamps: np.ndarray,
+    measured: np.ndarray,
+    modeled: np.ndarray,
+    avg_error_pct: float,
+    n_rows: int = 12,
+) -> str:
+    """Render a measured-vs-modeled trace the way the paper's figures do.
+
+    Prints summary statistics, ASCII sparklines of both series, and an
+    evenly spaced sample of rows.
+    """
+    measured = np.asarray(measured, dtype=float)
+    modeled = np.asarray(modeled, dtype=float)
+    lines = [
+        title,
+        f"  samples={len(measured)}  avg error={avg_error_pct:.2f}%",
+        f"  measured: mean={measured.mean():.2f}W  min={measured.min():.2f}  "
+        f"max={measured.max():.2f}",
+        f"  modeled : mean={modeled.mean():.2f}W  min={modeled.min():.2f}  "
+        f"max={modeled.max():.2f}",
+        f"  measured |{sparkline(measured)}|",
+        f"  modeled  |{sparkline(modeled)}|",
+        f"  {'t(s)':>8} {'measured(W)':>12} {'modeled(W)':>12}",
+    ]
+    picks = np.linspace(0, len(measured) - 1, min(n_rows, len(measured))).astype(int)
+    for i in picks:
+        lines.append(f"  {timestamps[i]:8.1f} {measured[i]:12.2f} {modeled[i]:12.2f}")
+    return "\n".join(lines)

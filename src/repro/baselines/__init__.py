@@ -1,0 +1,16 @@
+"""Baseline power models using subsystem-local or OS events.
+
+The paper's related work (Section 2.2) estimates subsystem power from
+events measured *at the subsystem* — DRAM state residency (Janzen),
+disk mode residency (Zedlewski), or OS counters (Heath).  These models
+are implemented here so the benchmarks can compare them against the
+trickle-down approach: the local models are at least as accurate but
+require per-subsystem instrumentation, which is exactly the cost the
+paper's approach avoids.
+"""
+
+from repro.baselines.janzen import JanzenMemoryModel
+from repro.baselines.zedlewski import ZedlewskiDiskModel
+from repro.baselines.heath import HeathOsModel
+
+__all__ = ["JanzenMemoryModel", "ZedlewskiDiskModel", "HeathOsModel"]

@@ -1,0 +1,95 @@
+"""Heath-style OS-event power model.
+
+Heath et al. (ASPLOS 2006, Mercury/Freon) model CPU and disk power from
+operating-system counters (utilisation, disk sectors transferred).
+This works, but reading OS counters costs system calls per sample where
+reading on-chip counters costs a few register accesses — the overhead
+argument of the paper's Section 2.2.2.  The model here consumes the
+simulator's OS-level events (``OS_DISK_SECTORS``, scheduler activity)
+and also exposes an estimated per-sample overhead so benchmarks can
+compare sampling costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.events import Event, Subsystem
+from repro.core.regression import FitDiagnostics, fit_least_squares
+from repro.core.traces import CounterTrace, MeasuredRun
+
+#: Approximate cost of reading one OS counter via procfs (cycles):
+#: open/read/close plus kernel formatting.  On-chip counter reads cost
+#: ~100 cycles of register access per event.
+OS_COUNTER_READ_CYCLES = 60000.0
+ONCHIP_COUNTER_READ_CYCLES = 100.0
+
+
+class HeathOsModel:
+    """CPU + disk power from OS-visible activity counters."""
+
+    def __init__(self, cpu_coeffs: np.ndarray, disk_coeffs: np.ndarray) -> None:
+        self.cpu_coeffs = np.asarray(cpu_coeffs, dtype=float)
+        self.disk_coeffs = np.asarray(disk_coeffs, dtype=float)
+        if self.cpu_coeffs.shape != (2,) or self.disk_coeffs.shape != (2,):
+            raise ValueError("expected [idle, slope] per subsystem")
+        self.cpu_diagnostics: "FitDiagnostics | None" = None
+        self.disk_diagnostics: "FitDiagnostics | None" = None
+
+    @staticmethod
+    def _cpu_utilization(trace: CounterTrace) -> np.ndarray:
+        cycles = trace.per_cpu(Event.CYCLES)
+        halted = trace.per_cpu(Event.HALTED_CYCLES)
+        return (1.0 - halted / cycles).mean(axis=1)
+
+    @staticmethod
+    def _disk_sector_rate(trace: CounterTrace) -> np.ndarray:
+        return trace.rate(Event.OS_DISK_SECTORS) / 1.0e3
+
+    @classmethod
+    def fit(cls, cpu_run: MeasuredRun, disk_run: MeasuredRun) -> "HeathOsModel":
+        cpu_design = np.column_stack(
+            [
+                np.ones(cpu_run.n_samples),
+                cls._cpu_utilization(cpu_run.counters),
+            ]
+        )
+        cpu_coeffs, cpu_diag = fit_least_squares(
+            cpu_design, cpu_run.power.power(Subsystem.CPU)
+        )
+        disk_design = np.column_stack(
+            [
+                np.ones(disk_run.n_samples),
+                cls._disk_sector_rate(disk_run.counters),
+            ]
+        )
+        disk_coeffs, disk_diag = fit_least_squares(
+            disk_design, disk_run.power.power(Subsystem.DISK)
+        )
+        model = cls(cpu_coeffs, disk_coeffs)
+        model.cpu_diagnostics = cpu_diag
+        model.disk_diagnostics = disk_diag
+        return model
+
+    def predict_cpu(self, trace: CounterTrace) -> np.ndarray:
+        utilization = self._cpu_utilization(trace)
+        return self.cpu_coeffs[0] + self.cpu_coeffs[1] * utilization
+
+    def predict_disk(self, trace: CounterTrace) -> np.ndarray:
+        sectors = self._disk_sector_rate(trace)
+        return self.disk_coeffs[0] + self.disk_coeffs[1] * sectors
+
+    @staticmethod
+    def sampling_overhead_cycles(n_counters: int, os_based: bool) -> float:
+        """Per-sample cost of reading ``n_counters`` counters."""
+        if n_counters < 0:
+            raise ValueError("n_counters must be non-negative")
+        per_read = OS_COUNTER_READ_CYCLES if os_based else ONCHIP_COUNTER_READ_CYCLES
+        return n_counters * per_read
+
+    def describe(self) -> str:
+        return (
+            f"CPU: P = {self.cpu_coeffs[0]:.2f} + {self.cpu_coeffs[1]:.2f}*util; "
+            f"Disk: P = {self.disk_coeffs[0]:.2f} + "
+            f"{self.disk_coeffs[1]:.3g}*ksectors/s  [OS events]"
+        )

@@ -1,0 +1,62 @@
+"""Janzen-style DRAM power model (local events).
+
+"Calculating Memory System Power for DDR SDRAM" (Micron Designline,
+2001) computes DRAM power from read/write counts and state residency —
+events visible only at the memory controller.  This baseline fits the
+same linear form on the simulator's DRAM-local event counters
+(``DRAM_READS``, ``DRAM_WRITES``, ``DRAM_ACTIVATIONS``); it is the
+"sensor at the subsystem" alternative the paper's memory model replaces
+with CPU-visible bus transactions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.events import Event
+from repro.core.regression import FitDiagnostics, fit_least_squares
+from repro.core.traces import CounterTrace, MeasuredRun
+
+
+class JanzenMemoryModel:
+    """Linear DRAM power from local read/write/activation rates."""
+
+    def __init__(self, coefficients: np.ndarray) -> None:
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.shape != (4,):
+            raise ValueError("expected [idle, read, write, activation] coefficients")
+        self.coefficients = coefficients
+        self.diagnostics: "FitDiagnostics | None" = None
+
+    @staticmethod
+    def _design(trace: CounterTrace) -> np.ndarray:
+        rates = np.column_stack(
+            [
+                trace.rate(Event.DRAM_READS),
+                trace.rate(Event.DRAM_WRITES),
+                trace.rate(Event.DRAM_ACTIVATIONS),
+            ]
+        )
+        return np.column_stack([np.ones(trace.n_samples), rates / 1.0e6])
+
+    @classmethod
+    def fit(cls, run: MeasuredRun) -> "JanzenMemoryModel":
+        from repro.core.events import Subsystem
+
+        design = cls._design(run.counters)
+        coefficients, diagnostics = fit_least_squares(
+            design, run.power.power(Subsystem.MEMORY)
+        )
+        model = cls(coefficients)
+        model.diagnostics = diagnostics
+        return model
+
+    def predict(self, trace: CounterTrace) -> np.ndarray:
+        return self._design(trace) @ self.coefficients
+
+    def describe(self) -> str:
+        idle, read, write, act = self.coefficients
+        return (
+            f"P = {idle:.2f} + {read:.3g}*reads/us + {write:.3g}*writes/us "
+            f"+ {act:.3g}*activations/us  [local DRAM events]"
+        )

@@ -1,0 +1,57 @@
+"""Zedlewski-style disk power model (local events).
+
+"Modeling Hard-Disk Power Consumption" (FAST 2003) shows disk power is
+determined by mode residency: time spent seeking, reading/writing, and
+at standby rotation.  The simulator exposes seek and transfer residency
+as local events; this baseline fits the mode-power coefficients from
+them.  The paper's trickle-down disk model replaces these local
+residencies with disk-controller interrupts and DMA events seen at the
+processor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.events import Event, Subsystem
+from repro.core.regression import FitDiagnostics, fit_least_squares
+from repro.core.traces import CounterTrace, MeasuredRun
+
+
+class ZedlewskiDiskModel:
+    """Disk power from seek/transfer time residency."""
+
+    def __init__(self, coefficients: np.ndarray) -> None:
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.shape != (3,):
+            raise ValueError("expected [rotation, seek, transfer] coefficients")
+        self.coefficients = coefficients
+        self.diagnostics: "FitDiagnostics | None" = None
+
+    @staticmethod
+    def _design(trace: CounterTrace) -> np.ndarray:
+        # Residencies are recorded as seconds of activity per window;
+        # dividing by the window duration yields utilisation fractions.
+        seek = trace.total(Event.DISK_SEEK_TIME) / trace.durations
+        transfer = trace.total(Event.DISK_TRANSFER_TIME) / trace.durations
+        return np.column_stack([np.ones(trace.n_samples), seek, transfer])
+
+    @classmethod
+    def fit(cls, run: MeasuredRun) -> "ZedlewskiDiskModel":
+        design = cls._design(run.counters)
+        coefficients, diagnostics = fit_least_squares(
+            design, run.power.power(Subsystem.DISK)
+        )
+        model = cls(coefficients)
+        model.diagnostics = diagnostics
+        return model
+
+    def predict(self, trace: CounterTrace) -> np.ndarray:
+        return self._design(trace) @ self.coefficients
+
+    def describe(self) -> str:
+        rotation, seek, transfer = self.coefficients
+        return (
+            f"P = {rotation:.2f} + {seek:.3g}*seek_util + "
+            f"{transfer:.3g}*transfer_util  [local disk modes]"
+        )

@@ -1,0 +1,226 @@
+"""Command-line interface: ``repro-power <experiment>``.
+
+Commands::
+
+    repro-power table1|table2|table3|table4     # paper tables
+    repro-power fig1|fig2|fig3|fig4|fig5|fig6|fig7
+    repro-power equations                        # fitted models
+    repro-power report [-o EXPERIMENTS.md]       # full paper-vs-measured
+    repro-power run <workload>                   # one instrumented run
+    repro-power list                             # available workloads
+    repro-power export <workload> -o trace.csv   # trace to CSV
+    repro-power select <subsystem>               # greedy event selection
+    repro-power billing                          # per-process energy bill
+
+Common options: ``--seed``, ``--duration`` (seconds per workload),
+``--tick-ms`` (simulation resolution), ``--cache-dir`` (run cache).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments as ex
+from repro.analysis.plots import ascii_chart, residual_summary
+from repro.analysis.tables import format_table, format_trace_summary, sparkline
+from repro.core.events import SUBSYSTEMS, render_propagation_diagram
+from repro.simulator.config import SystemConfig
+from repro.workloads.registry import PAPER_WORKLOADS, get_workload
+
+
+def _context(args: argparse.Namespace) -> ex.ExperimentContext:
+    return ex.ExperimentContext(
+        config=SystemConfig(tick_s=args.tick_ms / 1000.0),
+        seed=args.seed,
+        duration_s=args.duration,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _print_table(result: "ex.TableResult") -> None:
+    print(format_table(result.title, result.headers, result.rows))
+    print()
+    print(
+        format_table(
+            "Paper reference values", result.headers, result.paper_rows
+        )
+    )
+
+
+def _print_figure(result: "ex.FigureResult") -> None:
+    print(
+        format_trace_summary(
+            result.title,
+            result.timestamps,
+            result.measured,
+            result.modeled,
+            result.avg_error_pct,
+        )
+    )
+    print()
+    print(
+        ascii_chart(
+            {"measured": result.measured, "modeled": result.modeled},
+            y_label="W",
+        )
+    )
+    stats = residual_summary(result.measured, result.modeled)
+    print(
+        f"  residuals: bias {stats['bias_w']:+.2f} W, "
+        f"RMSE {stats['rmse_w']:.2f} W, "
+        f"p95 |err| {stats['p95_abs_error_w']:.2f} W, "
+        f"corr {stats['correlation']:.3f}"
+    )
+    if result.paper_error_pct is not None:
+        print(f"  (paper quotes ~{result.paper_error_pct:g}% for this figure)")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-power",
+        description="Reproduce Bircher & John (ISPASS 2007) tables and figures.",
+    )
+    parser.add_argument("command", help="table1..table4, fig1..fig7, equations, report, run, list")
+    parser.add_argument("workload", nargs="?", help="workload name (for 'run')")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--duration", type=float, default=300.0)
+    parser.add_argument("--tick-ms", type=float, default=10.0)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("-o", "--output", default=None, help="write report here")
+    args = parser.parse_args(argv)
+
+    command = args.command
+    if command == "list":
+        for name in PAPER_WORKLOADS:
+            print(f"{name:10} {get_workload(name).description}")
+        return 0
+    if command == "fig1":
+        print(render_propagation_diagram())
+        return 0
+
+    context = _context(args)
+    tables = {
+        "table1": ex.table1_average_power,
+        "table2": ex.table2_power_stddev,
+        "table3": ex.table3_integer_errors,
+        "table4": ex.table4_fp_errors,
+    }
+    figures = {
+        "fig2": ex.figure2_cpu_model,
+        "fig3": ex.figure3_memory_l3,
+        "fig5": ex.figure5_memory_bus,
+        "fig6": ex.figure6_disk_model,
+        "fig7": ex.figure7_io_model,
+    }
+    if command in tables:
+        _print_table(tables[command](context))
+        return 0
+    if command in figures:
+        _print_figure(figures[command](context))
+        return 0
+    if command == "fig4":
+        result = ex.figure4_prefetch_bus(context)
+        print(result.title)
+        for label, series in result.series.items():
+            print(f"  {label:13}|{sparkline(series)}|  last={series[-1]:.0f}/Mcycle")
+        return 0
+    if command == "equations":
+        print(context.paper_suite().describe())
+        print("\nAblation (rejected Equation 2 analogue):")
+        from repro.core.events import Subsystem
+
+        print("  memory-l3:", context.l3_suite().model(Subsystem.MEMORY).describe())
+        return 0
+    if command == "report":
+        from repro.analysis.report import build_report
+
+        text = build_report(context)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+    if command == "export":
+        if not args.workload:
+            parser.error("'export' needs a workload name")
+        if not args.output:
+            parser.error("'export' needs -o <file.csv>")
+        from repro.analysis.export import run_to_csv
+
+        run = context.run(args.workload)
+        run_to_csv(run, args.output)
+        print(f"wrote {run.n_samples} windows to {args.output}")
+        return 0
+    if command == "select":
+        if not args.workload:
+            parser.error("'select' needs a subsystem (cpu|memory|io|disk)")
+        from repro.core.events import Subsystem
+        from repro.core.selection import EventSelector
+        from repro.core.training import PAPER_RECIPE
+
+        subsystem = Subsystem(args.workload)
+        train_name = PAPER_RECIPE.spec_for(subsystem).train_workload
+        validation = [
+            context.run(name)
+            for name in ("idle", "gcc", "mcf", "mesa", "DiskLoad")
+        ]
+        result = EventSelector(max_features=3).select(
+            subsystem, context.run(train_name), validation
+        )
+        print(result.describe())
+        print("final model:", result.model.describe())
+        return 0
+    if command == "billing":
+        from repro.core.accounting import bill_processes
+        from repro.simulator.system import Server
+        from repro.workloads.mixes import mix
+
+        suite = context.paper_suite()
+        spec = mix({"gcc": 2, "mcf": 2}, stagger_s=2.0)
+        server = Server(context.config, spec, seed=context.seed + 3)
+        run = server.run(min(context.duration_s, 150.0))
+        bills = bill_processes(suite, run.counters, server.process_stats)
+        rows = [
+            [
+                f"thread {bill.thread_id}",
+                bill.runtime_s,
+                bill.cpu_energy_j / 3600.0,
+                bill.induced_energy_j / 3600.0,
+                bill.total_energy_j / 3600.0,
+            ]
+            for bill in bills
+        ]
+        print(
+            format_table(
+                f"Per-process energy bill: {spec.name}",
+                ("process", "runtime s", "cpu Wh", "induced Wh", "total Wh"),
+                rows,
+                precision=3,
+            )
+        )
+        return 0
+    if command == "run":
+        if not args.workload:
+            parser.error("'run' needs a workload name")
+        run = context.run(args.workload)
+        rows = [
+            [s.value, run.power.mean(s), run.power.std(s)] for s in SUBSYSTEMS
+        ]
+        print(
+            format_table(
+                f"{args.workload}: measured power over {run.duration_s:.0f}s",
+                ("subsystem", "mean W", "std W"),
+                rows,
+                precision=3,
+            )
+        )
+        return 0
+    parser.error(f"unknown command {command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

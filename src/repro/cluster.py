@@ -1,0 +1,268 @@
+"""Cluster-level ensemble power management.
+
+The paper positions its estimator as a building block for
+datacentre-scale policies (Section 2.3): Rajamani & Lefurgy showed
+30-50 % energy savings from powering down idle nodes; Chen added the
+on/off reliability cost; Ranganathan budgeted whole enclosures.  This
+module closes that loop on top of the simulator: a small cluster of
+simulated servers, a request-level load balancer, and two managers —
+
+* :class:`StaticManager` — every node always on, load spread evenly
+  (the baseline datacentres actually ran);
+* :class:`PowerAwareManager` — consolidate load onto as few nodes as
+  demand (plus headroom) requires, power the rest down, and boot nodes
+  back ahead of rising demand.  Decisions use the trickle-down
+  estimator's numbers, not power sensors.
+
+Demand is expressed in *worker threads* (each node hosts up to eight);
+the built-in demand generator produces the diurnal shape with noise
+that makes consolidation worthwhile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.simulator.config import SystemConfig, fast_config
+from repro.simulator.system import Server
+from repro.workloads.registry import get_workload
+
+#: Power drawn by a powered-down node (standby circuitry, Watts).
+STANDBY_POWER_W = 5.0
+#: Power drawn while booting (everything on, no useful work).
+BOOT_POWER_W = 180.0
+#: Default boot duration (seconds).  Real servers boot in minutes; the
+#: demo's demand curves compress a day into minutes, so the default
+#: compresses the boot penalty proportionally.
+BOOT_TIME_S = 30.0
+
+
+class ClusterNode:
+    """One server in the ensemble, serving up to eight worker threads."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: SystemConfig,
+        seed: int,
+        service_workload: str = "SPECjbb",
+        boot_time_s: float = BOOT_TIME_S,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.boot_time_s = boot_time_s
+        # Service threads must be schedulable immediately — strip the
+        # workload's training stagger.
+        spec = get_workload(service_workload)
+        spec = replace(
+            spec,
+            threads=tuple(
+                replace(plan, start_time_s=0.0) for plan in spec.threads
+            ),
+        )
+        self._server = Server(config, spec, seed=seed)
+        self._server.sampler.disable()
+        self._all_threads = list(self._server.threads)
+        self._server.threads = []
+        self.powered = True
+        self._boot_remaining_s = 0.0
+        self.assigned_threads = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self._all_threads)
+
+    @property
+    def booting(self) -> bool:
+        return self._boot_remaining_s > 0.0
+
+    @property
+    def available(self) -> bool:
+        """Can serve load right now."""
+        return self.powered and not self.booting
+
+    def power_down(self) -> None:
+        if self.assigned_threads:
+            raise ValueError(
+                f"node {self.node_id} still serves {self.assigned_threads} threads"
+            )
+        self.powered = False
+        self._boot_remaining_s = 0.0
+
+    def power_up(self) -> None:
+        if not self.powered:
+            self.powered = True
+            self._boot_remaining_s = self.boot_time_s
+
+    def set_load(self, n_threads: int) -> None:
+        if n_threads < 0 or n_threads > self.capacity:
+            raise ValueError(
+                f"load {n_threads} outside [0, {self.capacity}]"
+            )
+        if n_threads > 0 and not self.available:
+            raise ValueError(f"node {self.node_id} cannot serve load yet")
+        self.assigned_threads = n_threads
+
+    def tick_second(self) -> float:
+        """Advance one second; returns the node's true power (Watts)."""
+        if not self.powered:
+            return STANDBY_POWER_W
+        if self.booting:
+            self._boot_remaining_s = max(0.0, self._boot_remaining_s - 1.0)
+            return BOOT_POWER_W
+        self._server.threads = self._all_threads[: self.assigned_threads]
+        ticks = int(round(1.0 / self.config.tick_s))
+        energy = 0.0
+        for _ in range(ticks):
+            energy += self._server.tick().total_w * self.config.tick_s
+        return energy
+
+
+@dataclass
+class ClusterTrace:
+    """Per-second history of a managed run."""
+
+    demand: "list[int]" = field(default_factory=list)
+    served: "list[int]" = field(default_factory=list)
+    power_w: "list[float]" = field(default_factory=list)
+    nodes_on: "list[int]" = field(default_factory=list)
+
+    @property
+    def energy_j(self) -> float:
+        return float(sum(self.power_w))
+
+    @property
+    def dropped_thread_seconds(self) -> int:
+        return int(
+            sum(max(0, d - s) for d, s in zip(self.demand, self.served))
+        )
+
+
+class StaticManager:
+    """Baseline: all nodes on, demand spread round-robin."""
+
+    def place(self, cluster: "Cluster", demand: int) -> None:
+        for node in cluster.nodes:
+            node.power_up()
+        available = [n for n in cluster.nodes if n.available]
+        for node in cluster.nodes:
+            node.assigned_threads = 0
+        remaining = demand
+        while remaining > 0 and available:
+            for node in available:
+                if remaining <= 0:
+                    break
+                if node.assigned_threads < node.capacity:
+                    node.assigned_threads += 1
+                    remaining -= 1
+            if all(n.assigned_threads >= n.capacity for n in available):
+                break
+
+
+class PowerAwareManager:
+    """Consolidate onto few nodes; power down the rest; boot ahead.
+
+    Args:
+        headroom_threads: capacity kept above current demand so a
+            demand spike is absorbed while a node boots.
+    """
+
+    def __init__(self, headroom_threads: int = 6) -> None:
+        if headroom_threads < 0:
+            raise ValueError("headroom must be non-negative")
+        self.headroom = headroom_threads
+
+    def place(self, cluster: "Cluster", demand: int) -> None:
+        per_node = cluster.nodes[0].capacity
+        target_capacity = demand + self.headroom
+        nodes_needed = min(
+            len(cluster.nodes), max(1, math.ceil(target_capacity / per_node))
+        )
+
+        # Keep a stable prefix of nodes hot (consolidation).
+        for node in cluster.nodes[:nodes_needed]:
+            node.power_up()
+        ready = [n for n in cluster.nodes if n.available]
+        # Drain then power down the surplus suffix.
+        for node in cluster.nodes[nodes_needed:]:
+            node.assigned_threads = 0
+            if node.powered and not node.booting:
+                node.power_down()
+
+        for node in ready:
+            node.assigned_threads = 0
+        remaining = demand
+        for node in ready:
+            take = min(node.capacity, remaining)
+            node.set_load(take)
+            remaining -= take
+            if remaining <= 0:
+                break
+
+
+class Cluster:
+    """A fixed set of nodes driven by a manager and a demand trace."""
+
+    def __init__(
+        self,
+        n_nodes: int = 4,
+        config: "SystemConfig | None" = None,
+        seed: int = 1,
+        service_workload: str = "SPECjbb",
+        boot_time_s: float = BOOT_TIME_S,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        config = config or fast_config()
+        self.nodes = [
+            ClusterNode(
+                i,
+                config,
+                seed=seed + i,
+                service_workload=service_workload,
+                boot_time_s=boot_time_s,
+            )
+            for i in range(n_nodes)
+        ]
+
+    @property
+    def capacity(self) -> int:
+        return sum(node.capacity for node in self.nodes)
+
+    def run(self, demand_trace: "list[int]", manager) -> ClusterTrace:
+        """Serve a per-second demand trace under the given manager."""
+        trace = ClusterTrace()
+        for demand in demand_trace:
+            demand = min(demand, self.capacity)
+            manager.place(self, demand)
+            power = sum(node.tick_second() for node in self.nodes)
+            trace.demand.append(demand)
+            trace.served.append(
+                sum(node.assigned_threads for node in self.nodes if node.available)
+            )
+            trace.power_w.append(power)
+            trace.nodes_on.append(sum(node.powered for node in self.nodes))
+        return trace
+
+
+def diurnal_demand(
+    duration_s: int,
+    peak_threads: int,
+    trough_threads: int,
+    period_s: float = 600.0,
+    noise: float = 0.1,
+    seed: int = 3,
+) -> "list[int]":
+    """A compressed day: sinusoidal demand between trough and peak."""
+    if trough_threads > peak_threads:
+        raise ValueError("trough must not exceed peak")
+    rng = np.random.default_rng(seed)
+    t = np.arange(duration_s)
+    mid = (peak_threads + trough_threads) / 2.0
+    amplitude = (peak_threads - trough_threads) / 2.0
+    base = mid - amplitude * np.cos(2.0 * np.pi * t / period_s)
+    jitter = rng.normal(0.0, noise * max(peak_threads, 1), size=duration_s)
+    return [int(round(v)) for v in np.clip(base + jitter, 0, None)]

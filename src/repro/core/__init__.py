@@ -1,0 +1,42 @@
+"""The paper's primary contribution: trickle-down power modeling.
+
+Everything in this package is substrate-independent: it consumes
+performance-counter traces and measured power traces (from the bundled
+simulator or from any other source) and produces per-subsystem power
+models following the methodology of Bircher & John (ISPASS 2007).
+"""
+
+from repro.core.events import Event, Subsystem, TRICKLE_DOWN_EVENTS
+from repro.core.traces import CounterTrace, MeasuredRun, PowerTrace
+from repro.core.features import FeatureSet, PAPER_FEATURES
+from repro.core.models import (
+    ConstantModel,
+    PolynomialModel,
+    SubsystemPowerModel,
+)
+from repro.core.training import ModelTrainer, TrainingRecipe, PAPER_RECIPE
+from repro.core.validation import ValidationReport, average_error, validate_suite
+from repro.core.suite import TrickleDownSuite
+from repro.core.estimator import SystemPowerEstimator
+
+__all__ = [
+    "Event",
+    "Subsystem",
+    "TRICKLE_DOWN_EVENTS",
+    "CounterTrace",
+    "MeasuredRun",
+    "PowerTrace",
+    "FeatureSet",
+    "PAPER_FEATURES",
+    "ConstantModel",
+    "PolynomialModel",
+    "SubsystemPowerModel",
+    "ModelTrainer",
+    "TrainingRecipe",
+    "PAPER_RECIPE",
+    "ValidationReport",
+    "average_error",
+    "validate_suite",
+    "TrickleDownSuite",
+    "SystemPowerEstimator",
+]

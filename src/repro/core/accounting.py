@@ -1,0 +1,240 @@
+"""Per-processor power attribution in an SMP.
+
+The paper stresses (Section 4.2.1) that its CPU model is the first
+performance-counter power model applied per-processor in an SMP, and
+motivates it with power-aware billing of shared/virtualised machines:
+each physical processor's power must be attributable even though only
+the sum is measured.  This module applies the fitted CPU model's
+structure per CPU and splits the shared subsystem estimates in
+proportion to each CPU's induced activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import Event, Subsystem
+from repro.core.models import PolynomialModel
+from repro.core.suite import TrickleDownSuite
+from repro.core.traces import CounterTrace
+
+
+@dataclass(frozen=True)
+class CpuAttribution:
+    """Per-CPU power shares for one trace."""
+
+    #: Shape (n_samples, n_cpus): Watts attributed to each CPU.
+    cpu_watts: np.ndarray
+    #: Shape (n_samples, n_cpus): shared-subsystem Watts attributed by
+    #: induced activity (memory/I/O/disk dynamic power).
+    induced_watts: np.ndarray
+
+    @property
+    def total_per_cpu(self) -> np.ndarray:
+        """Mean attributed power per CPU over the trace (Watts)."""
+        return (self.cpu_watts + self.induced_watts).mean(axis=0)
+
+
+class PowerAccountant:
+    """Splits suite estimates across physical processors."""
+
+    def __init__(self, suite: TrickleDownSuite) -> None:
+        cpu_model = suite.model(Subsystem.CPU)
+        if not isinstance(cpu_model, PolynomialModel):
+            raise TypeError(
+                "per-CPU attribution needs the polynomial CPU model "
+                f"(got {type(cpu_model).__name__})"
+            )
+        self.suite = suite
+        self.cpu_model = cpu_model
+
+    def _per_cpu_cpu_power(self, trace: CounterTrace) -> np.ndarray:
+        """Apply the CPU model's structure per processor.
+
+        The fitted model is P = c0 + c1*sum(active_i) + c2*sum(upc_i);
+        by linearity each CPU owns c0/N + c1*active_i + c2*upc_i.
+        """
+        cycles = trace.per_cpu(Event.CYCLES)
+        halted = trace.per_cpu(Event.HALTED_CYCLES)
+        uops = trace.per_cpu(Event.FETCHED_UOPS)
+        active = 1.0 - halted / cycles
+        upc = uops / cycles
+        coeffs = self.cpu_model.coefficients
+        names = self.cpu_model.features.names
+        per_cpu = np.full(active.shape, coeffs[0] / active.shape[1])
+        for k, name in enumerate(names, start=1):
+            if name == "active_fraction":
+                per_cpu = per_cpu + coeffs[k] * active
+            elif name == "fetched_uops_per_cycle":
+                per_cpu = per_cpu + coeffs[k] * upc
+            else:
+                raise ValueError(
+                    f"cannot attribute feature {name!r} per CPU; expected the "
+                    "paper's Equation-1 features"
+                )
+        if self.cpu_model.degree == 2:
+            for k, name in enumerate(names, start=1 + len(names)):
+                base = active if name == "active_fraction" else upc
+                per_cpu = per_cpu + coeffs[k] * base**2
+        return per_cpu
+
+    def attribute(self, trace: CounterTrace) -> CpuAttribution:
+        """Split the suite's estimates across CPUs for a trace.
+
+        Shared-subsystem *dynamic* power (above each model's intercept)
+        is split proportionally to each CPU's bus transactions — the
+        activity that induced it; the static part is split evenly
+        (infrastructure cost).
+        """
+        cpu_watts = self._per_cpu_cpu_power(trace)
+        n_samples, n_cpus = cpu_watts.shape
+
+        bus = trace.per_cpu(Event.BUS_TRANSACTIONS).astype(float)
+        totals = bus.sum(axis=1, keepdims=True)
+        shares = np.divide(
+            bus, totals, out=np.full_like(bus, 1.0 / n_cpus), where=totals > 0
+        )
+
+        induced = np.zeros((n_samples, n_cpus))
+        for subsystem in (Subsystem.MEMORY, Subsystem.IO, Subsystem.DISK):
+            if subsystem not in self.suite.models:
+                continue
+            model = self.suite.models[subsystem]
+            predicted = model.predict(trace)
+            intercept = getattr(model, "intercept", None)
+            if intercept is None:
+                intercept = float(predicted.min())
+            dynamic = np.clip(predicted - intercept, 0.0, None)
+            induced += dynamic[:, None] * shares
+            induced += intercept / n_cpus
+        return CpuAttribution(cpu_watts=cpu_watts, induced_watts=induced)
+
+
+@dataclass(frozen=True)
+class ProcessBill:
+    """One process's share of a run's energy."""
+
+    thread_id: int
+    runtime_s: float
+    cpu_energy_j: float
+    induced_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.cpu_energy_j + self.induced_energy_j
+
+
+class ProcessBillingError(ValueError):
+    """Raised when billing inputs are inconsistent."""
+
+
+def bill_processes(
+    suite: TrickleDownSuite,
+    trace: CounterTrace,
+    process_stats: "dict[int, object]",
+    machine_time_s: "float | None" = None,
+) -> "list[ProcessBill]":
+    """Split a run's estimated energy across processes.
+
+    The paper's motivation (Section 4.2.1): shared-machine billing must
+    charge per process even though only aggregate power is measured or
+    estimated.  The split follows the structure of the fitted models:
+
+    * the CPU model's **active-fraction energy** is divided by each
+      process's runtime (who kept the clock un-gated);
+    * the CPU model's **uop energy** is divided by fetched uops;
+    * **induced** (memory/I/O/disk dynamic) energy is divided by each
+      process's memory-bus transactions (who caused the traffic);
+    * **infrastructure** energy (model intercepts, halted baseline,
+      chipset) is divided by runtime, like rent.
+
+    Args:
+        suite: the fitted trickle-down models.
+        trace: the run's counter trace (gives the aggregate estimate).
+        process_stats: ``thread_id -> ProcessStats`` from the server's
+            OS-virtualised accounting.
+        machine_time_s: wall-clock covered by the stats; defaults to
+            the trace duration.
+
+    Returns bills ordered by total energy, largest first.
+    """
+    if not process_stats:
+        raise ProcessBillingError("no process statistics to bill")
+    machine_time_s = machine_time_s or float(np.sum(trace.durations))
+    if machine_time_s <= 0:
+        raise ProcessBillingError("machine time must be positive")
+
+    # Aggregate estimated energy, split into the model components.
+    cpu_model = suite.model(Subsystem.CPU)
+    if not isinstance(cpu_model, PolynomialModel):
+        raise ProcessBillingError("billing needs the polynomial CPU model")
+    cpu_series = cpu_model.predict(trace)
+    durations = trace.durations
+    cpu_energy = float(np.sum(cpu_series * durations))
+
+    names = cpu_model.features.names
+    coeffs = cpu_model.coefficients
+    active = 1.0 - trace.per_cpu(Event.HALTED_CYCLES) / trace.per_cpu(Event.CYCLES)
+    upc = trace.per_cpu(Event.FETCHED_UOPS) / trace.per_cpu(Event.CYCLES)
+    component = {"intercept": float(coeffs[0] * np.sum(durations))}
+    for k, name in enumerate(names, start=1):
+        series = active.sum(axis=1) if name == "active_fraction" else upc.sum(axis=1)
+        component[name] = float(np.sum(coeffs[k] * series * durations))
+    # Quadratic terms (if any) are folded into their feature's bucket.
+    if cpu_model.degree == 2:
+        for k, name in enumerate(names, start=1 + len(names)):
+            series = (
+                active.sum(axis=1) if name == "active_fraction" else upc.sum(axis=1)
+            )
+            component[name] = component.get(name, 0.0) + float(
+                np.sum(coeffs[k] * series**2 * durations)
+            )
+
+    induced_energy = 0.0
+    infrastructure_energy = component["intercept"]
+    for subsystem in (Subsystem.MEMORY, Subsystem.IO, Subsystem.DISK,
+                      Subsystem.CHIPSET):
+        if subsystem not in suite.models:
+            continue
+        model = suite.models[subsystem]
+        predicted = model.predict(trace)
+        intercept = getattr(model, "intercept", None)
+        if intercept is None:
+            intercept = float(predicted.min())
+        infrastructure_energy += intercept * machine_time_s
+        induced_energy += float(
+            np.sum(np.clip(predicted - intercept, 0.0, None) * durations)
+        )
+    del cpu_energy  # component-level split replaces the aggregate
+
+    # Shares.
+    total_runtime = sum(s.runtime_s for s in process_stats.values())
+    total_uops = sum(s.fetched_uops for s in process_stats.values())
+    total_bus = sum(s.bus_transactions for s in process_stats.values())
+    if total_runtime <= 0:
+        raise ProcessBillingError("no process ran during the billed window")
+
+    bills = []
+    for stats in process_stats.values():
+        runtime_share = stats.runtime_s / total_runtime
+        uop_share = stats.fetched_uops / total_uops if total_uops > 0 else 0.0
+        bus_share = (
+            stats.bus_transactions / total_bus if total_bus > 0 else runtime_share
+        )
+        cpu_e = (
+            component.get("active_fraction", 0.0) * runtime_share
+            + component.get("fetched_uops_per_cycle", 0.0) * uop_share
+            + infrastructure_energy * runtime_share
+        )
+        bills.append(
+            ProcessBill(
+                thread_id=stats.thread_id,
+                runtime_s=stats.runtime_s,
+                cpu_energy_j=cpu_e,
+                induced_energy_j=induced_energy * bus_share,
+            )
+        )
+    bills.sort(key=lambda bill: -bill.total_energy_j)
+    return bills

@@ -1,0 +1,126 @@
+"""DVFS-aware power modeling — beyond the paper's fixed frequency.
+
+The paper's machine ran at one operating point, so its Equation-1
+coefficients silently embed the frequency and voltage.  A governor that
+actually *uses* the estimates to drive DVFS (the adaptation the paper
+motivates) changes the operating point under the model's feet, and a
+nominal-trained suite then misestimates badly: per-cycle features
+shrink with frequency but the coefficients don't know the voltage
+dropped too.
+
+Two remedies are provided, mirroring the design space of the follow-up
+literature:
+
+* :class:`DvfsSuiteBank` — one suite per operating point, trained from
+  runs captured at that p-state, selected at estimation time.  Exact
+  but needs per-state calibration runs.
+* :func:`train_frequency_aware_cpu_model` — a single CPU model over
+  rate-per-second features (which carry the operating point, no new
+  hardware event), trained on runs pooled across states.
+
+The measured outcome of the comparison (see
+``benchmarks/bench_dvfs_models.py``) is itself a finding: within the
+paper's cross-term-free polynomial family, a single model cannot
+separate "activity" from "operating point" — dynamic power is
+``V(f)^2 * f * activity``, a *product* the family cannot express — so
+the frequency-aware model lands at ~10-20 % CPU error where the
+per-state bank stays under ~1 %.  That is the quantitative reason
+per-state calibration became standard practice in the follow-up
+literature.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.events import Subsystem
+from repro.core.features import FeatureSet
+from repro.core.models import PolynomialModel
+from repro.core.suite import TrickleDownSuite
+from repro.core.traces import CounterTrace, MeasuredRun, concat_runs
+from repro.core.training import ModelTrainer
+
+
+class DvfsModelingError(ValueError):
+    """Raised for inconsistent DVFS modeling inputs."""
+
+
+class DvfsSuiteBank:
+    """Per-operating-point trickle-down suites.
+
+    The bank maps a p-state index to the suite trained at that point;
+    estimation dispatches on the machine's current state (which a
+    governor knows, having set it).
+    """
+
+    def __init__(self, suites: "Mapping[int, TrickleDownSuite]") -> None:
+        if not suites:
+            raise DvfsModelingError("bank needs at least one suite")
+        self.suites = dict(suites)
+
+    @property
+    def pstates(self) -> "tuple[int, ...]":
+        return tuple(sorted(self.suites))
+
+    def suite_for(self, pstate: int) -> TrickleDownSuite:
+        try:
+            return self.suites[pstate]
+        except KeyError:
+            raise DvfsModelingError(
+                f"no suite trained for p-state {pstate}; have {self.pstates}"
+            ) from None
+
+    def predict_total(self, pstate: int, trace: CounterTrace) -> np.ndarray:
+        return self.suite_for(pstate).predict_total(trace)
+
+    @classmethod
+    def train(
+        cls,
+        runs_per_state: "Mapping[int, Mapping[str, MeasuredRun]]",
+        trainer: "ModelTrainer | None" = None,
+    ) -> "DvfsSuiteBank":
+        """Fit one suite per p-state from per-state training runs."""
+        trainer = trainer or ModelTrainer()
+        return cls(
+            {
+                int(pstate): trainer.train(dict(runs))
+                for pstate, runs in runs_per_state.items()
+            }
+        )
+
+
+def train_frequency_aware_cpu_model(
+    runs: "list[MeasuredRun]",
+) -> PolynomialModel:
+    """One CPU model valid across operating points.
+
+    Training data must pool runs from *different* p-states (otherwise
+    the frequency information is constant and unidentifiable).  Expect
+    an order of magnitude more error than a per-state bank: the model
+    family has no cross terms, and DVFS power is a product of state and
+    activity.
+    """
+    if len(runs) < 2:
+        raise DvfsModelingError(
+            "need runs from at least two operating points"
+        )
+    pstates = {run.metadata.get("pstate", 0) for run in runs}
+    if len(pstates) < 2:
+        raise DvfsModelingError(
+            "all runs share one p-state; the frequency term is "
+            "unidentifiable — capture training runs at different points"
+        )
+    pooled = concat_runs(list(runs))
+    # Rates per *second* (not per cycle) carry the operating point:
+    # dynamic power ~ V^2 f x activity, and V tracks f on the ladder,
+    # so a quadratic in active-GHz and uop throughput fits across
+    # states without observing the voltage.
+    features = FeatureSet.of("active_clock_ghz", "guops_per_second")
+    return PolynomialModel.fit(
+        features,
+        2,
+        pooled.counters,
+        pooled.power.power(Subsystem.CPU),
+    )

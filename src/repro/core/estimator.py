@@ -1,0 +1,102 @@
+"""Runtime complete-system power estimation.
+
+:class:`SystemPowerEstimator` is the online face of a fitted suite: it
+accepts one counter sample at a time (as a power-management daemon
+would read them once per second), converts it into a single-sample
+trace, and returns the per-subsystem estimate.  This is the object a
+dynamic-adaptation policy (DVFS governor, power capper, thermal
+manager) would hold — see ``examples/datacenter_power_cap.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import Event, Subsystem
+from repro.core.suite import TrickleDownSuite
+from repro.core.traces import CounterTrace
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """One estimation step's output."""
+
+    timestamp_s: float
+    subsystem_w: "dict[Subsystem, float]"
+    total_w: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{s.value}={w:.1f}W" for s, w in self.subsystem_w.items()
+        )
+        return f"t={self.timestamp_s:.1f}s total={self.total_w:.1f}W ({parts})"
+
+
+class SystemPowerEstimator:
+    """Streaming estimator over a fitted trickle-down suite."""
+
+    def __init__(self, suite: TrickleDownSuite) -> None:
+        self.suite = suite
+        self._history: "list[PowerEstimate]" = []
+
+    @property
+    def history(self) -> "tuple[PowerEstimate, ...]":
+        return tuple(self._history)
+
+    def estimate(
+        self,
+        counts: "dict[Event, np.ndarray | list]",
+        duration_s: float = 1.0,
+        timestamp_s: float | None = None,
+    ) -> PowerEstimate:
+        """Estimate power from one counter sample.
+
+        Args:
+            counts: per-event arrays of per-CPU counts for one window
+                (shape ``(n_cpus,)`` each).  Must include every event
+                the suite's features consume.
+            duration_s: window length in seconds.
+            timestamp_s: window end time; defaults to a running count.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if timestamp_s is None:
+            timestamp_s = (
+                self._history[-1].timestamp_s + duration_s if self._history else duration_s
+            )
+        trace = CounterTrace(
+            timestamps=np.asarray([timestamp_s]),
+            durations=np.asarray([duration_s]),
+            counts={
+                event: np.asarray(values, dtype=float).reshape(1, -1)
+                for event, values in counts.items()
+            },
+        )
+        per_subsystem = {
+            s: float(series[0]) for s, series in self.suite.predict_all(trace).items()
+        }
+        estimate = PowerEstimate(
+            timestamp_s=float(timestamp_s),
+            subsystem_w=per_subsystem,
+            total_w=float(sum(per_subsystem.values())),
+        )
+        self._history.append(estimate)
+        return estimate
+
+    def estimate_trace(self, trace: CounterTrace) -> "list[PowerEstimate]":
+        """Batch estimation over a full counter trace."""
+        predictions = self.suite.predict_all(trace)
+        estimates = []
+        for i, timestamp in enumerate(trace.timestamps):
+            per_subsystem = {s: float(series[i]) for s, series in predictions.items()}
+            estimates.append(
+                PowerEstimate(
+                    timestamp_s=float(timestamp),
+                    subsystem_w=per_subsystem,
+                    total_w=float(sum(per_subsystem.values())),
+                )
+            )
+        self._history.extend(estimates)
+        return estimates

@@ -1,0 +1,141 @@
+"""Performance-event taxonomy and the trickle-down propagation graph.
+
+The paper selects six processor-visible events (plus cycles and halted
+cycles) out of the ~45 the Pentium 4 exposes, chosen by following how
+power-inducing events propagate outward from the CPU (its Figure 1):
+
+    CPU --L3 miss / TLB miss / bus access--> memory
+    CPU --uncacheable access / interrupt--> chipset / I/O
+    I/O --DMA / interrupt--> memory, disk, network
+
+Two classes of events exist in this reproduction:
+
+* **Trickle-down events** (``TRICKLE_DOWN_EVENTS``): observable at the
+  processor, the only inputs the paper's models may use.
+* **Local events**: observable only with instrumentation at the
+  subsystem (DRAM bank states, disk modes, I/O bytes switched).  The
+  simulator uses them for ground-truth power and the baseline models
+  (Janzen, Zedlewski) consume them; trickle-down models must not.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Subsystem(str, enum.Enum):
+    """The five separately measured power domains of the target server."""
+
+    CPU = "cpu"
+    CHIPSET = "chipset"
+    MEMORY = "memory"
+    IO = "io"
+    DISK = "disk"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Canonical ordering used by tables in the paper.
+SUBSYSTEMS: tuple[Subsystem, ...] = (
+    Subsystem.CPU,
+    Subsystem.CHIPSET,
+    Subsystem.MEMORY,
+    Subsystem.IO,
+    Subsystem.DISK,
+)
+
+
+class Event(str, enum.Enum):
+    """Performance events recorded by the counter infrastructure.
+
+    The first block matches the paper's Section 3.3 selection; the
+    second block contains events that exist on the machine but are
+    *local* to a subsystem — available to baseline models only.
+    """
+
+    # -- Processor-visible (trickle-down) events -----------------------
+    CYCLES = "cycles"
+    HALTED_CYCLES = "halted_cycles"
+    FETCHED_UOPS = "fetched_uops"
+    L3_MISSES = "l3_misses"  # load misses, as in the paper's Eq. 2
+    TLB_MISSES = "tlb_misses"
+    DMA_ACCESSES = "dma_accesses"  # DMA/Other: DMA snoops + coherence
+    BUS_TRANSACTIONS = "bus_transactions"  # all FSB transactions
+    UNCACHEABLE_ACCESSES = "uncacheable_accesses"
+    INTERRUPTS = "interrupts"  # all vectors, serviced by this CPU
+    DISK_INTERRUPTS = "disk_interrupts"  # via /proc/interrupts attribution
+    NETWORK_INTERRUPTS = "network_interrupts"  # /proc/interrupts, NIC vector
+
+    # -- Subsystem-local events (ground truth / baselines only) --------
+    DRAM_READS = "dram_reads"
+    DRAM_WRITES = "dram_writes"
+    DRAM_ACTIVATIONS = "dram_activations"
+    DRAM_ACTIVE_TIME = "dram_active_time"
+    PREFETCH_TRANSACTIONS = "prefetch_transactions"
+    WRITEBACK_TRANSACTIONS = "writeback_transactions"
+    IO_BYTES = "io_bytes"
+    IO_TRANSACTIONS = "io_transactions"
+    DISK_SEEK_TIME = "disk_seek_time"
+    DISK_TRANSFER_TIME = "disk_transfer_time"
+    DISK_BYTES = "disk_bytes"
+    OS_DISK_SECTORS = "os_disk_sectors"
+    OS_CONTEXT_SWITCHES = "os_context_switches"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Events a trickle-down model is allowed to consume (paper Section 3.3).
+TRICKLE_DOWN_EVENTS: frozenset[Event] = frozenset(
+    {
+        Event.CYCLES,
+        Event.HALTED_CYCLES,
+        Event.FETCHED_UOPS,
+        Event.L3_MISSES,
+        Event.TLB_MISSES,
+        Event.DMA_ACCESSES,
+        Event.BUS_TRANSACTIONS,
+        Event.UNCACHEABLE_ACCESSES,
+        Event.INTERRUPTS,
+        Event.DISK_INTERRUPTS,
+        Event.NETWORK_INTERRUPTS,
+    }
+)
+
+#: Events measurable only at the subsystem itself.
+LOCAL_EVENTS: frozenset[Event] = frozenset(Event) - TRICKLE_DOWN_EVENTS
+
+#: The trickle-down propagation graph of the paper's Figure 1:
+#: (source event, subsystems whose power it induces).
+TRICKLE_DOWN_PATHS: tuple[tuple[Event, tuple[Subsystem, ...]], ...] = (
+    (Event.L3_MISSES, (Subsystem.MEMORY,)),
+    (Event.TLB_MISSES, (Subsystem.MEMORY, Subsystem.CHIPSET, Subsystem.IO, Subsystem.DISK)),
+    (Event.DMA_ACCESSES, (Subsystem.MEMORY, Subsystem.CHIPSET, Subsystem.IO)),
+    (Event.BUS_TRANSACTIONS, (Subsystem.MEMORY, Subsystem.CHIPSET)),
+    (Event.UNCACHEABLE_ACCESSES, (Subsystem.CHIPSET, Subsystem.IO)),
+    (Event.INTERRUPTS, (Subsystem.IO, Subsystem.DISK)),
+)
+
+
+def is_trickle_down(event: Event) -> bool:
+    """True if ``event`` can be observed from the processor."""
+    return event in TRICKLE_DOWN_EVENTS
+
+
+def render_propagation_diagram() -> str:
+    """ASCII rendering of the paper's Figure 1 (event propagation)."""
+    lines = [
+        "            Propagation of Performance Events (Figure 1)",
+        "",
+        "  CPU ---L3 Miss---------------------> Memory",
+        "  CPU ---TLB Miss--------------------> Memory -> Chipset -> I/O -> Disk",
+        "  CPU <--DMA Access------------------- I/O (snooped on memory bus)",
+        "  CPU ---Mem Bus Transaction---------> Chipset -> Memory",
+        "  CPU ---Uncacheable Access----------> Chipset -> I/O",
+        "  CPU <--Interrupt-------------------- I/O / Disk / Network",
+        "",
+        "  trickle-down (CPU-visible) events: "
+        + ", ".join(sorted(e.value for e in TRICKLE_DOWN_EVENTS)),
+    ]
+    return "\n".join(lines)

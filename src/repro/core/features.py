@@ -1,0 +1,222 @@
+"""Per-cycle feature construction from counter traces.
+
+The paper normalises every event count by the cycle count of its window
+("this corrects for slight differences in sampling rate", Section 3.3)
+and sums per-CPU terms across the SMP.  Features here follow that
+convention: a feature maps a :class:`~repro.core.traces.CounterTrace`
+to one value per sample, computed as the sum over CPUs of the per-CPU
+per-cycle (or per-million-cycle) rate.
+
+Features declare which events they consume so the training pipeline can
+enforce trickle-down purity: a model for the paper's methodology may
+only use CPU-visible events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.events import Event, TRICKLE_DOWN_EVENTS
+from repro.core.traces import CounterTrace
+
+#: Scale used for rare events, as in the paper's Equation 3
+#: (transactions per million cycles keeps coefficients readable).
+PER_MCYCLE = 1.0e6
+
+
+@dataclass(frozen=True)
+class Feature:
+    """A named mapping from a counter trace to one value per sample."""
+
+    name: str
+    events: "tuple[Event, ...]"
+    compute: Callable[[CounterTrace], np.ndarray]
+
+    @property
+    def is_trickle_down(self) -> bool:
+        """True if every consumed event is CPU-visible."""
+        return all(event in TRICKLE_DOWN_EVENTS for event in self.events)
+
+    def __call__(self, trace: CounterTrace) -> np.ndarray:
+        values = np.asarray(self.compute(trace), dtype=float)
+        if values.shape != (trace.n_samples,):
+            raise ValueError(
+                f"feature {self.name!r} returned shape {values.shape}, "
+                f"expected ({trace.n_samples},)"
+            )
+        return values
+
+
+def _per_cycle_sum(trace: CounterTrace, event: Event, scale: float) -> np.ndarray:
+    """Sum over CPUs of (event count / cycle count) * scale."""
+    cycles = trace.per_cpu(Event.CYCLES)
+    counts = trace.per_cpu(event)
+    return (counts / cycles).sum(axis=1) * scale
+
+
+def per_cycle(event: Event, scale: float = 1.0, name: str | None = None) -> Feature:
+    """Feature: sum over CPUs of event occurrences per cycle."""
+    feature_name = name or f"{event.value}_per_cycle"
+    if scale == PER_MCYCLE:
+        feature_name = name or f"{event.value}_per_mcycle"
+    return Feature(
+        name=feature_name,
+        events=(event, Event.CYCLES),
+        compute=lambda trace, e=event, s=scale: _per_cycle_sum(trace, e, s),
+    )
+
+
+def active_fraction() -> Feature:
+    """Sum over CPUs of the non-halted cycle fraction (0..NumCPUs).
+
+    This is the paper's ``PercentActive_i`` summed over processors
+    (Equation 1).
+    """
+
+    def compute(trace: CounterTrace) -> np.ndarray:
+        cycles = trace.per_cpu(Event.CYCLES)
+        halted = trace.per_cpu(Event.HALTED_CYCLES)
+        return (1.0 - halted / cycles).sum(axis=1)
+
+    return Feature(
+        name="active_fraction",
+        events=(Event.CYCLES, Event.HALTED_CYCLES),
+        compute=compute,
+    )
+
+
+def clock_ghz() -> Feature:
+    """Sum over CPUs of observed clock frequency (GHz).
+
+    Frequency is directly observable from the cycles counter and the
+    window duration, so a DVFS-aware model may use it without any new
+    hardware event — the key to modeling across operating points.
+    """
+
+    def compute(trace: CounterTrace) -> np.ndarray:
+        cycles = trace.per_cpu(Event.CYCLES)
+        return (cycles / trace.durations[:, None]).sum(axis=1) / 1.0e9
+
+    return Feature(
+        name="clock_ghz",
+        events=(Event.CYCLES,),
+        compute=compute,
+    )
+
+
+def active_clock_ghz() -> Feature:
+    """Sum over CPUs of (active fraction x clock GHz).
+
+    The physically meaningful DVFS regressor: un-gated cycles per
+    second.  Dynamic power is ~ V^2 f x activity, and on a realistic
+    ladder V falls with f, so a quadratic in this feature tracks power
+    across operating points.
+    """
+
+    def compute(trace: CounterTrace) -> np.ndarray:
+        cycles = trace.per_cpu(Event.CYCLES)
+        halted = trace.per_cpu(Event.HALTED_CYCLES)
+        active_cycles_per_s = (cycles - halted) / trace.durations[:, None]
+        return active_cycles_per_s.sum(axis=1) / 1.0e9
+
+    return Feature(
+        name="active_clock_ghz",
+        events=(Event.CYCLES, Event.HALTED_CYCLES),
+        compute=compute,
+    )
+
+
+def guops_per_second() -> Feature:
+    """Sum over CPUs of fetched uops per second (in billions).
+
+    Unlike uops *per cycle*, this rate scales down with DVFS, carrying
+    the frequency information a cross-state model needs.
+    """
+
+    def compute(trace: CounterTrace) -> np.ndarray:
+        uops = trace.per_cpu(Event.FETCHED_UOPS)
+        return (uops / trace.durations[:, None]).sum(axis=1) / 1.0e9
+
+    return Feature(
+        name="guops_per_second",
+        events=(Event.FETCHED_UOPS,),
+        compute=compute,
+    )
+
+
+def rate(event: Event, name: str | None = None) -> Feature:
+    """Feature: system-wide events per second (wall-clock rate)."""
+    return Feature(
+        name=name or f"{event.value}_per_s",
+        events=(event,),
+        compute=lambda trace, e=event: trace.rate(e),
+    )
+
+
+#: The feature vocabulary of the paper's Section 3.3, ready to use.
+PAPER_FEATURES: "dict[str, Feature]" = {
+    feature.name: feature
+    for feature in (
+        active_fraction(),
+        clock_ghz(),
+        active_clock_ghz(),
+        guops_per_second(),
+        per_cycle(Event.FETCHED_UOPS),
+        per_cycle(Event.L3_MISSES, PER_MCYCLE),
+        per_cycle(Event.TLB_MISSES, PER_MCYCLE),
+        per_cycle(Event.BUS_TRANSACTIONS, PER_MCYCLE),
+        per_cycle(Event.DMA_ACCESSES, PER_MCYCLE),
+        per_cycle(Event.UNCACHEABLE_ACCESSES, PER_MCYCLE),
+        per_cycle(Event.INTERRUPTS, PER_MCYCLE),
+        per_cycle(Event.DISK_INTERRUPTS, PER_MCYCLE),
+        per_cycle(Event.NETWORK_INTERRUPTS, PER_MCYCLE),
+    )
+}
+
+
+def get_feature(name: str) -> Feature:
+    """Look up a paper feature by name (KeyError lists options)."""
+    try:
+        return PAPER_FEATURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown feature {name!r}; available: "
+            + ", ".join(sorted(PAPER_FEATURES))
+        ) from None
+
+
+class FeatureSet:
+    """An ordered collection of features forming a design space."""
+
+    def __init__(self, features: "list[Feature] | tuple[Feature, ...]") -> None:
+        if not features:
+            raise ValueError("a feature set needs at least one feature")
+        names = [f.name for f in features]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate feature names: {names}")
+        self.features = tuple(features)
+
+    @classmethod
+    def of(cls, *names: str) -> "FeatureSet":
+        return cls([get_feature(name) for name in names])
+
+    @property
+    def names(self) -> "tuple[str, ...]":
+        return tuple(f.name for f in self.features)
+
+    @property
+    def is_trickle_down(self) -> bool:
+        return all(f.is_trickle_down for f in self.features)
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def __iter__(self):
+        return iter(self.features)
+
+    def matrix(self, trace: CounterTrace) -> np.ndarray:
+        """Raw feature matrix, shape ``(n_samples, n_features)``."""
+        return np.column_stack([feature(trace) for feature in self.features])

@@ -1,0 +1,186 @@
+"""Subsystem power models: constant, linear, quadratic, multi-input.
+
+Model objects are pure functions of a counter trace once fitted; they
+carry their feature set and coefficients and can be serialised, printed
+in the paper's equation style, and composed into a
+:class:`~repro.core.suite.TrickleDownSuite`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.features import FeatureSet, get_feature
+from repro.core.regression import (
+    FitDiagnostics,
+    RegressionError,
+    fit_least_squares,
+    polynomial_design,
+)
+from repro.core.traces import CounterTrace
+
+
+class SubsystemPowerModel(abc.ABC):
+    """Predicts one subsystem's power from performance counters."""
+
+    @abc.abstractmethod
+    def predict(self, trace: CounterTrace) -> np.ndarray:
+        """Predicted power per sample (Watts)."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable equation, in the paper's style."""
+
+    @abc.abstractmethod
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+
+    @property
+    @abc.abstractmethod
+    def n_parameters(self) -> int:
+        """Fitted parameter count (model complexity)."""
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "SubsystemPowerModel":
+        kind = data.get("kind")
+        if kind == "constant":
+            return ConstantModel(float(data["value"]))
+        if kind == "polynomial":
+            return PolynomialModel(
+                features=FeatureSet.of(*data["features"]),
+                degree=int(data["degree"]),
+                coefficients=np.asarray(data["coefficients"], dtype=float),
+            )
+        raise ValueError(f"unknown model kind {kind!r}")
+
+
+class ConstantModel(SubsystemPowerModel):
+    """The paper's chipset model: a fitted constant (Section 4.2.5)."""
+
+    def __init__(self, value: float) -> None:
+        if not np.isfinite(value):
+            raise ValueError("constant model value must be finite")
+        self.value = float(value)
+
+    @property
+    def n_parameters(self) -> int:
+        return 1
+
+    def predict(self, trace: CounterTrace) -> np.ndarray:
+        return np.full(trace.n_samples, self.value)
+
+    def describe(self) -> str:
+        return f"P = {self.value:.2f} W (constant)"
+
+    def to_dict(self) -> dict:
+        return {"kind": "constant", "value": self.value}
+
+    @classmethod
+    def fit(cls, trace: CounterTrace, power: np.ndarray) -> "ConstantModel":
+        power = np.asarray(power, dtype=float)
+        if power.shape != (trace.n_samples,):
+            raise RegressionError("power series length must match the trace")
+        return cls(float(power.mean()))
+
+
+class PolynomialModel(SubsystemPowerModel):
+    """Linear (degree 1) or quadratic (degree 2) model without cross
+    terms — the shape of the paper's Equations 1-5.
+
+    Coefficient layout: ``[intercept, linear..., quadratic...]`` in
+    feature order.
+    """
+
+    def __init__(
+        self,
+        features: FeatureSet,
+        degree: int,
+        coefficients: np.ndarray,
+        diagnostics: FitDiagnostics | None = None,
+    ) -> None:
+        if degree not in (1, 2):
+            raise ValueError("degree must be 1 (linear) or 2 (quadratic)")
+        expected = 1 + degree * len(features)
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.shape != (expected,):
+            raise ValueError(
+                f"expected {expected} coefficients for degree {degree} with "
+                f"{len(features)} features; got {coefficients.shape}"
+            )
+        self.features = features
+        self.degree = degree
+        self.coefficients = coefficients
+        self.diagnostics = diagnostics
+
+    @property
+    def n_parameters(self) -> int:
+        return len(self.coefficients)
+
+    @property
+    def intercept(self) -> float:
+        return float(self.coefficients[0])
+
+    def predict(self, trace: CounterTrace) -> np.ndarray:
+        design = polynomial_design(self.features.matrix(trace), self.degree)
+        return design @ self.coefficients
+
+    def describe(self) -> str:
+        terms = [f"{self.intercept:.3g}"]
+        k = 1
+        for power in range(1, self.degree + 1):
+            for name in self.features.names:
+                coeff = self.coefficients[k]
+                variable = name if power == 1 else f"{name}^{power}"
+                sign = "+" if coeff >= 0 else "-"
+                terms.append(f"{sign} {abs(coeff):.3g}*{variable}")
+                k += 1
+        return "P = " + " ".join(terms)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "polynomial",
+            "features": list(self.features.names),
+            "degree": self.degree,
+            "coefficients": self.coefficients.tolist(),
+        }
+
+    @classmethod
+    def fit(
+        cls,
+        features: FeatureSet,
+        degree: int,
+        trace: CounterTrace,
+        power: np.ndarray,
+    ) -> "PolynomialModel":
+        """Least-squares fit of the model to one training trace."""
+        power = np.asarray(power, dtype=float)
+        if power.shape != (trace.n_samples,):
+            raise RegressionError("power series length must match the trace")
+        design = polynomial_design(features.matrix(trace), degree)
+        coefficients, diagnostics = fit_least_squares(design, power)
+        return cls(features, degree, coefficients, diagnostics)
+
+
+def linear_model(trace: CounterTrace, power: np.ndarray, *names: str) -> PolynomialModel:
+    """Convenience: fit a linear model on named paper features."""
+    return PolynomialModel.fit(FeatureSet.of(*names), 1, trace, power)
+
+
+def quadratic_model(
+    trace: CounterTrace, power: np.ndarray, *names: str
+) -> PolynomialModel:
+    """Convenience: fit a quadratic model on named paper features."""
+    return PolynomialModel.fit(FeatureSet.of(*names), 2, trace, power)
+
+
+__all__ = [
+    "SubsystemPowerModel",
+    "ConstantModel",
+    "PolynomialModel",
+    "linear_model",
+    "quadratic_model",
+    "get_feature",
+]

@@ -1,0 +1,135 @@
+"""Power-phase detection from performance counters.
+
+The paper's Section 2.4 surveys phase detection and cites Isci's result
+that counter-based metrics beat control-flow metrics for *power*
+phases.  This extension implements that idea on top of the trickle-down
+feature set: samples are embedded as normalised counter-rate vectors,
+clustered online with a leader-follower algorithm (threshold on
+Euclidean distance, as in Dhodapkar & Smith), and each phase carries
+the power statistics of its members — giving an adaptation policy a
+compact "which power regime am I in" signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.features import FeatureSet
+from repro.core.traces import CounterTrace
+
+
+@dataclass
+class Phase:
+    """A detected phase: a centroid in feature space plus members."""
+
+    phase_id: int
+    centroid: np.ndarray
+    member_indices: "list[int]" = field(default_factory=list)
+    power_samples: "list[float]" = field(default_factory=list)
+
+    @property
+    def n_members(self) -> int:
+        return len(self.member_indices)
+
+    @property
+    def mean_power_w(self) -> float:
+        if not self.power_samples:
+            raise ValueError("phase has no power samples")
+        return float(np.mean(self.power_samples))
+
+    @property
+    def power_std_w(self) -> float:
+        return float(np.std(self.power_samples)) if self.power_samples else 0.0
+
+
+class PhaseDetector:
+    """Leader-follower clustering of counter-rate vectors.
+
+    Args:
+        features: feature set defining the embedding (defaults to the
+            paper's six-event vocabulary).
+        threshold: normalised distance above which a sample founds a
+            new phase.  Lower = more, finer phases.
+    """
+
+    def __init__(self, features: FeatureSet, threshold: float = 0.25) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.features = features
+        self.threshold = threshold
+        self.phases: "list[Phase]" = []
+        self._scale: "np.ndarray | None" = None
+
+    def _normalise(self, matrix: np.ndarray) -> np.ndarray:
+        """Scale features to comparable magnitude (robust max-abs)."""
+        if self._scale is None:
+            scale = np.percentile(np.abs(matrix), 95, axis=0)
+            scale[scale == 0] = 1.0
+            self._scale = scale
+        return matrix / self._scale
+
+    def fit(
+        self, trace: CounterTrace, power: "np.ndarray | None" = None
+    ) -> "list[int]":
+        """Assign every sample of a trace to a phase.
+
+        Returns the per-sample phase ids.  ``power`` (same length)
+        attaches power statistics to the phases.
+        """
+        matrix = self._normalise(self.features.matrix(trace))
+        if power is not None:
+            power = np.asarray(power, dtype=float)
+            if power.shape != (trace.n_samples,):
+                raise ValueError("power series must match the trace length")
+        assignments = []
+        for i, vector in enumerate(matrix):
+            phase = self._assign(vector)
+            phase.member_indices.append(i)
+            if power is not None:
+                phase.power_samples.append(float(power[i]))
+            assignments.append(phase.phase_id)
+        return assignments
+
+    def _assign(self, vector: np.ndarray) -> Phase:
+        """Leader-follower step: nearest centroid or a new phase."""
+        best, best_distance = None, np.inf
+        for phase in self.phases:
+            distance = float(np.linalg.norm(vector - phase.centroid))
+            if distance < best_distance:
+                best, best_distance = phase, distance
+        if best is not None and best_distance <= self.threshold:
+            # Running-mean centroid update keeps phases adaptive.
+            n = best.n_members
+            best.centroid = (best.centroid * n + vector) / (n + 1)
+            return best
+        phase = Phase(phase_id=len(self.phases), centroid=vector.copy())
+        self.phases.append(phase)
+        return phase
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)
+
+    def stability(self, assignments: "list[int]") -> float:
+        """Fraction of consecutive samples staying in the same phase.
+
+        Dhodapkar & Smith's phase-stability criterion: higher means the
+        detector produces usable (non-thrashing) phases.
+        """
+        if len(assignments) < 2:
+            return 1.0
+        same = sum(a == b for a, b in zip(assignments, assignments[1:]))
+        return same / (len(assignments) - 1)
+
+
+def power_phase_table(detector: PhaseDetector) -> "list[tuple[int, int, float, float]]":
+    """(phase id, members, mean power, power std) rows, largest first."""
+    rows = [
+        (p.phase_id, p.n_members, p.mean_power_w, p.power_std_w)
+        for p in detector.phases
+        if p.power_samples
+    ]
+    rows.sort(key=lambda row: -row[1])
+    return rows

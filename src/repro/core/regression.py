@@ -1,0 +1,95 @@
+"""Least-squares fitting for the paper's model forms.
+
+The paper restricts itself to regression forms cheap enough for runtime
+use: linear models first, single- or multi-input quadratics when linear
+accuracy is insufficient (Section 3.3.1).  Quadratics expand each input
+to (x, x^2) without cross terms, exactly the shape of Equations 2-5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class RegressionError(ValueError):
+    """Raised when a regression cannot be performed."""
+
+
+@dataclass(frozen=True)
+class FitDiagnostics:
+    """Quality measures of a fitted model on its training data."""
+
+    r_squared: float
+    avg_abs_error_pct: float
+    rmse_w: float
+    n_samples: int
+    condition_number: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"R^2={self.r_squared:.4f}, avg|err|={self.avg_abs_error_pct:.2f}%, "
+            f"RMSE={self.rmse_w:.3f}W, n={self.n_samples}"
+        )
+
+
+def polynomial_design(raw: np.ndarray, degree: int) -> np.ndarray:
+    """Expand raw features to a design matrix with intercept.
+
+    Columns: [1, x1, x2, ..., x1^2, x2^2, ...] up to ``degree`` (no
+    cross terms, matching the paper's quadratics).
+    """
+    raw = np.asarray(raw, dtype=float)
+    if raw.ndim != 2:
+        raise RegressionError("raw feature matrix must be 2-D")
+    if degree < 0:
+        raise RegressionError("degree must be >= 0")
+    n = raw.shape[0]
+    columns = [np.ones(n)]
+    for power in range(1, degree + 1):
+        columns.append(raw**power)
+    if degree == 0:
+        return np.ones((n, 1))
+    return np.column_stack(columns)
+
+
+def fit_least_squares(
+    design: np.ndarray, target: np.ndarray
+) -> "tuple[np.ndarray, FitDiagnostics]":
+    """Ordinary least squares with diagnostics.
+
+    Raises :class:`RegressionError` for degenerate problems (too few
+    samples, non-finite values).
+    """
+    design = np.asarray(design, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if design.ndim != 2 or target.ndim != 1:
+        raise RegressionError("design must be 2-D and target 1-D")
+    n, p = design.shape
+    if target.shape[0] != n:
+        raise RegressionError("design and target lengths differ")
+    if n < p:
+        raise RegressionError(f"need at least {p} samples to fit {p} parameters")
+    if not (np.all(np.isfinite(design)) and np.all(np.isfinite(target))):
+        raise RegressionError("non-finite values in regression inputs")
+
+    coeffs, _, _, singular_values = np.linalg.lstsq(design, target, rcond=None)
+    predicted = design @ coeffs
+    residual = target - predicted
+    total_var = float(np.sum((target - target.mean()) ** 2))
+    r_squared = 1.0 - float(np.sum(residual**2)) / total_var if total_var > 0 else 1.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.abs(residual) / np.abs(target)
+    rel = rel[np.isfinite(rel)]
+    avg_abs_error_pct = float(rel.mean() * 100.0) if rel.size else 0.0
+    smin = float(singular_values.min()) if singular_values.size else 0.0
+    condition = float(singular_values.max() / smin) if smin > 0 else np.inf
+    diagnostics = FitDiagnostics(
+        r_squared=r_squared,
+        avg_abs_error_pct=avg_abs_error_pct,
+        rmse_w=float(np.sqrt(np.mean(residual**2))),
+        n_samples=n,
+        condition_number=condition,
+    )
+    return coeffs, diagnostics

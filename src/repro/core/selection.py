@@ -1,0 +1,168 @@
+"""Automated performance-event selection for subsystem power models.
+
+The paper selects its six events manually: start from the trickle-down
+propagation intuition, then keep whichever event gives the lowest
+average error and the best-looking trace (Section 3.3).  This module
+systematises that procedure as greedy forward selection with held-out
+validation:
+
+1. candidate features are the trickle-down vocabulary;
+2. at each step, add the feature whose inclusion most reduces the
+   *validation* error (training on one designated run, validating on
+   all runs, exactly the paper's protocol);
+3. stop when no candidate improves by at least ``min_gain_pct`` — the
+   parsimony the paper needs for runtime-cheap models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.events import Subsystem
+from repro.core.features import Feature, FeatureSet, PAPER_FEATURES
+from repro.core.models import PolynomialModel
+from repro.core.regression import RegressionError
+from repro.core.traces import MeasuredRun
+from repro.core.validation import average_error
+
+
+@dataclass
+class SelectionStep:
+    """One greedy step: the feature added and the error it achieved."""
+
+    feature_name: str
+    validation_error_pct: float
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a greedy forward selection."""
+
+    subsystem: Subsystem
+    degree: int
+    steps: "list[SelectionStep]" = field(default_factory=list)
+    model: "PolynomialModel | None" = None
+
+    @property
+    def selected_names(self) -> "tuple[str, ...]":
+        return tuple(step.feature_name for step in self.steps)
+
+    @property
+    def final_error_pct(self) -> float:
+        if not self.steps:
+            raise ValueError("selection produced no steps")
+        return self.steps[-1].validation_error_pct
+
+    def describe(self) -> str:
+        lines = [
+            f"greedy selection for {self.subsystem.value} (degree {self.degree}):"
+        ]
+        for i, step in enumerate(self.steps, 1):
+            lines.append(
+                f"  {i}. +{step.feature_name:35} -> "
+                f"{step.validation_error_pct:6.2f}% avg error"
+            )
+        return "\n".join(lines)
+
+
+class EventSelector:
+    """Greedy forward selection over the trickle-down vocabulary."""
+
+    def __init__(
+        self,
+        candidates: "list[Feature] | None" = None,
+        degree: int = 2,
+        max_features: int = 3,
+        min_gain_pct: float = 0.10,
+    ) -> None:
+        if degree not in (1, 2):
+            raise ValueError("degree must be 1 or 2")
+        if max_features < 1:
+            raise ValueError("max_features must be >= 1")
+        if min_gain_pct < 0:
+            raise ValueError("min_gain_pct must be non-negative")
+        self.candidates = list(candidates or PAPER_FEATURES.values())
+        for feature in self.candidates:
+            if not feature.is_trickle_down:
+                raise ValueError(
+                    f"candidate {feature.name!r} uses subsystem-local events"
+                )
+        self.degree = degree
+        self.max_features = max_features
+        self.min_gain_pct = min_gain_pct
+
+    def _evaluate(
+        self,
+        names: "tuple[str, ...]",
+        subsystem: Subsystem,
+        train: MeasuredRun,
+        validation: "list[MeasuredRun]",
+    ) -> "tuple[float, PolynomialModel] | None":
+        """Average validation error of a feature combination."""
+        try:
+            model = PolynomialModel.fit(
+                FeatureSet.of(*names),
+                self.degree,
+                train.counters,
+                train.power.power(subsystem),
+            )
+        except RegressionError:
+            return None
+        errors = [
+            average_error(model.predict(run.counters), run.power.power(subsystem))
+            for run in validation
+        ]
+        return float(np.mean(errors)), model
+
+    def select(
+        self,
+        subsystem: Subsystem,
+        train: MeasuredRun,
+        validation: "list[MeasuredRun]",
+    ) -> SelectionResult:
+        """Run greedy forward selection for one subsystem.
+
+        Args:
+            subsystem: power domain to model.
+            train: the high-variation training run (paper Section 3.2.2).
+            validation: the full workload set to judge transfer on.
+        """
+        if not validation:
+            raise ValueError("selection needs at least one validation run")
+        result = SelectionResult(subsystem=subsystem, degree=self.degree)
+        selected: "tuple[str, ...]" = ()
+        best_error = np.inf
+        best_model = None
+
+        while len(selected) < self.max_features:
+            round_best = None
+            for feature in self.candidates:
+                if feature.name in selected:
+                    continue
+                outcome = self._evaluate(
+                    selected + (feature.name,), subsystem, train, validation
+                )
+                if outcome is None:
+                    continue
+                error, model = outcome
+                if round_best is None or error < round_best[0]:
+                    round_best = (error, feature.name, model)
+            if round_best is None:
+                break
+            error, name, model = round_best
+            if error > best_error - self.min_gain_pct:
+                break  # no candidate helps enough
+            selected = selected + (name,)
+            best_error, best_model = error, model
+            result.steps.append(
+                SelectionStep(feature_name=name, validation_error_pct=error)
+            )
+        result.model = best_model
+        if not result.steps:
+            raise RegressionError(
+                f"no usable feature found for {subsystem} among "
+                f"{[f.name for f in self.candidates]}"
+            )
+        return result

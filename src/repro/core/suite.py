@@ -1,0 +1,90 @@
+"""A complete set of fitted subsystem models.
+
+The suite is the paper's deliverable: five models that together
+estimate complete-system power from six processor-visible performance
+events, with no power-sensing hardware in the loop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.events import SUBSYSTEMS, Subsystem
+from repro.core.models import SubsystemPowerModel
+from repro.core.traces import CounterTrace
+
+
+class TrickleDownSuite:
+    """Per-subsystem power models plus total-system estimation."""
+
+    def __init__(
+        self,
+        models: "Mapping[Subsystem, SubsystemPowerModel]",
+        recipe_name: str = "custom",
+    ) -> None:
+        if not models:
+            raise ValueError("suite needs at least one subsystem model")
+        self.models = dict(models)
+        self.recipe_name = recipe_name
+
+    @property
+    def subsystems(self) -> "tuple[Subsystem, ...]":
+        return tuple(s for s in SUBSYSTEMS if s in self.models)
+
+    def model(self, subsystem: Subsystem) -> SubsystemPowerModel:
+        try:
+            return self.models[subsystem]
+        except KeyError:
+            raise KeyError(
+                f"suite has no model for {subsystem}; has: "
+                + ", ".join(str(s) for s in self.subsystems)
+            ) from None
+
+    def predict(self, subsystem: Subsystem, trace: CounterTrace) -> np.ndarray:
+        """Predicted power of one subsystem per sample (Watts)."""
+        return self.model(subsystem).predict(trace)
+
+    def predict_all(self, trace: CounterTrace) -> "dict[Subsystem, np.ndarray]":
+        """Predicted power of every modelled subsystem."""
+        return {s: self.models[s].predict(trace) for s in self.subsystems}
+
+    def predict_total(self, trace: CounterTrace) -> np.ndarray:
+        """Complete-system power estimate per sample (Watts)."""
+        return np.sum(list(self.predict_all(trace).values()), axis=0)
+
+    def describe(self) -> str:
+        """All model equations, paper style."""
+        lines = [f"Trickle-down suite (recipe: {self.recipe_name})"]
+        for subsystem in self.subsystems:
+            lines.append(f"  {subsystem.value:>8}: {self.models[subsystem].describe()}")
+        return "\n".join(lines)
+
+    # -- persistence ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "recipe": self.recipe_name,
+            "models": {s.value: m.to_dict() for s, m in self.models.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TrickleDownSuite":
+        return cls(
+            models={
+                Subsystem(name): SubsystemPowerModel.from_dict(model)
+                for name, model in data["models"].items()
+            },
+            recipe_name=data.get("recipe", "custom"),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> "TrickleDownSuite":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

@@ -1,0 +1,196 @@
+"""Model validation: the paper's Equation 6 and Tables 3/4 machinery.
+
+Average error is the mean over samples of |modeled - measured| /
+measured (Equation 6).  For subsystems dominated by a DC offset the
+paper also reports the error after subtracting the idle power (disk:
+1.75 % DC-adjusted; I/O: 32 % DC-adjusted vs. < 1 % raw), so both
+variants are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.events import SUBSYSTEMS, Subsystem
+from repro.core.suite import TrickleDownSuite
+from repro.core.traces import CounterTrace, MeasuredRun, PowerTrace
+
+
+def average_error(modeled: np.ndarray, measured: np.ndarray) -> float:
+    """The paper's Equation 6, in percent."""
+    modeled = np.asarray(modeled, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if modeled.shape != measured.shape or modeled.ndim != 1:
+        raise ValueError("modeled and measured must be 1-D and equal length")
+    if modeled.size == 0:
+        raise ValueError("cannot average errors over zero samples")
+    if np.any(measured <= 0):
+        raise ValueError("measured power must be positive")
+    return float(np.mean(np.abs(modeled - measured) / measured) * 100.0)
+
+
+def dc_adjusted_error(
+    modeled: np.ndarray, measured: np.ndarray, dc_offset_w: float
+) -> float:
+    """Equation 6 applied after removing a DC offset from both sides.
+
+    This is how the paper quotes the disk model (subtract the 21.6 W of
+    idle rotation power first); it punishes models that only get the
+    offset right.  Samples whose measured dynamic power is ~zero are
+    excluded (relative error is undefined there).
+    """
+    modeled = np.asarray(modeled, dtype=float) - dc_offset_w
+    measured = np.asarray(measured, dtype=float) - dc_offset_w
+    keep = np.abs(measured) > 1.0e-3
+    if not np.any(keep):
+        raise ValueError("no samples with measurable dynamic power")
+    return float(
+        np.mean(np.abs(modeled[keep] - measured[keep]) / np.abs(measured[keep]))
+        * 100.0
+    )
+
+
+@dataclass
+class ValidationReport:
+    """Per-workload, per-subsystem average errors (percent)."""
+
+    errors: "dict[str, dict[Subsystem, float]]" = field(default_factory=dict)
+
+    @property
+    def workloads(self) -> "tuple[str, ...]":
+        return tuple(self.errors)
+
+    def error(self, workload: str, subsystem: Subsystem) -> float:
+        return self.errors[workload][subsystem]
+
+    def subsystem_average(
+        self, subsystem: Subsystem, workloads: "tuple[str, ...] | None" = None
+    ) -> float:
+        """Mean error of one model across workloads (a table footer)."""
+        names = workloads or self.workloads
+        return float(np.mean([self.errors[w][subsystem] for w in names]))
+
+    def subsystem_std(
+        self, subsystem: Subsystem, workloads: "tuple[str, ...] | None" = None
+    ) -> float:
+        names = workloads or self.workloads
+        return float(np.std([self.errors[w][subsystem] for w in names]))
+
+    def worst_case(self, subsystem: Subsystem) -> "tuple[str, float]":
+        """(workload, error) with the largest error for a subsystem."""
+        worst = max(self.errors, key=lambda w: self.errors[w][subsystem])
+        return worst, self.errors[worst][subsystem]
+
+    def overall_average(self) -> float:
+        """Grand mean across all workloads and subsystems."""
+        values = [
+            error
+            for per_subsystem in self.errors.values()
+            for error in per_subsystem.values()
+        ]
+        return float(np.mean(values))
+
+
+def validate_suite(
+    suite: TrickleDownSuite,
+    runs: "dict[str, MeasuredRun] | list[MeasuredRun]",
+) -> ValidationReport:
+    """Equation-6 errors of every model on every run."""
+    if isinstance(runs, dict):
+        run_list = list(runs.values())
+    else:
+        run_list = list(runs)
+    if not run_list:
+        raise ValueError("validation needs at least one run")
+    report = ValidationReport()
+    for run in run_list:
+        per_subsystem = {}
+        for subsystem in SUBSYSTEMS:
+            if subsystem not in suite.models:
+                continue
+            modeled = suite.predict(subsystem, run.counters)
+            measured = run.power.power(subsystem)
+            per_subsystem[subsystem] = average_error(modeled, measured)
+        report.errors[run.workload] = per_subsystem
+    return report
+
+
+def holdout_validation(
+    trainer,
+    runs: "dict[str, MeasuredRun]",
+    train_fraction: float,
+) -> ValidationReport:
+    """Train on the first fraction of each training run, validate on all.
+
+    Answers "how much instrumented measurement time does the recipe
+    need?" — a deployment question the paper leaves open (its training
+    traces are full runs).  Only the samples in the leading
+    ``train_fraction`` of each *training* workload are used for
+    fitting; validation uses every run in full.
+    """
+    if not 0.0 < train_fraction <= 1.0:
+        raise ValueError("train_fraction must be in (0, 1]")
+    truncated = {}
+    for name in trainer.recipe.training_workloads:
+        try:
+            run = runs[name]
+        except KeyError:
+            raise ValueError(
+                f"holdout validation needs a run of {name!r}"
+            ) from None
+        keep = max(4, int(run.n_samples * train_fraction))
+        truncated[name] = MeasuredRun(
+            workload=run.workload,
+            counters=run.counters.slice(0, keep),
+            power=run.power.slice(0, keep),
+            seed=run.seed,
+            metadata=dict(run.metadata),
+        )
+    suite = trainer.train(truncated)
+    return validate_suite(suite, runs)
+
+
+def temporal_cross_validation(
+    trainer,
+    runs: "dict[str, MeasuredRun]",
+    n_folds: int = 4,
+) -> "list[ValidationReport]":
+    """K-fold over time: train with one time-slice of each training run
+    held out, validate on everything.
+
+    The spread across folds measures how sensitive the recipe is to
+    *which* part of the staggered trace it saw — low spread means the
+    training protocol (high utilisation + variation) is doing its job.
+    """
+    if n_folds < 2:
+        raise ValueError("need at least two folds")
+    reports = []
+    for fold in range(n_folds):
+        reduced = {}
+        for name in trainer.recipe.training_workloads:
+            run = runs[name]
+            n = run.n_samples
+            lo = fold * n // n_folds
+            hi = (fold + 1) * n // n_folds
+            keep = [i for i in range(n) if not lo <= i < hi]
+            if len(keep) < 4:
+                raise ValueError("runs too short for the requested folds")
+            idx = np.asarray(keep)
+            reduced[name] = MeasuredRun(
+                workload=run.workload,
+                counters=CounterTrace(
+                    timestamps=run.counters.timestamps[idx],
+                    durations=run.counters.durations[idx],
+                    counts={e: a[idx] for e, a in run.counters.counts.items()},
+                ),
+                power=PowerTrace(
+                    timestamps=run.power.timestamps[idx],
+                    watts={s: a[idx] for s, a in run.power.watts.items()},
+                ),
+                seed=run.seed,
+                metadata=dict(run.metadata),
+            )
+        reports.append(validate_suite(trainer.train(reduced), runs))
+    return reports

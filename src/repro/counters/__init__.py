@@ -1,0 +1,12 @@
+"""Performance-counter infrastructure (perfctr-like).
+
+Per-CPU counter banks accumulate event counts; a 1 Hz sampler reads and
+clears them with realistic period jitter and emits the synchronisation
+pulse that lets the measurement side align power windows to counter
+windows (paper Section 3.1.2/3.1.3).
+"""
+
+from repro.counters.perfctr import CounterBank
+from repro.counters.sampler import CounterSampler
+
+__all__ = ["CounterBank", "CounterSampler"]

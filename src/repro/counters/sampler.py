@@ -1,0 +1,90 @@
+"""The 1 Hz counter sampling loop.
+
+The target system samples its own counters once per second; the actual
+period jitters by a few milliseconds because of cache effects and
+interrupt latency (which is why every model input is normalised per
+cycle).  At each sampling the target writes one byte to a serial port —
+the synchronisation pulse the DAQ records to align power data.  In the
+simulator both sides share a clock, so the pulse is an explicit window
+boundary handed to the measurement layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.events import Event
+from repro.core.traces import CounterTrace
+from repro.counters.perfctr import CounterBank
+from repro.simulator.config import MeasurementConfig
+
+
+class CounterSampler:
+    """Collects jittered 1 Hz windows of counter readings."""
+
+    def __init__(
+        self,
+        bank: CounterBank,
+        config: MeasurementConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.bank = bank
+        self.config = config
+        self._rng = rng
+        self._window_start_s = 0.0
+        self._next_deadline_s = self._jittered_deadline(0.0)
+        self._timestamps: list[float] = []
+        self._durations: list[float] = []
+        self._samples: list[dict[Event, np.ndarray]] = []
+
+    def _jittered_deadline(self, start_s: float) -> float:
+        jitter = float(self._rng.normal(0.0, self.config.sample_jitter_s))
+        period = max(self.config.sample_period_s + jitter, 1.0e-3)
+        return start_s + period
+
+    def disable(self) -> None:
+        """Stop sampling (an external agent owns the counters).
+
+        Used when a control loop reads the counter bank itself — two
+        readers of clear-on-read counters would steal each other's
+        counts.
+        """
+        self._next_deadline_s = float("inf")
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._samples)
+
+    def maybe_sample(self, now_s: float) -> float | None:
+        """Close the window if the deadline passed; return pulse time.
+
+        Called once per tick with the post-tick time.  Returns the
+        window-end timestamp (the sync pulse) when a sample was taken,
+        else None.
+        """
+        if now_s + 1.0e-12 < self._next_deadline_s:
+            return None
+        counts = self.bank.read_and_clear()
+        self._timestamps.append(now_s)
+        self._durations.append(now_s - self._window_start_s)
+        self._samples.append(counts)
+        self._window_start_s = now_s
+        self._next_deadline_s = self._jittered_deadline(now_s)
+        return now_s
+
+    def finish(self) -> CounterTrace:
+        """Assemble the collected windows into a CounterTrace."""
+        if not self._samples:
+            raise ValueError(
+                "no counter samples collected; run longer than one sample period"
+            )
+        events = self.bank.events
+        counts = {
+            event: np.vstack([sample[event] for sample in self._samples])
+            for event in events
+        }
+        return CounterTrace(
+            timestamps=np.asarray(self._timestamps),
+            durations=np.asarray(self._durations),
+            counts=counts,
+        )

@@ -1,0 +1,15 @@
+"""Power-measurement apparatus: sense resistors, DAQ, synchronisation.
+
+The paper measures each subsystem through a series sense resistor whose
+voltage drop a data-acquisition card in a second workstation samples at
+10 kHz; samples are averaged per one-second counter window, aligned via
+a serial-port synchronisation pulse.  This package simulates that
+apparatus, including per-domain gain error, slow drift and acquisition
+noise.
+"""
+
+from repro.measurement.sensors import PowerSensors
+from repro.measurement.daq import DataAcquisition
+from repro.measurement.sync import align_windows
+
+__all__ = ["PowerSensors", "DataAcquisition", "align_windows"]

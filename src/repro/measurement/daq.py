@@ -1,0 +1,80 @@
+"""Data-acquisition card: 10 kHz sampling averaged per counter window.
+
+The DAQ nominally takes ten thousand samples per second per channel and
+the offline tooling averages all samples between two synchronisation
+pulses.  The simulator integrates true power per tick (its ticks are
+coarser than 100 us), so the window average is exact up to acquisition
+noise; the noise of the averaged window is the per-sample noise
+attenuated by sqrt(samples per window), plus a small common-mode
+electrical residual that does not average out.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.events import Subsystem
+from repro.core.traces import PowerTrace
+from repro.measurement.sensors import PowerSensors
+from repro.simulator.config import MeasurementConfig
+
+#: Correlated electrical noise that survives window averaging (relative).
+_RESIDUAL_NOISE_REL = 0.0015
+
+
+class DataAcquisition:
+    """Per-window energy integration with acquisition noise."""
+
+    def __init__(
+        self,
+        sensors: PowerSensors,
+        config: MeasurementConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.sensors = sensors
+        self.config = config
+        self._rng = rng
+        self._window_energy = {s: 0.0 for s in sensors.subsystems}
+        self._window_start_s = 0.0
+        self._timestamps: list[float] = []
+        self._means: dict[Subsystem, list[float]] = {
+            s: [] for s in sensors.subsystems
+        }
+
+    def record_tick(
+        self, true_power_w: "dict[Subsystem, float]", now_s: float, dt_s: float
+    ) -> None:
+        """Integrate one tick of true power through the analog chain."""
+        for subsystem in self.sensors.subsystems:
+            reading = self.sensors.observe(
+                subsystem, true_power_w[subsystem], now_s
+            )
+            self._window_energy[subsystem] += reading * dt_s
+
+    def close_window(self, pulse_time_s: float) -> None:
+        """A sync pulse arrived: emit the averaged window."""
+        duration = pulse_time_s - self._window_start_s
+        if duration <= 0:
+            raise ValueError("sync pulses must advance in time")
+        samples_in_window = max(1.0, self.config.daq_rate_hz * duration)
+        averaged_noise_rel = self.config.daq_noise_rel / math.sqrt(samples_in_window)
+        for subsystem in self.sensors.subsystems:
+            mean = self._window_energy[subsystem] / duration
+            noise_rel = math.hypot(averaged_noise_rel, _RESIDUAL_NOISE_REL)
+            mean *= 1.0 + noise_rel * float(self._rng.standard_normal())
+            self._means[subsystem].append(mean)
+            self._window_energy[subsystem] = 0.0
+        self._timestamps.append(pulse_time_s)
+        self._window_start_s = pulse_time_s
+
+    def finish(self) -> PowerTrace:
+        if not self._timestamps:
+            raise ValueError("no measurement windows closed; missing sync pulses?")
+        return PowerTrace(
+            timestamps=np.asarray(self._timestamps),
+            watts={
+                s: np.asarray(values) for s, values in self._means.items()
+            },
+        )

@@ -1,0 +1,55 @@
+"""Sense-resistor front end.
+
+Each power domain is measured through a series resistor; because the
+supply voltage is regulated, the voltage drop is proportional to the
+subsystem's current and hence power.  Real resistors have tolerance
+(per-domain gain error, fixed for a run) and the analog chain drifts
+slowly with temperature.  Both imperfections are applied here, before
+the DAQ's per-sample noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.events import Subsystem
+from repro.simulator.config import MeasurementConfig
+
+
+class PowerSensors:
+    """Applies per-domain gain and drift to true power readings."""
+
+    #: Thermal drift period (seconds) — slow compared with any run.
+    _DRIFT_PERIOD_S = 900.0
+
+    def __init__(
+        self,
+        subsystems: "tuple[Subsystem, ...] | list[Subsystem]",
+        config: MeasurementConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.subsystems = tuple(subsystems)
+        self.config = config
+        self._gains = {
+            s: 1.0 + float(rng.normal(0.0, config.gain_error_rel))
+            for s in self.subsystems
+        }
+        self._drift_phase = {
+            s: float(rng.uniform(0.0, 2.0 * math.pi)) for s in self.subsystems
+        }
+
+    def gain(self, subsystem: Subsystem) -> float:
+        return self._gains[subsystem]
+
+    def observe(
+        self, subsystem: Subsystem, true_power_w: float, now_s: float
+    ) -> float:
+        """The analog-chain reading for one instant (pre-DAQ)."""
+        if true_power_w < 0:
+            raise ValueError("true power must be non-negative")
+        drift = 1.0 + self.config.drift_rel * math.sin(
+            2.0 * math.pi * now_s / self._DRIFT_PERIOD_S + self._drift_phase[subsystem]
+        )
+        return true_power_w * self._gains[subsystem] * drift

@@ -1,0 +1,57 @@
+"""Synchronisation of counter and power streams.
+
+On the real apparatus the two data sources run on different machines:
+the target sends a byte over a serial port at each counter sampling and
+the DAQ records the transmit line, so the offline tools can match power
+windows to counter windows by pulse signature.  In the simulator both
+streams are driven from one clock and share pulse times exactly, but
+offline data (saved runs, external traces) may still arrive misaligned,
+so the alignment utility is provided and used by the pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.traces import CounterTrace, PowerTrace, TraceError
+
+
+def align_windows(
+    counters: CounterTrace,
+    power: PowerTrace,
+    tolerance_s: float = 0.05,
+) -> "tuple[CounterTrace, PowerTrace]":
+    """Match counter windows to power windows by pulse timestamp.
+
+    Both traces are trimmed to the windows whose timestamps agree
+    within ``tolerance_s`` (pulse matching).  Raises
+    :class:`~repro.core.traces.TraceError` if fewer than two windows
+    align — that means the synchronisation signal was lost.
+    """
+    if tolerance_s <= 0:
+        raise ValueError("tolerance_s must be positive")
+    ct, pt = counters.timestamps, power.timestamps
+    matches: "list[tuple[int, int]]" = []
+    j = 0
+    for i, t in enumerate(ct):
+        while j < len(pt) and pt[j] < t - tolerance_s:
+            j += 1
+        if j < len(pt) and abs(pt[j] - t) <= tolerance_s:
+            matches.append((i, j))
+            j += 1
+    if len(matches) < 2:
+        raise TraceError(
+            "synchronisation failed: fewer than two counter/power windows align"
+        )
+    ci = np.asarray([m[0] for m in matches])
+    pi = np.asarray([m[1] for m in matches])
+    aligned_counters = CounterTrace(
+        timestamps=counters.timestamps[ci],
+        durations=counters.durations[ci],
+        counts={e: a[ci] for e, a in counters.counts.items()},
+    )
+    aligned_power = PowerTrace(
+        timestamps=power.timestamps[pi],
+        watts={s: a[pi] for s, a in power.watts.items()},
+    )
+    return aligned_counters, aligned_power

@@ -1,0 +1,26 @@
+"""Operating-system layer of the simulated server (Linux-like).
+
+Provides the behaviours the paper's models depend on: an SMP scheduler
+that halts idle processors (clock gating via HLT), the periodic timer
+interrupt, a page cache that decouples file I/O from disk activity
+(with ``sync()``), and ``/proc/interrupts``-style per-vector interrupt
+accounting used to attribute interrupts to the disk controller.
+"""
+
+from repro.osim.process import SimThread, ThreadState
+from repro.osim.scheduler import Scheduler, PackageLoad
+from repro.osim.pagecache import PageCache, DiskRequest
+from repro.osim.timer import TimerSource
+from repro.osim.procfs import InterruptAccounting, Vector
+
+__all__ = [
+    "SimThread",
+    "ThreadState",
+    "Scheduler",
+    "PackageLoad",
+    "PageCache",
+    "DiskRequest",
+    "TimerSource",
+    "InterruptAccounting",
+    "Vector",
+]

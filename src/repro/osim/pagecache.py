@@ -1,0 +1,112 @@
+"""OS page cache: the structure that decouples file I/O from the disk.
+
+File writes dirty pages in main memory; the disk only sees traffic when
+background writeback kicks in (dirty ratio thresholds) or when a thread
+calls ``sync()``.  File reads hit the cache with a workload-dependent
+ratio.  This decoupling is why the paper found disk power so hard to
+model from CPU-local events and fell back to disk-controller
+interrupts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.config import OsConfig
+
+
+@dataclass
+class DiskRequest:
+    """Bytes the OS submits to the disk subsystem this tick.
+
+    Reads are demand reads (cache misses) and are random-access; writes
+    come from writeback, which the elevator clusters into large,
+    mostly-sequential requests (both for ``sync()`` flushes and
+    background writeback).
+    """
+
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+    write_sequential: bool = True
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+
+class PageCache:
+    """Dirty-page tracking with background and forced writeback."""
+
+    def __init__(self, config: OsConfig) -> None:
+        self.config = config
+        self.dirty_bytes = 0.0
+        self._sync_pending_bytes = 0.0
+        self.total_synced_bytes = 0.0
+
+    @property
+    def dirty_fraction(self) -> float:
+        return self.dirty_bytes / self.config.page_cache_bytes
+
+    @property
+    def sync_in_progress(self) -> bool:
+        return self._sync_pending_bytes > 0.0
+
+    def request_sync(self) -> None:
+        """A thread called ``sync()``: flush everything dirty."""
+        self._sync_pending_bytes = self.dirty_bytes
+
+    def tick(
+        self,
+        write_bps: float,
+        read_bps: float,
+        read_hit_ratio: float,
+        dt_s: float,
+        disk_write_capacity_bps: float,
+    ) -> DiskRequest:
+        """Absorb thread file I/O; emit the disk traffic for this tick.
+
+        Args:
+            write_bps: file-write bytes/s issued by all threads.
+            read_bps: file-read bytes/s issued by all threads.
+            read_hit_ratio: fraction of reads served from the cache.
+            dt_s: tick length.
+            disk_write_capacity_bps: how fast the disk can absorb
+                writeback right now (limits sync drain rate).
+        """
+        self.dirty_bytes += write_bps * dt_s
+
+        request = DiskRequest()
+        request.read_bytes = read_bps * dt_s * (1.0 - read_hit_ratio)
+
+        # Forced (sync) writeback drains at disk speed.
+        if self._sync_pending_bytes > 0.0:
+            drained = min(
+                self._sync_pending_bytes,
+                self.dirty_bytes,
+                disk_write_capacity_bps * dt_s,
+            )
+            request.write_bytes += drained
+            self._sync_pending_bytes -= drained
+            self.dirty_bytes -= drained
+            self.total_synced_bytes += drained
+            if self.dirty_bytes <= 0.0:
+                self._sync_pending_bytes = 0.0
+        elif self.dirty_fraction > self.config.dirty_background_ratio:
+            # Background writeback: gentle unless dirty_ratio is hit.
+            urgency = min(
+                1.0,
+                (self.dirty_fraction - self.config.dirty_background_ratio)
+                / max(
+                    1e-9,
+                    self.config.dirty_ratio - self.config.dirty_background_ratio,
+                ),
+            )
+            drained = min(
+                self.dirty_bytes,
+                disk_write_capacity_bps * dt_s * (0.15 + 0.85 * urgency),
+            )
+            request.write_bytes += drained
+            self.dirty_bytes -= drained
+
+        self.dirty_bytes = max(0.0, self.dirty_bytes)
+        return request

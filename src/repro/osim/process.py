@@ -1,0 +1,110 @@
+"""Workload threads as the OS sees them.
+
+A :class:`SimThread` tracks where a thread is in its phase plan and
+applies the workload's within-phase Ornstein-Uhlenbeck modulation so
+that rates vary realistically from sample to sample (the paper needs
+this variation to train regressions over a wide utilisation range).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.base import PhaseBehavior, ThreadPlan
+
+
+class ThreadState(enum.Enum):
+    NOT_STARTED = "not_started"
+    RUNNABLE = "runnable"
+    FINISHED = "finished"
+
+
+#: Time constant of the OU rate modulation (seconds).
+_OU_TAU_S = 8.0
+
+
+@dataclass
+class ThreadActivity:
+    """The behaviour a thread presents to the hardware this tick."""
+
+    #: Owning thread (for per-process accounting).
+    thread_id: int
+    behavior: PhaseBehavior
+    #: Multiplier applied to CPU/memory rates this tick (OU modulation).
+    modulation: float
+    #: Fraction of the tick the thread is runnable (1 - blocking).
+    occupancy: float
+    #: True when the thread crosses into a sync phase this tick.
+    sync_requested: bool
+    phase_name: str
+
+
+class SimThread:
+    """Runtime state of one workload thread."""
+
+    def __init__(
+        self,
+        thread_id: int,
+        plan: ThreadPlan,
+        variability: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self.thread_id = thread_id
+        self.plan = plan
+        self.variability = variability
+        self._rng = rng
+        self._runtime_s = 0.0
+        self._ou = 0.0
+        self._last_phase_name: str | None = None
+
+    def state(self, now_s: float) -> ThreadState:
+        if now_s < self.plan.start_time_s:
+            return ThreadState.NOT_STARTED
+        if not self.plan.loop and self._runtime_s >= self.plan.cycle_duration_s:
+            return ThreadState.FINISHED
+        return ThreadState.RUNNABLE
+
+    @property
+    def runtime_s(self) -> float:
+        """Accumulated runnable time of this thread."""
+        return self._runtime_s
+
+    def tick(self, now_s: float, dt_s: float) -> ThreadActivity | None:
+        """Advance the thread by one tick; None if not running.
+
+        The OU process modulates CPU and memory rates multiplicatively
+        around 1.0 with relative amplitude ``variability``; it evolves
+        only while the thread runs, so staggered threads stay
+        decorrelated.
+        """
+        if self.state(now_s) is not ThreadState.RUNNABLE:
+            return None
+        phase = self.plan.phase_at(self._runtime_s)
+        if phase is None:
+            return None
+
+        sync_requested = bool(
+            phase.behavior.sync_file and phase.name != self._last_phase_name
+        )
+        self._last_phase_name = phase.name
+
+        # Ornstein-Uhlenbeck step: mean-reverting to 0, stationary std 1.
+        alpha = math.exp(-dt_s / _OU_TAU_S)
+        noise_scale = math.sqrt(max(0.0, 1.0 - alpha * alpha))
+        self._ou = alpha * self._ou + noise_scale * self._rng.standard_normal()
+        modulation = max(0.1, 1.0 + self.variability * self._ou)
+
+        occupancy = 1.0 - phase.behavior.blocking_fraction
+        self._runtime_s += dt_s
+        return ThreadActivity(
+            thread_id=self.thread_id,
+            behavior=phase.behavior,
+            modulation=modulation,
+            occupancy=occupancy,
+            sync_requested=sync_requested,
+            phase_name=phase.name,
+        )

@@ -1,0 +1,102 @@
+"""SMP scheduler with sticky affinity and idle clock gating.
+
+Threads are placed on hardware contexts (package, SMT slot) with sticky
+affinity, filling one context per package before doubling up — the
+policy Linux's O(1) scheduler approximates for CPU-bound threads and
+the reason the paper's staggered workloads light packages up one at a
+time.  A package whose contexts are all idle executes HLT and its clock
+is gated (9.25 W instead of 35.7 W on the target machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.osim.process import SimThread, ThreadActivity
+
+
+@dataclass
+class PackageLoad:
+    """Threads running on one package during a tick."""
+
+    package_id: int
+    activities: list[ThreadActivity] = field(default_factory=list)
+
+    @property
+    def n_running(self) -> int:
+        return len(self.activities)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the tick this package is not halted.
+
+        With at least one runnable thread the package clock runs for the
+        union of the threads' runnable fractions (approximated by the
+        max; contexts overlap in time under round-robin scheduling).
+        """
+        if not self.activities:
+            return 0.0
+        return max(a.occupancy for a in self.activities)
+
+
+class Scheduler:
+    """Sticky-affinity SMP scheduler over ``n_packages`` x ``smt`` slots."""
+
+    def __init__(self, n_packages: int, smt_contexts: int) -> None:
+        if n_packages < 1 or smt_contexts < 1:
+            raise ValueError("need at least one package and one context")
+        self.n_packages = n_packages
+        self.smt_contexts = smt_contexts
+        #: thread_id -> package_id affinity, assigned on first run.
+        self._affinity: dict[int, int] = {}
+        #: package_id -> number of threads bound to it.
+        self._bound: list[int] = [0] * n_packages
+        self.context_switches = 0
+
+    def _place(self, thread_id: int) -> int:
+        """Bind a new thread to the least-loaded package (breadth first)."""
+        package = min(range(self.n_packages), key=lambda p: (self._bound[p], p))
+        self._affinity[thread_id] = package
+        self._bound[package] += 1
+        self.context_switches += 1
+        return package
+
+    def tick(
+        self, threads: list[SimThread], now_s: float, dt_s: float
+    ) -> list[PackageLoad]:
+        """Advance all threads one tick and group activity by package.
+
+        Threads beyond the machine's context count time-share: each
+        package runs at most ``smt_contexts`` threads per tick and the
+        overflow rotates (handled by capping activities per package and
+        scaling occupancy — rare in the paper's workloads, which use at
+        most eight threads on eight contexts).
+        """
+        loads = [PackageLoad(package_id=p) for p in range(self.n_packages)]
+        for thread in threads:
+            activity = thread.tick(now_s, dt_s)
+            if activity is None:
+                continue
+            package = self._affinity.get(thread.thread_id)
+            if package is None:
+                package = self._place(thread.thread_id)
+            loads[package].activities.append(activity)
+
+        # Time-share overflow: more threads than contexts on a package.
+        for load in loads:
+            excess = load.n_running - self.smt_contexts
+            if excess > 0:
+                share = self.smt_contexts / load.n_running
+                load.activities = [
+                    ThreadActivity(
+                        thread_id=a.thread_id,
+                        behavior=a.behavior,
+                        modulation=a.modulation,
+                        occupancy=a.occupancy * share,
+                        sync_requested=a.sync_requested,
+                        phase_name=a.phase_name,
+                    )
+                    for a in load.activities
+                ]
+                self.context_switches += excess
+        return loads

@@ -1,0 +1,34 @@
+"""Behavioural full-system simulator substrate.
+
+This package stands in for the physical 4-way Pentium 4 Xeon server used
+by Bircher & John (ISPASS 2007).  It is an *event-rate* simulator: each
+tick (default 1 ms of simulated time) converts stochastic workload
+activity into performance-event counts and per-subsystem energy.  Ground
+truth power is computed from subsystem-local state (DRAM bank activity,
+disk modes, I/O bytes switched) that the trickle-down models cannot
+observe, so the paper's model-error structure emerges rather than being
+hard-coded.
+"""
+
+from repro.simulator.config import (
+    ChipsetConfig,
+    CpuConfig,
+    DiskConfig,
+    DramConfig,
+    IoConfig,
+    MeasurementConfig,
+    SystemConfig,
+)
+from repro.simulator.system import Server, simulate_workload
+
+__all__ = [
+    "ChipsetConfig",
+    "CpuConfig",
+    "DiskConfig",
+    "DramConfig",
+    "IoConfig",
+    "MeasurementConfig",
+    "SystemConfig",
+    "Server",
+    "simulate_workload",
+]

@@ -1,0 +1,146 @@
+"""Cache-hierarchy traffic generation for one processor package.
+
+Converts executed uops into the off-chip traffic the front-side bus and
+DRAM see: demand load misses, dirty writebacks, page walks and hardware
+prefetches.  Only the L3 boundary matters for trickle-down modeling (L1
+and L2 activity stays on-package and is folded into CPU power), so the
+hierarchy is modelled at that boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.config import CacheConfig
+from repro.workloads.base import PhaseBehavior
+
+
+@dataclass
+class MemoryTraffic:
+    """Off-package traffic produced by one package during a tick.
+
+    All values are transaction counts (cache-line granularity) except
+    where noted.  ``streamability`` carries the traffic's row-buffer
+    locality forward to the DRAM model.
+    """
+
+    demand_load_misses: float = 0.0
+    writebacks: float = 0.0
+    pagewalk_reads: float = 0.0
+    prefetch_requests: float = 0.0
+    uncacheable_accesses: float = 0.0
+    tlb_misses: float = 0.0
+    streamability: float = 0.5
+
+    @property
+    def demand_transactions(self) -> float:
+        """Transactions that cannot be dropped under congestion."""
+        return (
+            self.demand_load_misses
+            + self.writebacks
+            + self.pagewalk_reads
+            + self.uncacheable_accesses
+        )
+
+    def scaled(self, demand_ratio: float, prefetch_ratio: float) -> "MemoryTraffic":
+        """Traffic after bus arbitration granted the given ratios."""
+        return MemoryTraffic(
+            demand_load_misses=self.demand_load_misses * demand_ratio,
+            writebacks=self.writebacks * demand_ratio,
+            pagewalk_reads=self.pagewalk_reads * demand_ratio,
+            prefetch_requests=self.prefetch_requests * prefetch_ratio,
+            uncacheable_accesses=self.uncacheable_accesses * demand_ratio,
+            tlb_misses=self.tlb_misses,
+            streamability=self.streamability,
+        )
+
+
+class CacheHierarchy:
+    """Stateless traffic generator for one package.
+
+    The prefetcher follows detected streams: its useful issue rate
+    scales with the workload's ``streamability``, and it ramps up under
+    memory pressure — when misses queue at the bus, the stream detector
+    sees more outstanding references and launches deeper prefetches.
+    The ramp is what decouples bus transactions from demand load misses
+    at high thread counts (the paper's Figure 4: prefetch traffic grows
+    right where the L3-miss memory model starts failing on mcf).
+    Dropping prefetches on a *saturated* bus is the bus's decision and
+    happens in :mod:`repro.simulator.membus`.
+    """
+
+    #: Prefetch ramp per unit of latency inflation, and its cap.
+    _PREFETCH_RAMP = 2.6
+    _PREFETCH_RAMP_MAX = 5.0
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+
+    def prefetch_ramp(self, latency_ratio: float) -> float:
+        """Aggressiveness multiplier given current latency inflation."""
+        if latency_ratio < 1.0:
+            raise ValueError("latency_ratio is relative to base latency (>= 1)")
+        return min(
+            self._PREFETCH_RAMP_MAX,
+            1.0 + self._PREFETCH_RAMP * (latency_ratio - 1.0),
+        )
+
+    def traffic_for(
+        self,
+        behavior: PhaseBehavior,
+        executed_uops: float,
+        modulation: float,
+        occupancy: float,
+        latency_ratio: float,
+        dt_s: float,
+        sharing_threads: int = 1,
+    ) -> MemoryTraffic:
+        """Traffic for one thread's execution slice this tick.
+
+        ``sharing_threads`` is how many threads occupy the package's
+        cache; footprint pressure converts sharing into extra dirty
+        writebacks (early evictions).
+        """
+        kuops = executed_uops / 1000.0
+        load_misses = kuops * behavior.l3_load_misses_per_kuop * modulation
+        tlb_misses = kuops * behavior.tlb_misses_per_kuop * modulation
+        prefetches = (
+            load_misses
+            * self.config.prefetch_per_miss
+            * behavior.streamability
+            * self.prefetch_ramp(latency_ratio)
+        )
+        writeback_ratio = behavior.writeback_ratio * (
+            1.0 + behavior.cache_pressure * max(0, sharing_threads - 1)
+        )
+        return MemoryTraffic(
+            demand_load_misses=load_misses,
+            writebacks=load_misses * writeback_ratio,
+            pagewalk_reads=tlb_misses * self.config.pagewalk_reads_per_tlb_miss,
+            prefetch_requests=prefetches,
+            uncacheable_accesses=behavior.uncacheable_per_s * dt_s * occupancy,
+            tlb_misses=tlb_misses,
+            streamability=behavior.streamability,
+        )
+
+
+def merge_traffic(parts: "list[MemoryTraffic]") -> MemoryTraffic:
+    """Combine per-thread traffic into package traffic.
+
+    Streamability is averaged weighted by each part's DRAM-visible
+    transactions so the DRAM locality model sees the blended pattern.
+    """
+    total = MemoryTraffic(streamability=0.0)
+    weight = 0.0
+    for part in parts:
+        total.demand_load_misses += part.demand_load_misses
+        total.writebacks += part.writebacks
+        total.pagewalk_reads += part.pagewalk_reads
+        total.prefetch_requests += part.prefetch_requests
+        total.uncacheable_accesses += part.uncacheable_accesses
+        total.tlb_misses += part.tlb_misses
+        part_weight = part.demand_transactions + part.prefetch_requests
+        total.streamability += part.streamability * part_weight
+        weight += part_weight
+    total.streamability = total.streamability / weight if weight > 0 else 0.5
+    return total

@@ -1,0 +1,83 @@
+"""Chipset power domain — near-constant, and not cleanly measurable.
+
+The paper's chipset domain spans several supply rails with a
+non-deterministic relationship, so the authors could not derive its
+power deterministically and settled on a constant 19.9 W model, eating
+0.5-13 % error depending on workload (their Tables 3/4) while the
+within-run standard deviation stayed below ~0.33 W (their Table 2).
+
+We reproduce that structure: true chipset power varies mildly with FSB
+utilisation and uncacheable traffic, and the *derived measurement*
+carries a per-run offset that wanders slowly (Ornstein-Uhlenbeck around
+a per-run mean drawn from the derivation-offset range).  Different
+workload runs therefore "measure" systematically different chipset
+levels, exactly the failure mode that makes the constant model err.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.simulator.config import ChipsetConfig
+
+
+class ChipsetSubsystem:
+    """Chipset power with the multi-domain derivation artefact."""
+
+    #: Time constant of the derivation-offset wander (seconds).
+    _DRIFT_TAU_S = 120.0
+    #: Std dev of the wander around the per-run mean (Watts).
+    _DRIFT_STD_W = 0.12
+
+    def __init__(self, config: ChipsetConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+        # Per-run derivation offset mean: skewed low (most workloads
+        # measure below nominal, idle measures at nominal).
+        low = -config.derivation_offset_range_w
+        high = config.derivation_offset_range_w / 4.0
+        self._offset_mean = float(rng.uniform(low, high))
+        self._offset = self._offset_mean
+
+    @property
+    def derivation_offset_mean_w(self) -> float:
+        return self._offset_mean
+
+    def tick(
+        self,
+        bus_utilization: float,
+        uncacheable_rate: float,
+        system_activity: float,
+        dt_s: float,
+    ) -> float:
+        """Derived chipset power reading for one tick (Watts).
+
+        Args:
+            bus_utilization: FSB utilisation in [0, 1].
+            uncacheable_rate: uncacheable accesses per second.
+            system_activity: overall non-halted CPU fraction in [0, 1];
+                the derivation artefact only appears once the domains
+                carry load (an idle machine derives cleanly, which is
+                why the paper's constant matches idle exactly).
+            dt_s: tick length.
+        """
+        if not 0.0 <= bus_utilization <= 1.0:
+            raise ValueError("bus_utilization must be in [0, 1]")
+        if not 0.0 <= system_activity <= 1.0:
+            raise ValueError("system_activity must be in [0, 1]")
+        alpha = math.exp(-dt_s / self._DRIFT_TAU_S)
+        noise = math.sqrt(max(0.0, 1.0 - alpha * alpha)) * self._DRIFT_STD_W
+        self._offset = (
+            self._offset_mean
+            + alpha * (self._offset - self._offset_mean)
+            + noise * float(self._rng.standard_normal())
+        )
+        # Smoothstep: the offset fades in as the machine leaves idle.
+        gate = system_activity * system_activity * (3.0 - 2.0 * system_activity)
+        dynamic = (
+            self.config.bus_sensitivity_w * bus_utilization
+            + self.config.io_sensitivity_w * min(1.0, uncacheable_rate / 2.0e5)
+        )
+        return self.config.nominal_power_w + dynamic * 0.35 + self._offset * gate

@@ -1,0 +1,274 @@
+"""One Pentium 4 Xeon-like processor package.
+
+Event-rate core model: per tick, each scheduled thread's behaviour is
+converted into executed/fetched uops via a CPI model whose stall
+component grows with the current memory latency (the bus feeds
+congestion back here), and into off-chip traffic via the cache
+hierarchy.  Ground-truth package power includes two components the
+fetch-based trickle-down model cannot see:
+
+* speculative window-search activity (mcf fetches one uop every ~10
+  cycles yet burns power scanning for ready instructions), and
+* a floating-point uop premium.
+
+Clock gating: a package with no runnable thread executes HLT and drops
+to ``halted_power_w``; the timer interrupt briefly wakes it, which is
+why idle measured power sits slightly above 4 x 9.25 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.osim.scheduler import PackageLoad
+from repro.simulator.cache import CacheHierarchy, MemoryTraffic, merge_traffic
+from repro.simulator.config import CacheConfig, CpuConfig
+
+
+@dataclass(frozen=True)
+class ThreadTickStat:
+    """One thread's share of a package tick (for process accounting)."""
+
+    thread_id: int
+    runtime_s: float
+    executed_uops: float
+    fetched_uops: float
+    bus_demand_tx: float
+
+
+@dataclass
+class PackageTick:
+    """Everything one package did and consumed during a tick."""
+
+    cycles: float
+    halted_cycles: float
+    fetched_uops: float
+    executed_uops: float
+    fp_uops: float
+    #: Window-search activity in equivalent uops (power-only).
+    speculation_uops: float
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+    #: File I/O issued by threads on this package (bytes this tick).
+    file_read_bytes: float = 0.0
+    file_write_bytes: float = 0.0
+    read_hit_ratio: float = 1.0
+    sync_requested: bool = False
+    #: Network traffic requested by threads on this package (bytes/s).
+    net_rx_bps: float = 0.0
+    net_tx_bps: float = 0.0
+    thread_stats: "tuple[ThreadTickStat, ...]" = ()
+    power_w: float = 0.0
+
+
+class CpuPackage:
+    """A physical processor package with SMT contexts.
+
+    Supports per-package DVFS (an extension beyond the paper's
+    fixed-frequency machine): ``set_pstate`` selects an operating point
+    from the config's ladder; cycle counts, throughput and power all
+    follow the new frequency/voltage.
+    """
+
+    def __init__(self, package_id: int, cpu: CpuConfig, cache: CacheConfig) -> None:
+        self.package_id = package_id
+        self.config = cpu
+        self.cache = CacheHierarchy(cache)
+        self._pstate_index = 0
+
+    @property
+    def pstate_index(self) -> int:
+        return self._pstate_index
+
+    def set_pstate(self, index: int) -> None:
+        """Switch the package to DVFS state ``index`` (0 = nominal)."""
+        if not 0 <= index < len(self.config.dvfs_states):
+            raise ValueError(
+                f"pstate {index} out of range; package has "
+                f"{len(self.config.dvfs_states)} states"
+            )
+        self._pstate_index = index
+
+    @property
+    def pstate(self):
+        return self.config.dvfs_states[self._pstate_index]
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.pstate.frequency_hz
+
+    @property
+    def _power_scale(self) -> float:
+        """V^2 * f scaling of dynamic power relative to nominal."""
+        nominal = self.config.dvfs_states[0].frequency_hz
+        state = self.pstate
+        return state.voltage_scale**2 * (state.frequency_hz / nominal)
+
+    def tick(
+        self,
+        load: PackageLoad,
+        smt_yield: float,
+        mem_latency_cycles: float,
+        base_latency_cycles: float,
+        interrupts: float,
+        dt_s: float,
+    ) -> PackageTick:
+        """Run the package for one tick.
+
+        Args:
+            load: threads scheduled here (from the OS scheduler).
+            smt_yield: workload's per-thread throughput multiplier when
+                contexts are shared.
+            mem_latency_cycles: effective memory latency this tick
+                (base latency inflated by bus congestion).
+            base_latency_cycles: unloaded memory latency (for the
+                prefetcher's pressure estimate).
+            interrupts: interrupts serviced by this package this tick.
+            dt_s: tick length in seconds.
+        """
+        cycles = self.frequency_hz * dt_s
+        latency_ratio = max(1.0, mem_latency_cycles / base_latency_cycles)
+        interrupt_busy = min(
+            0.5, interrupts * self.config.interrupt_service_cycles / cycles
+        )
+
+        if not load.activities:
+            occupancy = interrupt_busy
+            return self._finish_idle_tick(cycles, occupancy)
+
+        n_running = load.n_running
+        smt_scale = 1.0 if n_running <= 1 else smt_yield * 2.0 / n_running
+
+        fetched = 0.0
+        executed = 0.0
+        fp_uops = 0.0
+        speculation = 0.0
+        traffic_parts = []
+        file_read = 0.0
+        file_write = 0.0
+        net_rx = 0.0
+        net_tx = 0.0
+        hit_ratio_weighted = 0.0
+        sync_requested = False
+        thread_stats = []
+
+        for activity in load.activities:
+            behavior = activity.behavior
+            target_upc = min(
+                behavior.uops_per_cycle * activity.modulation,
+                self.config.max_uops_per_cycle,
+            )
+            cpi_base = 1.0 / max(target_upc, 1.0e-6)
+            misses_per_uop = (
+                behavior.l3_load_misses_per_kuop
+                + self.cache.config.pagewalk_reads_per_tlb_miss
+                * behavior.tlb_misses_per_kuop
+            ) / 1000.0
+            stall_per_uop = (
+                behavior.memory_sensitivity * misses_per_uop * mem_latency_cycles
+            )
+            thread_cycles = cycles * activity.occupancy
+            # CPI is the thread's solo behaviour; SMT contention scales
+            # the achieved throughput so that two threads at yield y
+            # deliver 2y of one thread's rate.
+            thread_executed = smt_scale * thread_cycles / (cpi_base + stall_per_uop)
+            thread_fetched = thread_executed * (1.0 + behavior.wrongpath_fraction)
+
+            executed += thread_executed
+            fetched += thread_fetched
+            fp_uops += thread_executed * behavior.fp_fraction
+            speculation += (
+                behavior.speculation_factor * thread_cycles * activity.modulation
+            )
+            traffic_parts.append(
+                self.cache.traffic_for(
+                    behavior,
+                    thread_executed,
+                    activity.modulation,
+                    activity.occupancy,
+                    latency_ratio,
+                    dt_s,
+                    sharing_threads=n_running,
+                )
+            )
+            traffic = traffic_parts[-1]
+            thread_stats.append(
+                ThreadTickStat(
+                    thread_id=activity.thread_id,
+                    runtime_s=dt_s * activity.occupancy,
+                    executed_uops=thread_executed,
+                    fetched_uops=thread_fetched,
+                    bus_demand_tx=traffic.demand_transactions
+                    + traffic.prefetch_requests,
+                )
+            )
+            file_read += behavior.disk_read_bps * dt_s
+            file_write += behavior.disk_write_bps * dt_s
+            net_rx += behavior.net_rx_bps
+            net_tx += behavior.net_tx_bps
+            hit_ratio_weighted += (
+                behavior.page_cache_hit_ratio * behavior.disk_read_bps * dt_s
+            )
+            sync_requested = sync_requested or activity.sync_requested
+
+        occupancy = min(1.0, load.occupancy + interrupt_busy)
+        halted_cycles = cycles * (1.0 - occupancy)
+        read_hit_ratio = hit_ratio_weighted / file_read if file_read > 0 else 1.0
+
+        return PackageTick(
+            cycles=cycles,
+            halted_cycles=halted_cycles,
+            fetched_uops=fetched,
+            executed_uops=executed,
+            fp_uops=fp_uops,
+            speculation_uops=speculation,
+            traffic=merge_traffic(traffic_parts),
+            file_read_bytes=file_read,
+            file_write_bytes=file_write,
+            read_hit_ratio=read_hit_ratio,
+            sync_requested=sync_requested,
+            net_rx_bps=net_rx,
+            net_tx_bps=net_tx,
+            thread_stats=tuple(thread_stats),
+        )
+
+    def _finish_idle_tick(self, cycles: float, occupancy: float) -> PackageTick:
+        """A package with nothing to run: halted except interrupt wakes."""
+        return PackageTick(
+            cycles=cycles,
+            halted_cycles=cycles * (1.0 - occupancy),
+            fetched_uops=cycles * occupancy * 0.4,  # interrupt-handler uops
+            executed_uops=cycles * occupancy * 0.35,
+            fp_uops=0.0,
+            speculation_uops=0.0,
+        )
+
+    def power(self, tick: PackageTick) -> float:
+        """Ground-truth package power for a finished tick (Watts)."""
+        cfg = self.config
+        occupancy = 1.0 - tick.halted_cycles / tick.cycles
+        fetched_upc = tick.fetched_uops / tick.cycles
+        executed_upc = tick.executed_uops / tick.cycles
+        spec_upc = tick.speculation_uops / tick.cycles
+        fp_share = tick.fp_uops / tick.executed_uops if tick.executed_uops > 0 else 0.0
+        # A stalled-but-active package burns less than the full
+        # active-idle delta: clocks run, execution units quiesce.
+        issue_intensity = min(1.0, executed_upc / max(occupancy, 1.0e-9))
+        active_scale = cfg.stall_power_fraction + (
+            1.0 - cfg.stall_power_fraction
+        ) * issue_intensity
+        dynamic = (
+            cfg.uop_power_w * fetched_upc * (1.0 + cfg.fp_power_premium * fp_share)
+            + cfg.speculation_power_w * spec_upc
+        )
+        # DVFS: dynamic and active-baseline power scale with V^2*f;
+        # gated power scales with V^2 (leakage under the lower rail).
+        scale = self._power_scale
+        voltage_sq = self.pstate.voltage_scale**2
+        return (
+            cfg.halted_power_w * voltage_sq
+            + (cfg.active_idle_power_w - cfg.halted_power_w)
+            * occupancy
+            * active_scale
+            * scale
+            + dynamic * scale
+        )

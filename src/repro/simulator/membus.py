@@ -1,0 +1,99 @@
+"""The shared front-side bus (FSB).
+
+All processor packages share one bus to the northbridge.  Demand
+traffic (misses, writebacks, page walks, uncacheable accesses, DMA
+coherency snoops) is granted first; hardware prefetches use leftover
+bandwidth and are throttled under congestion.  Utilisation feeds an
+M/M/1-style latency inflation back to the cores, which is what makes
+memory-bound workloads saturate at high thread counts (the paper's mcf
+behaviour).
+
+Counter semantics mirror the Pentium 4's limitations: every package
+snoops the shared bus, so the per-CPU ``DMA/Other`` event counts *all*
+transactions that did not originate in that package — DMA and
+other-processor coherence traffic are indistinguishable (paper
+Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.cache import MemoryTraffic
+from repro.simulator.config import BusConfig
+
+
+@dataclass
+class BusTick:
+    """Outcome of one tick of bus arbitration."""
+
+    #: Ratio of demand transactions granted (1.0 unless saturated).
+    demand_ratio: float
+    #: Ratio of prefetch transactions granted (throttled first).
+    prefetch_ratio: float
+    #: Total granted transactions on the bus this tick.
+    granted_transactions: float
+    #: Granted DMA snoop transactions.
+    granted_dma_snoops: float
+    #: Bus utilisation in [0, 1].
+    utilization: float
+    #: Effective memory latency for the *next* tick (cycles).
+    latency_cycles: float
+
+
+class FrontSideBus:
+    """Shared-bus arbitration with congestion-based latency feedback."""
+
+    def __init__(self, config: BusConfig) -> None:
+        self.config = config
+        self._latency_cycles = config.base_latency_cycles
+
+    @property
+    def latency_cycles(self) -> float:
+        """Latency the cores should assume this tick."""
+        return self._latency_cycles
+
+    def tick(
+        self,
+        package_traffic: "list[MemoryTraffic]",
+        dma_snoops: float,
+        dt_s: float,
+    ) -> BusTick:
+        """Arbitrate one tick of traffic.
+
+        Args:
+            package_traffic: per-package CPU-side traffic demands.
+            dma_snoops: coherency snoop transactions for DMA performed
+                by the memory controller on behalf of I/O devices.
+            dt_s: tick length.
+        """
+        if dma_snoops < 0:
+            raise ValueError("dma_snoops must be non-negative")
+        capacity = self.config.capacity_tx_per_s * dt_s
+        demand = sum(t.demand_transactions for t in package_traffic) + dma_snoops
+        prefetch = sum(t.prefetch_requests for t in package_traffic)
+
+        if demand >= capacity:
+            demand_ratio = capacity / demand if demand > 0 else 1.0
+            prefetch_ratio = 0.0
+        else:
+            demand_ratio = 1.0
+            headroom = capacity - demand
+            prefetch_ratio = min(1.0, headroom / prefetch) if prefetch > 0 else 1.0
+
+        granted = demand * demand_ratio + prefetch * prefetch_ratio
+        utilization = min(1.0, granted / capacity) if capacity > 0 else 1.0
+
+        # Latency for the next tick: queueing inflation, clamped so a
+        # fully saturated bus costs ~8x the unloaded latency.
+        effective = min(utilization * self.config.congestion_factor, 0.875)
+        self._latency_cycles = self.config.base_latency_cycles / (1.0 - effective)
+
+        return BusTick(
+            demand_ratio=demand_ratio,
+            prefetch_ratio=prefetch_ratio,
+            granted_transactions=granted,
+            granted_dma_snoops=dma_snoops * demand_ratio,
+            utilization=utilization,
+            latency_cycles=self._latency_cycles,
+        )

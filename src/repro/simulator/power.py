@@ -1,0 +1,80 @@
+"""Per-tick power plumbing shared by the system loop.
+
+Collects the five ground-truth subsystem powers for a tick and keeps a
+running energy account so experiments can ask for true averages without
+going through the (noisy) measurement apparatus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import Subsystem
+
+
+@dataclass
+class PowerBreakdown:
+    """True power of each subsystem during one tick (Watts)."""
+
+    cpu_w: float
+    chipset_w: float
+    memory_w: float
+    io_w: float
+    disk_w: float
+
+    def as_dict(self) -> "dict[Subsystem, float]":
+        return {
+            Subsystem.CPU: self.cpu_w,
+            Subsystem.CHIPSET: self.chipset_w,
+            Subsystem.MEMORY: self.memory_w,
+            Subsystem.IO: self.io_w,
+            Subsystem.DISK: self.disk_w,
+        }
+
+    @property
+    def total_w(self) -> float:
+        return self.cpu_w + self.chipset_w + self.memory_w + self.io_w + self.disk_w
+
+
+@dataclass
+class ProcessStats:
+    """Cumulative per-thread activity (for process-level billing).
+
+    The OS maintains these by saving/restoring counters at context
+    switches — the virtualised-counter facility the paper's perfctr
+    driver provided.  ``bus_transactions`` counts the thread's granted
+    memory traffic (its share of induced subsystem activity).
+    """
+
+    thread_id: int
+    runtime_s: float = 0.0
+    executed_uops: float = 0.0
+    fetched_uops: float = 0.0
+    bus_transactions: float = 0.0
+
+
+class EnergyAccount:
+    """True (noise-free) energy integration per subsystem."""
+
+    def __init__(self) -> None:
+        self._energy_j = {s: 0.0 for s in Subsystem}
+        self._time_s = 0.0
+
+    def record(self, breakdown: PowerBreakdown, dt_s: float) -> None:
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        for subsystem, watts in breakdown.as_dict().items():
+            self._energy_j[subsystem] += watts * dt_s
+        self._time_s += dt_s
+
+    @property
+    def elapsed_s(self) -> float:
+        return self._time_s
+
+    def mean_power_w(self, subsystem: Subsystem) -> float:
+        if self._time_s == 0:
+            raise ValueError("no energy recorded yet")
+        return self._energy_j[subsystem] / self._time_s
+
+    def total_energy_j(self) -> float:
+        return sum(self._energy_j.values())

@@ -1,0 +1,43 @@
+"""Deterministic per-component random-number streams.
+
+Every stochastic component of the simulator draws from its own
+``numpy.random.Generator`` derived from a single run seed, so runs are
+reproducible and adding randomness to one component never perturbs the
+stream of another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RngStreams:
+    """A factory of independent, named random streams from one seed."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._cache: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The same (seed, name) pair always yields the same sequence.
+        """
+        if name not in self._cache:
+            child_seed = np.random.SeedSequence(
+                entropy=self._seed, spawn_key=(_stable_hash(name),)
+            )
+            self._cache[name] = np.random.default_rng(child_seed)
+        return self._cache[name]
+
+
+def _stable_hash(name: str) -> int:
+    """A process-independent 32-bit hash (``hash()`` is salted)."""
+    value = 2166136261
+    for byte in name.encode("utf-8"):
+        value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
+    return value

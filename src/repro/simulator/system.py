@@ -1,0 +1,445 @@
+"""The simulated server: wiring and the main tick loop.
+
+One :class:`Server` owns four CPU packages, the shared front-side bus,
+DRAM, chipset, I/O chips, the disk array, the OS layer (scheduler, page
+cache, timer, interrupt accounting) and the instrumentation (counter
+bank + 1 Hz sampler, power sensors + DAQ).  Each tick the trickle-down
+causality of the paper's Figure 1 plays out:
+
+    threads -> uops -> cache/TLB misses -> bus -> DRAM
+    threads -> file I/O -> page cache -> disk -> DMA -> bus snoops,
+                 DRAM accesses, I/O switching, interrupts -> CPUs
+
+:func:`simulate_workload` is the main entry point: it runs a workload
+spec for a given duration and returns a
+:class:`~repro.core.traces.MeasuredRun` ready for model training.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import Event, SUBSYSTEMS
+from repro.core.traces import MeasuredRun
+from repro.counters.perfctr import CounterBank
+from repro.counters.sampler import CounterSampler
+from repro.measurement.daq import DataAcquisition
+from repro.measurement.sensors import PowerSensors
+from repro.measurement.sync import align_windows
+from repro.osim.pagecache import PageCache
+from repro.osim.procfs import Vector
+from repro.osim.process import SimThread
+from repro.osim.scheduler import Scheduler
+from repro.osim.timer import TimerSource
+from repro.simulator.chipset import ChipsetSubsystem
+from repro.simulator.config import SystemConfig
+from repro.simulator.cpu import CpuPackage
+from repro.simulator.disk import DiskSubsystem
+from repro.simulator.dma import DmaEngine
+from repro.simulator.dram import DramSubsystem
+from repro.simulator.interrupts import InterruptController
+from repro.simulator.io_subsys import IoSubsystem
+from repro.simulator.membus import FrontSideBus
+from repro.simulator.nic import NicConfig, NicDevice
+from repro.simulator.power import EnergyAccount, PowerBreakdown, ProcessStats
+from repro.simulator.rng import RngStreams
+from repro.simulator.tlb import TlbPolicy
+from repro.workloads.base import WorkloadSpec
+
+#: Coherence traffic between processors as a fraction of a package's own
+#: bus transactions (the paper notes it is very small for its workloads).
+_CROSS_COHERENCE_FRACTION = 0.01
+
+
+class Server:
+    """A configured 4-way SMP server ready to run one workload."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: WorkloadSpec,
+        seed: int,
+        counter_bank: "CounterBank | None" = None,
+    ) -> None:
+        """Build the machine.
+
+        ``counter_bank`` overrides the default full counter bank — pass
+        a :class:`~repro.counters.multiplex.MultiplexedCounterBank` to
+        emulate a PMU with fewer slots than events.
+        """
+        self.config = config
+        self.workload = workload
+        self.rng = RngStreams(seed)
+        self.now_s = 0.0
+
+        cpu_cfg, cache_cfg = config.cpu, config.cache
+        self.packages = [
+            CpuPackage(i, cpu_cfg, cache_cfg) for i in range(config.num_packages)
+        ]
+        self.bus = FrontSideBus(config.bus)
+        self.dram = DramSubsystem(config.dram)
+        self.chipset = ChipsetSubsystem(config.chipset, self.rng.stream("chipset"))
+        self.io = IoSubsystem(config.io)
+        self.disk = DiskSubsystem(config.disk)
+        self.dma = DmaEngine(config.io)
+        self.nic = NicDevice(NicConfig(), config.io)
+        self.tlb_policy = TlbPolicy()
+
+        self.scheduler = Scheduler(config.num_packages, cpu_cfg.smt_contexts)
+        self.pagecache = PageCache(config.osim)
+        self.timer = TimerSource(config.osim, config.num_packages)
+        self.irq = InterruptController(config.num_packages)
+
+        self.threads = [
+            SimThread(i, plan, workload.variability, self.rng.stream(f"thread-{i}"))
+            for i, plan in enumerate(workload.threads)
+        ]
+
+        self.counters = counter_bank or CounterBank(tuple(Event), config.num_packages)
+        if self.counters.n_cpus != config.num_packages:
+            raise ValueError(
+                "counter bank CPU count does not match the machine"
+            )
+        self.sampler = CounterSampler(
+            self.counters, config.measurement, self.rng.stream("sampler")
+        )
+        self.sensors = PowerSensors(
+            SUBSYSTEMS, config.measurement, self.rng.stream("sensors")
+        )
+        self.daq = DataAcquisition(
+            self.sensors, config.measurement, self.rng.stream("daq")
+        )
+        self.energy = EnergyAccount()
+        #: DRAM-side latency inflation observed last tick (see
+        #: DramTick.latency_factor); combines with FSB queueing.
+        self._dram_latency_factor = 1.0
+        #: Per-thread cumulative activity (OS-virtualised counters, the
+        #: facility perfctr offered): thread_id -> ProcessStats.
+        self.process_stats: "dict[int, ProcessStats]" = {}
+
+    # -- one tick ------------------------------------------------------
+
+    def tick(self) -> PowerBreakdown:
+        """Advance the machine by one tick; returns true power."""
+        cfg = self.config
+        dt = cfg.tick_s
+        self.now_s += dt
+
+        # 1. Timer interrupts land per package; device interrupts from
+        #    the previous tick are drained and serviced now.
+        self.irq.deliver_timer(self.timer.tick(dt))
+        irq_counts, vector_irq_counts = self.irq.drain_tick()
+
+        # 2. Schedule threads and run the packages.
+        loads = self.scheduler.tick(self.threads, self.now_s, dt)
+        base_latency = cfg.bus.base_latency_cycles
+        latency = self.bus.latency_cycles * self._dram_latency_factor
+        package_ticks = [
+            package.tick(
+                load,
+                self.workload.smt_yield,
+                latency,
+                base_latency,
+                irq_counts[package.package_id],
+                dt,
+            )
+            for package, load in zip(self.packages, loads)
+        ]
+
+        # 3. File I/O through the page cache, plus TLB major faults.
+        file_read = sum(pt.file_read_bytes for pt in package_ticks)
+        file_write = sum(pt.file_write_bytes for pt in package_ticks)
+        fault_read = self.tlb_policy.disk_read_bytes(
+            sum(pt.traffic.tlb_misses for pt in package_ticks)
+        )
+        total_read = file_read + fault_read
+        if total_read > 0:
+            weighted_hit = sum(
+                pt.read_hit_ratio * pt.file_read_bytes for pt in package_ticks
+            )
+            hit_ratio = weighted_hit / total_read  # faults always miss
+        else:
+            hit_ratio = 1.0
+        if any(pt.sync_requested for pt in package_ticks):
+            self.pagecache.request_sync()
+        disk_request = self.pagecache.tick(
+            write_bps=file_write / dt,
+            read_bps=total_read / dt,
+            read_hit_ratio=hit_ratio,
+            dt_s=dt,
+            disk_write_capacity_bps=self.disk.write_capacity_bps(),
+        )
+
+        # 4. Disk service and the DMA it performs; the NIC moves its
+        #    packets the same way (device DMA + coalesced interrupts).
+        self.disk.submit(
+            disk_request.read_bytes,
+            disk_request.write_bytes,
+            write_sequential=disk_request.write_sequential,
+        )
+        disk_tick = self.disk.tick(dt)
+        dma_tick = self.dma.tick(
+            device_to_memory_bytes=disk_tick.served_read_bytes,
+            memory_to_device_bytes=disk_tick.served_write_bytes,
+            background_bytes=self.workload.background_dma_bps * dt,
+        )
+        if dma_tick.interrupts:
+            self.irq.deliver_device(Vector.DISK, dma_tick.interrupts)
+        nic_tick = self.nic.tick(
+            rx_bps=sum(pt.net_rx_bps for pt in package_ticks),
+            tx_bps=sum(pt.net_tx_bps for pt in package_ticks),
+            dt_s=dt,
+        )
+        if nic_tick.dma.interrupts:
+            self.irq.deliver_device(Vector.NETWORK, nic_tick.dma.interrupts)
+
+        # 5. Bus arbitration; scale package traffic by what was granted.
+        raw_traffic = [pt.traffic for pt in package_ticks]
+        total_dma_snoops = dma_tick.bus_snoops + nic_tick.dma.bus_snoops
+        bus_tick = self.bus.tick(raw_traffic, total_dma_snoops, dt)
+        granted = [
+            t.scaled(bus_tick.demand_ratio, bus_tick.prefetch_ratio)
+            for t in raw_traffic
+        ]
+
+        # 6. DRAM sees granted CPU traffic plus northbridge DMA.
+        cpu_reads = sum(
+            t.demand_load_misses + t.pagewalk_reads + t.prefetch_requests
+            for t in granted
+        )
+        cpu_writes = sum(t.writebacks for t in granted)
+        traffic_weight = sum(
+            t.demand_transactions + t.prefetch_requests for t in granted
+        )
+        if traffic_weight > 0:
+            blended_stream = (
+                sum(
+                    t.streamability * (t.demand_transactions + t.prefetch_requests)
+                    for t in granted
+                )
+                / traffic_weight
+            )
+        else:
+            blended_stream = 0.5
+        n_running = sum(load.n_running for load in loads)
+        dma_active = dma_tick.io_bytes > 0 or nic_tick.dma.io_bytes > 0
+        stream_count = n_running + (1.0 if dma_active else 0.0)
+        dram_tick = self.dram.tick(
+            cpu_reads=cpu_reads,
+            cpu_writes=cpu_writes,
+            cpu_streamability=blended_stream,
+            dma_reads=dma_tick.dram_reads + nic_tick.dma.dram_reads,
+            dma_writes=dma_tick.dram_writes + nic_tick.dma.dram_writes,
+            stream_count=max(1.0, stream_count),
+            dt_s=dt,
+        )
+        self._dram_latency_factor = dram_tick.latency_factor
+
+        # 7. Ground-truth power for this tick.
+        cpu_power = sum(
+            package.power(pt) for package, pt in zip(self.packages, package_ticks)
+        )
+        uncacheable_total = (
+            sum(t.uncacheable_accesses for t in granted)
+            + dma_tick.uncacheable_accesses
+            + nic_tick.dma.uncacheable_accesses
+        )
+        system_activity = 1.0 - (
+            sum(pt.halted_cycles for pt in package_ticks)
+            / sum(pt.cycles for pt in package_ticks)
+        )
+        chipset_power = self.chipset.tick(
+            bus_tick.utilization, uncacheable_total / dt, system_activity, dt
+        )
+        io_tick = self.io.tick(
+            dma_tick.io_bytes + nic_tick.dma.io_bytes,
+            dma_tick.io_transactions + nic_tick.dma.io_transactions,
+            uncacheable_total,
+            dt,
+        )
+        breakdown = PowerBreakdown(
+            cpu_w=cpu_power,
+            chipset_w=chipset_power,
+            memory_w=dram_tick.power_w,
+            io_w=io_tick.power_w,
+            disk_w=disk_tick.power_w,
+        )
+        self.energy.record(breakdown, dt)
+
+        # 8. Per-process accounting (OS-virtualised counters).
+        for pt in package_ticks:
+            for stat in pt.thread_stats:
+                record = self.process_stats.setdefault(
+                    stat.thread_id, ProcessStats(thread_id=stat.thread_id)
+                )
+                record.runtime_s += stat.runtime_s
+                record.executed_uops += stat.executed_uops
+                record.fetched_uops += stat.fetched_uops
+                record.bus_transactions += stat.bus_demand_tx * bus_tick.demand_ratio
+
+        # 9. Counters: per-package events.
+        self._count_events(
+            package_ticks, granted, bus_tick, dma_tick, nic_tick, disk_tick,
+            dram_tick, irq_counts, vector_irq_counts,
+        )
+
+        # 10. Instrumentation: DAQ integrates power; the sampler may
+        #    close a window (emitting the sync pulse to the DAQ).
+        self.daq.record_tick(breakdown.as_dict(), self.now_s, dt)
+        pulse = self.sampler.maybe_sample(self.now_s)
+        if pulse is not None:
+            self.daq.close_window(pulse)
+        return breakdown
+
+    def _count_events(
+        self,
+        package_ticks,
+        granted,
+        bus_tick,
+        dma_tick,
+        nic_tick,
+        disk_tick,
+        dram_tick,
+        irq_counts,
+        vector_irq_counts,
+    ) -> None:
+        """Accumulate this tick's events into the counter bank."""
+        counters = self.counters
+        advance = getattr(counters, "advance", None)
+        if advance is not None:
+            advance(self.config.tick_s)  # multiplexed PMU rotation
+        n = self.config.num_packages
+        own_tx = [
+            t.demand_transactions + t.prefetch_requests for t in granted
+        ]
+        total_own = sum(own_tx)
+        snoops = bus_tick.granted_dma_snoops
+        for i, (pt, t) in enumerate(zip(package_ticks, granted)):
+            counters.add(Event.CYCLES, i, pt.cycles)
+            counters.add(Event.HALTED_CYCLES, i, pt.halted_cycles)
+            counters.add(Event.FETCHED_UOPS, i, pt.fetched_uops)
+            counters.add(Event.L3_MISSES, i, t.demand_load_misses)
+            counters.add(Event.TLB_MISSES, i, t.tlb_misses)
+            driver_uncacheable = (
+                dma_tick.uncacheable_accesses + nic_tick.dma.uncacheable_accesses
+            ) / n
+            counters.add(
+                Event.UNCACHEABLE_ACCESSES,
+                i,
+                t.uncacheable_accesses + driver_uncacheable,
+            )
+            # Every package snoops the shared bus: its DMA/Other event
+            # counts all DMA snoops plus coherence from other packages.
+            other_coherence = (total_own - own_tx[i]) * _CROSS_COHERENCE_FRACTION
+            counters.add(Event.DMA_ACCESSES, i, snoops + other_coherence)
+            counters.add(
+                Event.BUS_TRANSACTIONS, i, own_tx[i] + snoops + other_coherence
+            )
+            counters.add(Event.INTERRUPTS, i, irq_counts[i])
+            counters.add(Event.DISK_INTERRUPTS, i, vector_irq_counts[Vector.DISK][i])
+            counters.add(
+                Event.NETWORK_INTERRUPTS, i, vector_irq_counts[Vector.NETWORK][i]
+            )
+
+        # Subsystem-local events (column 0 carries system-wide totals).
+        counters.add(Event.DRAM_READS, 0, dram_tick.reads)
+        counters.add(Event.DRAM_WRITES, 0, dram_tick.writes)
+        counters.add(Event.DRAM_ACTIVATIONS, 0, dram_tick.activations)
+        counters.add(
+            Event.DRAM_ACTIVE_TIME, 0, dram_tick.active_fraction * self.config.tick_s
+        )
+        counters.add(
+            Event.PREFETCH_TRANSACTIONS,
+            0,
+            sum(t.prefetch_requests for t in granted),
+        )
+        counters.add(
+            Event.WRITEBACK_TRANSACTIONS, 0, sum(t.writebacks for t in granted)
+        )
+        counters.add(
+            Event.IO_BYTES, 0, dma_tick.io_bytes + nic_tick.dma.io_bytes
+        )
+        counters.add(
+            Event.IO_TRANSACTIONS,
+            0,
+            dma_tick.io_transactions + nic_tick.dma.io_transactions,
+        )
+        counters.add(Event.DISK_SEEK_TIME, 0, disk_tick.seek_time_s)
+        counters.add(Event.DISK_TRANSFER_TIME, 0, disk_tick.transfer_time_s)
+        counters.add(Event.DISK_BYTES, 0, disk_tick.served_bytes)
+        counters.add(Event.OS_DISK_SECTORS, 0, disk_tick.served_bytes / 512.0)
+        counters.add(
+            Event.OS_CONTEXT_SWITCHES, 0, float(self.scheduler.context_switches)
+        )
+
+    # -- DVFS (extension) ------------------------------------------------
+
+    def set_pstate(self, package_id: int, state_index: int) -> None:
+        """Switch one package's DVFS operating point (0 = nominal)."""
+        self.packages[package_id].set_pstate(state_index)
+
+    def set_all_pstates(self, state_index: int) -> None:
+        """Switch every package to the same DVFS operating point."""
+        for package in self.packages:
+            package.set_pstate(state_index)
+
+    # -- full runs -----------------------------------------------------
+
+    def run(self, duration_s: float) -> MeasuredRun:
+        """Run the workload for ``duration_s`` and assemble the traces."""
+        if duration_s < 2.0 * self.config.measurement.sample_period_s:
+            raise ValueError(
+                "duration must cover at least two sampling windows; got "
+                f"{duration_s}s"
+            )
+        n_ticks = int(round(duration_s / self.config.tick_s))
+        for _ in range(n_ticks):
+            self.tick()
+        counters = self.sampler.finish()
+        power = self.daq.finish()
+        counters, power = align_windows(counters, power)
+        return MeasuredRun(
+            workload=self.workload.name,
+            counters=counters,
+            power=power,
+            seed=self.rng.seed,
+            metadata={
+                "duration_s": duration_s,
+                "tick_s": self.config.tick_s,
+                "n_threads": self.workload.n_threads,
+                "true_mean_power_w": {
+                    s.value: self.energy.mean_power_w(s) for s in SUBSYSTEMS
+                },
+            },
+        )
+
+
+def simulate_workload(
+    workload: WorkloadSpec,
+    duration_s: float = 300.0,
+    seed: int = 1,
+    config: SystemConfig | None = None,
+    pstate: int = 0,
+) -> MeasuredRun:
+    """Instrumented run of ``workload``: the paper's measurement setup.
+
+    Args:
+        workload: behaviour profile (see :mod:`repro.workloads`).
+        duration_s: simulated wall-clock seconds.
+        seed: RNG seed; same (workload, seed), same run.  The workload
+            name is mixed into the seed so different workloads at the
+            same base seed do not share noise streams (a shared stream
+            would give every run the same sensor-chain artefacts, e.g.
+            an identical chipset derivation offset).
+        config: server configuration; defaults to the calibrated 4-way
+            Xeon-like machine.
+        pstate: DVFS operating point for every package (0 = nominal).
+    """
+    from repro.simulator.rng import _stable_hash
+
+    mixed_seed = (int(seed) * 1000003 + _stable_hash(workload.name)) % (2**31)
+    server = Server(config or SystemConfig(), workload, mixed_seed)
+    if pstate:
+        server.set_all_pstates(pstate)
+    run = server.run(duration_s)
+    run.metadata["base_seed"] = int(seed)
+    run.metadata["pstate"] = int(pstate)
+    return run

@@ -1,0 +1,27 @@
+"""Workload behaviour profiles for the simulated server.
+
+Each workload is a :class:`~repro.workloads.base.WorkloadSpec`: a set of
+threads, each with a phase-structured stochastic behaviour profile.
+Profiles are calibrated against the paper's Table 1/2 characterisation
+(which workload stresses which subsystem, saturation points, staggered
+thread starts for training variation).
+"""
+
+from repro.workloads.base import Phase, PhaseBehavior, ThreadPlan, WorkloadSpec
+from repro.workloads.registry import (
+    PAPER_WORKLOADS,
+    VALIDATION_WORKLOADS,
+    get_workload,
+    list_workloads,
+)
+
+__all__ = [
+    "Phase",
+    "PhaseBehavior",
+    "ThreadPlan",
+    "WorkloadSpec",
+    "PAPER_WORKLOADS",
+    "VALIDATION_WORKLOADS",
+    "get_workload",
+    "list_workloads",
+]

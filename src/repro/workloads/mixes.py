@@ -1,0 +1,84 @@
+"""Heterogeneous workload mixes.
+
+The paper restricts itself to *homogeneous* combinations ("In this
+study we only consider homogeneous combinations of the workloads",
+Section 3.2.2).  Real consolidated servers run mixes, and a model
+trained on homogeneous runs is only useful if it transfers to them —
+so this extension builds mixed workloads from the registry profiles and
+the benchmarks check that the trickle-down suite holds up.
+
+A mix takes threads from several donor workloads.  Global workload
+knobs that cannot be split per-thread (SMT yield, variability) are
+blended weighted by thread count; this is the approximation a real
+scheduler would face too (a gcc thread sharing a package with an mcf
+thread gets neither workload's exact SMT behaviour).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import ThreadPlan, WorkloadSpec
+from repro.workloads.registry import get_workload
+
+
+def mix(
+    components: "dict[str, int]",
+    name: "str | None" = None,
+    stagger_s: float = 15.0,
+) -> WorkloadSpec:
+    """Build a mixed workload from registry components.
+
+    Args:
+        components: workload name -> number of threads to take from it
+            (taken in plan order; a workload's own staggering is
+            replaced by the mix's).
+        name: mix name; defaults to e.g. ``mix(gcc:4+mcf:4)``.
+        stagger_s: start-time spacing across all mixed threads.
+    """
+    if not components:
+        raise ValueError("a mix needs at least one component")
+    plans: "list[ThreadPlan]" = []
+    total_threads = 0
+    smt_yield = 0.0
+    variability = 0.0
+    background_dma = 0.0
+    for workload_name, count in components.items():
+        if count < 1:
+            raise ValueError(f"{workload_name}: thread count must be >= 1")
+        donor = get_workload(workload_name)
+        if count > donor.n_threads:
+            raise ValueError(
+                f"{workload_name} provides {donor.n_threads} threads; "
+                f"{count} requested"
+            )
+        for plan in donor.threads[:count]:
+            plans.append(
+                ThreadPlan(
+                    phases=plan.phases,
+                    start_time_s=len(plans) * stagger_s,
+                    loop=plan.loop,
+                )
+            )
+        total_threads += count
+        smt_yield += donor.smt_yield * count
+        variability += donor.variability * count
+        background_dma += donor.background_dma_bps * count / donor.n_threads
+    label = name or "mix(" + "+".join(
+        f"{wl}:{n}" for wl, n in components.items()
+    ) + ")"
+    return WorkloadSpec(
+        name=label,
+        threads=tuple(plans),
+        description="heterogeneous mix: "
+        + ", ".join(f"{n}x {wl}" for wl, n in components.items()),
+        smt_yield=min(1.0, max(0.5, smt_yield / total_threads)),
+        variability=variability / total_threads,
+        background_dma_bps=background_dma,
+    )
+
+
+#: Ready-made mixes used by the generalisation benchmarks.
+STANDARD_MIXES: "tuple[dict[str, int], ...]" = (
+    {"gcc": 4, "mcf": 4},          # compute + memory pressure
+    {"SPECjbb": 4, "DiskLoad": 4},  # balanced server + disk churn
+    {"mesa": 2, "lucas": 2, "dbt-2": 4},  # three-way consolidation
+)

@@ -1,0 +1,79 @@
+"""Name -> workload lookup and the paper's canonical workload sets."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads import commercial, spec2000, synthetic
+from repro.workloads.base import WorkloadSpec
+
+_FACTORIES: "dict[str, Callable[[], WorkloadSpec]]" = {
+    "idle": synthetic.idle,
+    "gcc": spec2000.gcc,
+    "mcf": spec2000.mcf,
+    "vortex": spec2000.vortex,
+    "art": spec2000.art,
+    "lucas": spec2000.lucas,
+    "mesa": spec2000.mesa,
+    "mgrid": spec2000.mgrid,
+    "wupwise": spec2000.wupwise,
+    "dbt-2": commercial.dbt2,
+    "SPECjbb": commercial.specjbb,
+    "DiskLoad": synthetic.diskload,
+    "netload": synthetic.netload,
+}
+
+#: Row order of the paper's Table 1/2.
+PAPER_WORKLOADS: tuple[str, ...] = (
+    "idle",
+    "gcc",
+    "mcf",
+    "vortex",
+    "art",
+    "lucas",
+    "mesa",
+    "mgrid",
+    "wupwise",
+    "dbt-2",
+    "SPECjbb",
+    "DiskLoad",
+)
+
+#: The validation set of Section 3.2.2 (same twelve runs).
+VALIDATION_WORKLOADS = PAPER_WORKLOADS
+
+#: Extension workloads beyond the paper's evaluation set.
+EXTENSION_WORKLOADS: tuple[str, ...] = ("netload",)
+
+#: Row order of Table 3 (integer + commercial + synthetic).
+INTEGER_TABLE_WORKLOADS: tuple[str, ...] = (
+    "idle",
+    "gcc",
+    "mcf",
+    "vortex",
+    "dbt-2",
+    "SPECjbb",
+    "DiskLoad",
+)
+
+#: Row order of Table 4 (floating point).
+FP_TABLE_WORKLOADS: tuple[str, ...] = ("art", "lucas", "mesa", "mgrid", "wupwise")
+
+
+def list_workloads() -> "tuple[str, ...]":
+    """All registered workload names: the paper's twelve + extensions."""
+    return PAPER_WORKLOADS + EXTENSION_WORKLOADS
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Build the named workload spec.
+
+    Raises KeyError with the available names when unknown.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(PAPER_WORKLOADS)}"
+        ) from None
+    return factory()

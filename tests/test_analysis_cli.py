@@ -1,0 +1,134 @@
+"""Tests for the experiment harness, table rendering and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentContext,
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_WORKLOADS,
+)
+from repro.analysis.tables import format_table, format_trace_summary, sparkline
+from repro.cli import main as cli_main
+from repro.simulator.config import fast_config
+
+
+@pytest.fixture(scope="module")
+def small_context(tmp_path_factory):
+    """A context with short runs and a disk cache, for harness tests."""
+    cache = tmp_path_factory.mktemp("runs")
+    return ExperimentContext(
+        config=fast_config(),
+        seed=11,
+        duration_s=120.0,
+        cache_dir=str(cache),
+    )
+
+
+class TestPaperReferenceData:
+    def test_reference_tables_cover_expected_workloads(self):
+        assert set(PAPER_TABLE1) == set(PAPER_WORKLOADS)
+        assert len(PAPER_TABLE3) == 7
+        assert len(PAPER_TABLE4) == 5
+
+    def test_reference_rows_have_five_subsystems(self):
+        for table in (PAPER_TABLE1, PAPER_TABLE3, PAPER_TABLE4):
+            for row in table.values():
+                assert len(row) == 5
+
+
+class TestExperimentContext:
+    def test_runs_are_cached_in_memory(self, small_context):
+        a = small_context.run("idle")
+        b = small_context.run("idle")
+        assert a is b
+
+    def test_disk_cache_round_trip(self, small_context):
+        small_context.run("idle")
+        fresh = ExperimentContext(
+            config=small_context.config,
+            seed=small_context.seed,
+            duration_s=small_context.duration_s,
+            cache_dir=small_context.cache_dir,
+        )
+        run = fresh.run("idle")
+        assert run.n_samples == small_context.run("idle").n_samples
+        assert np.allclose(
+            run.power.total(), small_context.run("idle").power.total()
+        )
+
+    def test_paper_suite_trains_once(self, small_context):
+        assert small_context.paper_suite() is small_context.paper_suite()
+
+    def test_steady_run_is_shorter(self, small_context):
+        full = small_context.run("idle")
+        steady = small_context.steady_run("idle")
+        assert steady.n_samples <= full.n_samples
+
+
+class TestTableRendering:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "Title", ("name", "watts"), [["idle", 38.4], ["gcc", 162.0]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "38.40" in text
+        assert "gcc" in text
+
+    def test_format_table_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_table("t", ("a",), [])
+
+    def test_sparkline_length_and_range(self):
+        line = sparkline(np.linspace(0.0, 1.0, 500), width=40)
+        assert len(line) == 40
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_constant_series(self):
+        assert set(sparkline(np.full(10, 5.0))) <= {" "}
+
+    def test_trace_summary_contains_stats(self):
+        t = np.arange(1.0, 11.0)
+        text = format_trace_summary("Fig", t, t + 10.0, t + 10.5, 2.5)
+        assert "avg error=2.50%" in text
+        assert "measured" in text and "modeled" in text
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in PAPER_WORKLOADS:
+            assert name in out
+
+    def test_fig1_command(self, capsys):
+        assert cli_main(["fig1"]) == 0
+        assert "Propagation" in capsys.readouterr().out
+
+    def test_run_command(self, capsys, tmp_path):
+        code = cli_main(
+            [
+                "run",
+                "idle",
+                "--duration",
+                "30",
+                "--tick-ms",
+                "10",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "idle" in out and "cpu" in out
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["frobnicate"])
+
+    def test_run_without_workload_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run"])

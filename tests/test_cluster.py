@@ -1,0 +1,147 @@
+"""Tests for the ensemble power-management extension (repro/cluster.py)."""
+
+import pytest
+
+from repro.cluster import (
+    BOOT_TIME_S,
+    BOOT_POWER_W,
+    Cluster,
+    ClusterNode,
+    PowerAwareManager,
+    STANDBY_POWER_W,
+    StaticManager,
+    diurnal_demand,
+)
+from repro.simulator.config import fast_config
+from tests.conftest import TEST_SEED
+
+
+@pytest.fixture()
+def node():
+    return ClusterNode(0, fast_config(), seed=TEST_SEED)
+
+
+class TestClusterNode:
+    def test_powered_idle_node_draws_server_idle_power(self, node):
+        node.set_load(0)
+        power = node.tick_second()
+        assert 130.0 < power < 150.0  # the simulated server's idle
+
+    def test_load_raises_power(self, node):
+        node.set_load(0)
+        idle = node.tick_second()
+        node.set_load(node.capacity)
+        for _ in range(5):
+            loaded = node.tick_second()
+        assert loaded > idle + 20.0
+
+    def test_power_down_draws_standby(self, node):
+        node.set_load(0)
+        node.power_down()
+        assert node.tick_second() == STANDBY_POWER_W
+        assert not node.available
+
+    def test_boot_sequence(self, node):
+        node.set_load(0)
+        node.power_down()
+        node.power_up()
+        assert node.booting and not node.available
+        for _ in range(int(BOOT_TIME_S)):
+            assert node.tick_second() == BOOT_POWER_W
+        assert node.available
+
+    def test_power_up_when_already_on_is_noop(self, node):
+        node.set_load(0)
+        node.power_up()
+        assert not node.booting  # no spurious boot cycle
+
+    def test_cannot_power_down_loaded_node(self, node):
+        node.set_load(2)
+        with pytest.raises(ValueError, match="still serves"):
+            node.power_down()
+
+    def test_cannot_load_unavailable_node(self, node):
+        node.set_load(0)
+        node.power_down()
+        with pytest.raises(ValueError, match="cannot serve"):
+            node.set_load(1)
+
+    def test_load_bounds(self, node):
+        with pytest.raises(ValueError):
+            node.set_load(-1)
+        with pytest.raises(ValueError):
+            node.set_load(node.capacity + 1)
+
+
+class TestManagers:
+    def run_short(self, manager, demand=None):
+        cluster = Cluster(n_nodes=3, seed=TEST_SEED)
+        demand = demand or diurnal_demand(
+            90, peak_threads=14, trough_threads=2, period_s=90.0, seed=5
+        )
+        return cluster.run(demand, manager), demand
+
+    def test_static_serves_all_demand(self):
+        trace, demand = self.run_short(StaticManager())
+        assert trace.dropped_thread_seconds == 0
+        assert all(on == 3 for on in trace.nodes_on)
+
+    def test_power_aware_saves_energy(self):
+        static, demand = self.run_short(StaticManager())
+        aware, _ = self.run_short(PowerAwareManager(headroom_threads=6), demand)
+        assert aware.energy_j < static.energy_j * 0.95
+        assert min(aware.nodes_on) < 3  # it actually powered nodes down
+
+    def test_power_aware_serves_most_demand(self):
+        aware, demand = self.run_short(PowerAwareManager(headroom_threads=8))
+        total_demand = sum(demand)
+        assert aware.dropped_thread_seconds < total_demand * 0.05
+
+    def test_more_headroom_fewer_drops(self):
+        tight, demand = self.run_short(PowerAwareManager(headroom_threads=0))
+        roomy, _ = self.run_short(PowerAwareManager(headroom_threads=10), demand)
+        assert roomy.dropped_thread_seconds <= tight.dropped_thread_seconds
+        assert roomy.energy_j >= tight.energy_j
+
+    def test_invalid_headroom(self):
+        with pytest.raises(ValueError):
+            PowerAwareManager(headroom_threads=-1)
+
+
+class TestDemandGenerator:
+    def test_range_and_length(self):
+        demand = diurnal_demand(120, peak_threads=16, trough_threads=4)
+        assert len(demand) == 120
+        assert min(demand) >= 0
+        assert max(demand) <= 16 + 8  # noise can exceed peak a little
+
+    def test_deterministic(self):
+        a = diurnal_demand(60, 10, 2, seed=9)
+        b = diurnal_demand(60, 10, 2, seed=9)
+        assert a == b
+
+    def test_shape_has_trough_and_peak(self):
+        demand = diurnal_demand(
+            200, peak_threads=20, trough_threads=2, period_s=200.0, noise=0.0
+        )
+        assert demand[0] <= 4
+        assert max(demand[80:120]) >= 18
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            diurnal_demand(10, peak_threads=2, trough_threads=5)
+
+
+class TestCluster:
+    def test_capacity(self):
+        cluster = Cluster(n_nodes=2, seed=TEST_SEED)
+        assert cluster.capacity == 16
+
+    def test_demand_clamped_to_capacity(self):
+        cluster = Cluster(n_nodes=1, seed=TEST_SEED)
+        trace = cluster.run([99, 99], StaticManager())
+        assert max(trace.demand) <= cluster.capacity
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Cluster(n_nodes=0)

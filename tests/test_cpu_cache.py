@@ -1,0 +1,172 @@
+"""Unit tests for the CPU package, cache hierarchy and TLB policy."""
+
+import pytest
+
+from repro.osim.process import ThreadActivity
+from repro.osim.scheduler import PackageLoad
+from repro.simulator.cache import CacheHierarchy, MemoryTraffic, merge_traffic
+from repro.simulator.config import CacheConfig, CpuConfig
+from repro.simulator.cpu import CpuPackage
+from repro.simulator.tlb import TlbPolicy
+from repro.workloads.base import PhaseBehavior
+
+
+def make_package():
+    return CpuPackage(0, CpuConfig(), CacheConfig())
+
+
+def activity(behavior=None, occupancy=1.0, modulation=1.0, thread_id=0):
+    return ThreadActivity(
+        thread_id=thread_id,
+        behavior=behavior or PhaseBehavior(uops_per_cycle=1.5),
+        modulation=modulation,
+        occupancy=occupancy,
+        sync_requested=False,
+        phase_name="test",
+    )
+
+
+def run_tick(package, activities, latency=320.0, interrupts=0.0, dt=0.01):
+    load = PackageLoad(package_id=0, activities=activities)
+    return package.tick(load, 0.7, latency, 320.0, interrupts, dt)
+
+
+class TestCpuPackage:
+    def test_idle_package_is_halted(self):
+        package = make_package()
+        tick = run_tick(package, [])
+        assert tick.halted_cycles == pytest.approx(tick.cycles)
+        assert package.power(tick) == pytest.approx(
+            CpuConfig().halted_power_w, rel=0.01
+        )
+
+    def test_interrupts_wake_an_idle_package(self):
+        package = make_package()
+        tick = run_tick(package, [], interrupts=10.0)
+        assert tick.halted_cycles < tick.cycles
+        assert package.power(tick) > CpuConfig().halted_power_w
+
+    def test_active_package_consumes_active_power(self):
+        package = make_package()
+        tick = run_tick(package, [activity()])
+        assert tick.halted_cycles == pytest.approx(0.0)
+        power = package.power(tick)
+        assert power > CpuConfig().active_idle_power_w * 0.8
+        assert power < 50.0  # a single P4 package
+
+    def test_more_uops_more_power(self):
+        package = make_package()
+        slow = run_tick(package, [activity(PhaseBehavior(uops_per_cycle=0.5))])
+        fast = run_tick(package, [activity(PhaseBehavior(uops_per_cycle=2.5))])
+        assert fast.fetched_uops > slow.fetched_uops
+        assert package.power(fast) > package.power(slow)
+
+    def test_memory_latency_throttles_throughput(self):
+        package = make_package()
+        behavior = PhaseBehavior(
+            uops_per_cycle=1.5, l3_load_misses_per_kuop=8.0, memory_sensitivity=1.0
+        )
+        unloaded = run_tick(package, [activity(behavior)], latency=320.0)
+        congested = run_tick(package, [activity(behavior)], latency=1500.0)
+        assert congested.executed_uops < unloaded.executed_uops * 0.6
+
+    def test_speculation_consumes_power_but_not_fetch(self):
+        package = make_package()
+        quiet = PhaseBehavior(uops_per_cycle=1.0, speculation_factor=0.0)
+        searching = PhaseBehavior(uops_per_cycle=1.0, speculation_factor=1.0)
+        a = run_tick(package, [activity(quiet)])
+        b = run_tick(package, [activity(searching)])
+        assert b.fetched_uops == pytest.approx(a.fetched_uops, rel=1e-6)
+        assert package.power(b) > package.power(a) + 2.0
+
+    def test_smt_yield_limits_two_thread_throughput(self):
+        package = make_package()
+        behavior = PhaseBehavior(uops_per_cycle=1.6)
+        one = run_tick(package, [activity(behavior)])
+        load = PackageLoad(0, [activity(behavior), activity(behavior)])
+        two = package.tick(load, 0.5, 320.0, 320.0, 0.0, 0.01)
+        # smt_yield=0.5: the second thread adds nothing.
+        assert two.executed_uops == pytest.approx(one.executed_uops, rel=0.05)
+
+    def test_fetched_exceeds_executed_by_wrongpath(self):
+        package = make_package()
+        behavior = PhaseBehavior(uops_per_cycle=1.0, wrongpath_fraction=0.2)
+        tick = run_tick(package, [activity(behavior)])
+        assert tick.fetched_uops == pytest.approx(tick.executed_uops * 1.2)
+
+    def test_occupancy_scales_halted_cycles(self):
+        package = make_package()
+        tick = run_tick(package, [activity(occupancy=0.25)])
+        assert tick.halted_cycles == pytest.approx(tick.cycles * 0.75, rel=0.01)
+
+
+class TestCacheHierarchy:
+    def test_traffic_proportional_to_uops(self):
+        cache = CacheHierarchy(CacheConfig())
+        behavior = PhaseBehavior(l3_load_misses_per_kuop=2.0)
+        small = cache.traffic_for(behavior, 1.0e6, 1.0, 1.0, 1.0, 0.01)
+        large = cache.traffic_for(behavior, 2.0e6, 1.0, 1.0, 1.0, 0.01)
+        assert large.demand_load_misses == pytest.approx(
+            2.0 * small.demand_load_misses
+        )
+
+    def test_prefetch_ramps_with_congestion(self):
+        cache = CacheHierarchy(CacheConfig())
+        behavior = PhaseBehavior(l3_load_misses_per_kuop=2.0, streamability=0.8)
+        calm = cache.traffic_for(behavior, 1.0e6, 1.0, 1.0, 1.0, 0.01)
+        stressed = cache.traffic_for(behavior, 1.0e6, 1.0, 1.0, 2.5, 0.01)
+        assert stressed.prefetch_requests > calm.prefetch_requests * 2.0
+
+    def test_prefetch_ramp_caps(self):
+        cache = CacheHierarchy(CacheConfig())
+        assert cache.prefetch_ramp(100.0) == pytest.approx(
+            cache._PREFETCH_RAMP_MAX
+        )
+        with pytest.raises(ValueError):
+            cache.prefetch_ramp(0.5)
+
+    def test_writebacks_follow_ratio(self):
+        cache = CacheHierarchy(CacheConfig())
+        behavior = PhaseBehavior(l3_load_misses_per_kuop=4.0, writeback_ratio=0.5)
+        traffic = cache.traffic_for(behavior, 1.0e6, 1.0, 1.0, 1.0, 0.01)
+        assert traffic.writebacks == pytest.approx(
+            traffic.demand_load_misses * 0.5
+        )
+
+    def test_scaled_applies_ratios(self):
+        traffic = MemoryTraffic(
+            demand_load_misses=100.0,
+            writebacks=50.0,
+            prefetch_requests=40.0,
+            pagewalk_reads=10.0,
+            uncacheable_accesses=5.0,
+        )
+        scaled = traffic.scaled(0.5, 0.0)
+        assert scaled.demand_load_misses == 50.0
+        assert scaled.writebacks == 25.0
+        assert scaled.prefetch_requests == 0.0
+
+    def test_merge_traffic_blends_streamability_by_volume(self):
+        streaming = MemoryTraffic(demand_load_misses=90.0, streamability=1.0)
+        random = MemoryTraffic(demand_load_misses=10.0, streamability=0.0)
+        merged = merge_traffic([streaming, random])
+        assert merged.demand_load_misses == 100.0
+        assert merged.streamability == pytest.approx(0.9)
+
+    def test_merge_empty_defaults(self):
+        merged = merge_traffic([])
+        assert merged.demand_transactions == 0.0
+        assert merged.streamability == 0.5
+
+
+class TestTlbPolicy:
+    def test_faults_scale_with_misses(self):
+        policy = TlbPolicy()
+        assert policy.disk_read_bytes(0.0) == 0.0
+        assert policy.disk_read_bytes(2.0e6) == pytest.approx(
+            2.0e6 * policy.major_fault_ratio * policy.fault_bytes
+        )
+
+    def test_negative_misses_rejected(self):
+        with pytest.raises(ValueError):
+            TlbPolicy().disk_read_bytes(-1.0)

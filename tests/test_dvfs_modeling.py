@@ -1,0 +1,129 @@
+"""Tests for DVFS-aware modeling (core/dvfs.py) and the new features."""
+
+import numpy as np
+import pytest
+
+from repro.core.dvfs import (
+    DvfsModelingError,
+    DvfsSuiteBank,
+    train_frequency_aware_cpu_model,
+)
+from repro.core.events import Subsystem
+from repro.core.features import get_feature
+from repro.core.validation import average_error
+from repro.simulator.config import fast_config
+from repro.simulator.system import simulate_workload
+from repro.workloads.registry import get_workload
+from tests.conftest import TEST_SEED
+
+
+@pytest.fixture(scope="module")
+def dvfs_runs():
+    """gcc + idle at nominal and at p-state 2."""
+    config = fast_config()
+
+    def make(name, pstate):
+        return simulate_workload(
+            get_workload(name),
+            duration_s=150.0,
+            seed=TEST_SEED,
+            config=config,
+            pstate=pstate,
+        ).drop_warmup(2)
+
+    return {
+        pstate: {name: make(name, pstate) for name in ("idle", "gcc")}
+        for pstate in (0, 2)
+    }
+
+
+class TestDvfsFeatures:
+    def test_clock_ghz_reads_the_operating_point(self, dvfs_runs):
+        feature = get_feature("clock_ghz")
+        nominal = feature(dvfs_runs[0]["idle"].counters).mean()
+        low = feature(dvfs_runs[2]["idle"].counters).mean()
+        # 4 packages at 1.5 vs 0.9 GHz.
+        assert nominal == pytest.approx(6.0, rel=0.01)
+        assert low == pytest.approx(3.6, rel=0.01)
+
+    def test_active_clock_ghz_scales_with_state(self, dvfs_runs):
+        feature = get_feature("active_clock_ghz")
+        nominal = feature(dvfs_runs[0]["gcc"].counters)[-10:].mean()
+        low = feature(dvfs_runs[2]["gcc"].counters)[-10:].mean()
+        assert low < nominal
+        assert low == pytest.approx(nominal * 0.6, rel=0.1)
+
+    def test_guops_per_second_scales_with_state(self, dvfs_runs):
+        feature = get_feature("guops_per_second")
+        nominal = feature(dvfs_runs[0]["gcc"].counters)[-10:].mean()
+        low = feature(dvfs_runs[2]["gcc"].counters)[-10:].mean()
+        assert low < nominal * 0.8
+
+    def test_dvfs_features_are_trickle_down(self):
+        for name in ("clock_ghz", "active_clock_ghz", "guops_per_second"):
+            assert get_feature(name).is_trickle_down
+
+
+class TestDvfsSuiteBank:
+    def test_nominal_suite_fails_off_point(self, dvfs_runs, paper_suite):
+        run = dvfs_runs[2]["gcc"]
+        error = average_error(
+            paper_suite.predict(Subsystem.CPU, run.counters),
+            run.power.power(Subsystem.CPU),
+        )
+        assert error > 20.0  # the motivating failure
+
+    def test_bank_dispatches_by_pstate(self, dvfs_runs, training_runs):
+        bank = DvfsSuiteBank.train(
+            {
+                0: {**training_runs},
+                2: {**training_runs, **dvfs_runs[2]},
+            }
+        )
+        assert bank.pstates == (0, 2)
+        run = dvfs_runs[2]["gcc"]
+        # Note: the p-state-2 suite above is trained mostly on nominal
+        # runs, so only check dispatch mechanics here; accuracy is
+        # covered by the bench with proper per-state training sets.
+        assert len(bank.predict_total(2, run.counters)) == run.n_samples
+
+    def test_unknown_pstate_rejected(self, paper_suite):
+        bank = DvfsSuiteBank({0: paper_suite})
+        with pytest.raises(DvfsModelingError, match="no suite"):
+            bank.suite_for(3)
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(DvfsModelingError):
+            DvfsSuiteBank({})
+
+
+class TestFrequencyAwareModel:
+    def test_requires_multiple_pstates(self, dvfs_runs):
+        with pytest.raises(DvfsModelingError, match="unidentifiable"):
+            train_frequency_aware_cpu_model(
+                [dvfs_runs[0]["gcc"], dvfs_runs[0]["idle"]]
+            )
+        with pytest.raises(DvfsModelingError, match="two operating"):
+            train_frequency_aware_cpu_model([dvfs_runs[0]["gcc"]])
+
+    def test_bounded_error_across_states(self, dvfs_runs):
+        model = train_frequency_aware_cpu_model(
+            [
+                dvfs_runs[0]["gcc"],
+                dvfs_runs[2]["gcc"],
+                dvfs_runs[0]["idle"],
+                dvfs_runs[2]["idle"],
+            ]
+        )
+        for pstate in (0, 2):
+            run = dvfs_runs[pstate]["gcc"]
+            error = average_error(
+                model.predict(run.counters), run.power.power(Subsystem.CPU)
+            )
+            # Bounded — but nowhere near per-state accuracy (the model
+            # family cannot express V^2*f x activity).
+            assert error < 35.0
+
+    def test_pstate_recorded_in_metadata(self, dvfs_runs):
+        assert dvfs_runs[2]["gcc"].metadata["pstate"] == 2
+        assert dvfs_runs[0]["gcc"].metadata["pstate"] == 0

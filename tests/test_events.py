@@ -1,0 +1,78 @@
+"""Unit tests for the event taxonomy (core/events.py)."""
+
+from repro.core.events import (
+    Event,
+    LOCAL_EVENTS,
+    SUBSYSTEMS,
+    Subsystem,
+    TRICKLE_DOWN_EVENTS,
+    TRICKLE_DOWN_PATHS,
+    is_trickle_down,
+    render_propagation_diagram,
+)
+
+
+def test_five_subsystems_in_paper_order():
+    assert SUBSYSTEMS == (
+        Subsystem.CPU,
+        Subsystem.CHIPSET,
+        Subsystem.MEMORY,
+        Subsystem.IO,
+        Subsystem.DISK,
+    )
+
+
+def test_trickle_down_and_local_partition_all_events():
+    assert TRICKLE_DOWN_EVENTS | LOCAL_EVENTS == frozenset(Event)
+    assert not TRICKLE_DOWN_EVENTS & LOCAL_EVENTS
+
+
+def test_paper_selection_is_trickle_down():
+    for event in (
+        Event.CYCLES,
+        Event.HALTED_CYCLES,
+        Event.FETCHED_UOPS,
+        Event.L3_MISSES,
+        Event.TLB_MISSES,
+        Event.DMA_ACCESSES,
+        Event.BUS_TRANSACTIONS,
+        Event.UNCACHEABLE_ACCESSES,
+        Event.INTERRUPTS,
+    ):
+        assert is_trickle_down(event)
+
+
+def test_local_events_are_not_trickle_down():
+    for event in (Event.DRAM_READS, Event.DISK_SEEK_TIME, Event.IO_BYTES):
+        assert not is_trickle_down(event)
+
+
+def test_propagation_paths_use_trickle_down_sources():
+    for event, targets in TRICKLE_DOWN_PATHS:
+        assert is_trickle_down(event)
+        assert targets, f"{event} propagates to at least one subsystem"
+        for subsystem in targets:
+            assert isinstance(subsystem, Subsystem)
+
+
+def test_every_non_cpu_subsystem_is_reachable():
+    reachable = {s for _, targets in TRICKLE_DOWN_PATHS for s in targets}
+    assert reachable >= {
+        Subsystem.MEMORY,
+        Subsystem.CHIPSET,
+        Subsystem.IO,
+        Subsystem.DISK,
+    }
+
+
+def test_diagram_mentions_every_trickle_down_event():
+    diagram = render_propagation_diagram()
+    for event in TRICKLE_DOWN_EVENTS:
+        assert event.value in diagram
+
+
+def test_event_string_round_trip():
+    for event in Event:
+        assert Event(event.value) is event
+    for subsystem in Subsystem:
+        assert Subsystem(subsystem.value) is subsystem

@@ -1,0 +1,56 @@
+"""Tests for CSV export/import of measured runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import run_from_csv, run_to_csv
+from repro.core.events import Event, Subsystem
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_everything(self, idle_run, tmp_path):
+        path = str(tmp_path / "idle.csv")
+        run_to_csv(idle_run, path)
+        clone = run_from_csv(path)
+        assert clone.workload == idle_run.workload
+        assert clone.seed == idle_run.seed
+        assert clone.n_samples == idle_run.n_samples
+        assert np.allclose(
+            clone.counters.timestamps, idle_run.counters.timestamps, atol=1e-5
+        )
+        for event in idle_run.counters.events:
+            assert np.allclose(
+                clone.counters.per_cpu(event),
+                idle_run.counters.per_cpu(event),
+                rtol=1e-5,
+            ), event
+        for subsystem in Subsystem:
+            assert np.allclose(
+                clone.power.power(subsystem),
+                idle_run.power.power(subsystem),
+                atol=1e-5,
+            )
+
+    def test_models_work_on_reimported_trace(self, paper_suite, gcc_run, tmp_path):
+        path = str(tmp_path / "gcc.csv")
+        run_to_csv(gcc_run, path)
+        clone = run_from_csv(path)
+        original = paper_suite.predict_total(gcc_run.counters)
+        reimported = paper_suite.predict_total(clone.counters)
+        assert np.allclose(original, reimported, rtol=1e-4)
+
+    def test_header_carries_all_cpus(self, idle_run, tmp_path):
+        path = str(tmp_path / "run.csv")
+        run_to_csv(idle_run, path)
+        with open(path, encoding="utf-8") as handle:
+            handle.readline()
+            header = handle.readline()
+        for cpu in range(idle_run.counters.n_cpus):
+            assert f"ev:cycles:cpu{cpu}" in header
+        assert "pw:cpu" in header and "pw:disk" in header
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# workload=x seed=0\ntimestamp_s,duration_s\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            run_from_csv(str(path))

@@ -1,0 +1,108 @@
+"""Unit tests for feature construction (core/features.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event
+from repro.core.features import (
+    FeatureSet,
+    PAPER_FEATURES,
+    PER_MCYCLE,
+    active_fraction,
+    get_feature,
+    per_cycle,
+    rate,
+)
+from repro.core.traces import CounterTrace
+
+
+def trace_with(counts, durations=None):
+    n = next(iter(counts.values())).shape[0]
+    return CounterTrace(
+        timestamps=np.arange(1.0, n + 1.0),
+        durations=np.ones(n) if durations is None else durations,
+        counts=counts,
+    )
+
+
+def test_per_cycle_sums_per_cpu_rates():
+    trace = trace_with(
+        {
+            Event.CYCLES: np.array([[1.0e6, 2.0e6]]),
+            Event.L3_MISSES: np.array([[100.0, 100.0]]),
+        }
+    )
+    feature = per_cycle(Event.L3_MISSES)
+    # 100/1e6 + 100/2e6
+    assert feature(trace) == pytest.approx([1.5e-4])
+
+
+def test_per_mcycle_scaling():
+    trace = trace_with(
+        {
+            Event.CYCLES: np.array([[1.0e6]]),
+            Event.BUS_TRANSACTIONS: np.array([[42.0]]),
+        }
+    )
+    feature = per_cycle(Event.BUS_TRANSACTIONS, PER_MCYCLE)
+    assert feature(trace) == pytest.approx([42.0])
+
+
+def test_active_fraction_sums_cpus():
+    trace = trace_with(
+        {
+            Event.CYCLES: np.array([[1.0e6, 1.0e6]]),
+            Event.HALTED_CYCLES: np.array([[5.0e5, 0.0]]),
+        }
+    )
+    assert active_fraction()(trace) == pytest.approx([1.5])
+
+
+def test_rate_feature_uses_durations():
+    trace = trace_with(
+        {Event.INTERRUPTS: np.array([[10.0], [20.0]])},
+        durations=np.array([1.0, 2.0]),
+    )
+    assert rate(Event.INTERRUPTS)(trace) == pytest.approx([10.0, 10.0])
+
+
+def test_paper_features_are_trickle_down():
+    for feature in PAPER_FEATURES.values():
+        assert feature.is_trickle_down, feature.name
+
+
+def test_get_feature_unknown_name():
+    with pytest.raises(KeyError, match="available"):
+        get_feature("nope")
+
+
+class TestFeatureSet:
+    def test_of_builds_by_name(self):
+        features = FeatureSet.of("active_fraction", "fetched_uops_per_cycle")
+        assert features.names == ("active_fraction", "fetched_uops_per_cycle")
+
+    def test_duplicate_names_rejected(self):
+        feature = get_feature("active_fraction")
+        with pytest.raises(ValueError, match="duplicate"):
+            FeatureSet([feature, feature])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSet([])
+
+    def test_matrix_shape(self):
+        trace = trace_with(
+            {
+                Event.CYCLES: np.full((3, 2), 1.0e6),
+                Event.HALTED_CYCLES: np.zeros((3, 2)),
+                Event.FETCHED_UOPS: np.full((3, 2), 1.0e6),
+            }
+        )
+        features = FeatureSet.of("active_fraction", "fetched_uops_per_cycle")
+        matrix = features.matrix(trace)
+        assert matrix.shape == (3, 2)
+        assert matrix[:, 0] == pytest.approx(2.0)  # both CPUs fully active
+        assert matrix[:, 1] == pytest.approx(2.0)  # 1 uop/cycle each
+
+    def test_trickle_down_flag(self):
+        assert FeatureSet.of("interrupts_per_mcycle").is_trickle_down

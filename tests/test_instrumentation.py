@@ -1,0 +1,171 @@
+"""Unit tests for counters (perfctr, sampler) and measurement
+(sensors, DAQ, synchronisation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, SUBSYSTEMS, Subsystem
+from repro.core.traces import TraceError
+from repro.counters.perfctr import CounterBank
+from repro.counters.sampler import CounterSampler
+from repro.measurement.daq import DataAcquisition
+from repro.measurement.sensors import PowerSensors
+from repro.measurement.sync import align_windows
+from repro.simulator.config import MeasurementConfig
+from tests.test_traces import make_counter_trace, make_power_trace
+
+
+class TestCounterBank:
+    def test_accumulate_and_clear(self):
+        bank = CounterBank((Event.CYCLES, Event.INTERRUPTS), 2)
+        bank.add(Event.CYCLES, 0, 100.0)
+        bank.add(Event.CYCLES, 0, 50.0)
+        bank.add(Event.CYCLES, 1, 25.0)
+        counts = bank.read_and_clear()
+        assert counts[Event.CYCLES].tolist() == [150.0, 25.0]
+        assert bank.read_and_clear()[Event.CYCLES].tolist() == [0.0, 0.0]
+
+    def test_add_all_cpus(self):
+        bank = CounterBank((Event.CYCLES,), 3)
+        bank.add_all_cpus(Event.CYCLES, [1.0, 2.0, 3.0])
+        assert bank.peek(Event.CYCLES).tolist() == [1.0, 2.0, 3.0]
+
+    def test_negative_counts_rejected(self):
+        bank = CounterBank((Event.CYCLES,), 1)
+        with pytest.raises(ValueError):
+            bank.add(Event.CYCLES, 0, -1.0)
+        with pytest.raises(ValueError):
+            bank.add_all_cpus(Event.CYCLES, [-1.0])
+
+    def test_unknown_event_raises(self):
+        bank = CounterBank((Event.CYCLES,), 1)
+        with pytest.raises(KeyError):
+            bank.add(Event.INTERRUPTS, 0, 1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CounterBank((), 1)
+        with pytest.raises(ValueError):
+            CounterBank((Event.CYCLES,), 0)
+
+
+class TestCounterSampler:
+    def make(self, jitter=0.0):
+        config = MeasurementConfig(sample_jitter_s=jitter)
+        bank = CounterBank((Event.CYCLES,), 2)
+        return bank, CounterSampler(bank, config, np.random.default_rng(1))
+
+    def test_samples_once_per_period(self):
+        bank, sampler = self.make()
+        dt = 0.01
+        pulses = []
+        for i in range(1, 301):
+            bank.add_all_cpus(Event.CYCLES, [1.0e4, 1.0e4])
+            pulse = sampler.maybe_sample(i * dt)
+            if pulse is not None:
+                pulses.append(pulse)
+        assert len(pulses) == 3
+        trace = sampler.finish()
+        assert trace.n_samples == 3
+        # Counts are conserved: 100 ticks of 1e4 cycles per window.
+        assert np.allclose(trace.total(Event.CYCLES), 2.0e6)
+
+    def test_jitter_varies_window_durations(self):
+        bank, sampler = self.make(jitter=0.02)
+        dt = 0.01
+        for i in range(1, 1001):
+            bank.add_all_cpus(Event.CYCLES, [1.0e4, 1.0e4])
+            sampler.maybe_sample(i * dt)
+        trace = sampler.finish()
+        assert trace.durations.std() > 0.0
+        assert abs(trace.durations.mean() - 1.0) < 0.05
+
+    def test_finish_without_samples_raises(self):
+        _, sampler = self.make()
+        with pytest.raises(ValueError, match="no counter samples"):
+            sampler.finish()
+
+
+class TestPowerSensors:
+    def make(self, **kwargs):
+        return PowerSensors(
+            SUBSYSTEMS, MeasurementConfig(**kwargs), np.random.default_rng(2)
+        )
+
+    def test_gain_is_fixed_per_run(self):
+        sensors = self.make()
+        gain = sensors.gain(Subsystem.CPU)
+        assert gain == sensors.gain(Subsystem.CPU)
+        assert abs(gain - 1.0) < 0.02
+
+    def test_observation_close_to_truth(self):
+        sensors = self.make()
+        reading = sensors.observe(Subsystem.CPU, 100.0, 5.0)
+        assert reading == pytest.approx(100.0, rel=0.02)
+
+    def test_zero_noise_config_is_exact(self):
+        sensors = self.make(gain_error_rel=0.0, drift_rel=0.0)
+        assert sensors.observe(Subsystem.DISK, 21.6, 9.0) == pytest.approx(21.6)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().observe(Subsystem.CPU, -1.0, 0.0)
+
+
+class TestDataAcquisition:
+    def make_daq(self):
+        config = MeasurementConfig(gain_error_rel=0.0, drift_rel=0.0)
+        sensors = PowerSensors(SUBSYSTEMS, config, np.random.default_rng(3))
+        return DataAcquisition(sensors, config, np.random.default_rng(4))
+
+    def test_window_average_matches_input(self):
+        daq = self.make_daq()
+        power = {s: 10.0 * (i + 1) for i, s in enumerate(SUBSYSTEMS)}
+        for i in range(1, 101):
+            daq.record_tick(power, i * 0.01, 0.01)
+        daq.close_window(1.0)
+        trace = daq.finish()
+        for i, subsystem in enumerate(SUBSYSTEMS):
+            assert trace.power(subsystem)[0] == pytest.approx(
+                10.0 * (i + 1), rel=0.02
+            )
+
+    def test_nonadvancing_pulse_rejected(self):
+        daq = self.make_daq()
+        daq.record_tick({s: 1.0 for s in SUBSYSTEMS}, 0.01, 0.01)
+        daq.close_window(0.01)
+        with pytest.raises(ValueError):
+            daq.close_window(0.01)
+
+    def test_finish_without_windows_raises(self):
+        with pytest.raises(ValueError, match="sync"):
+            self.make_daq().finish()
+
+
+class TestAlignWindows:
+    def test_identical_timestamps_align_fully(self):
+        counters = make_counter_trace(n=5)
+        power = make_power_trace(n=5)
+        ac, ap = align_windows(counters, power)
+        assert ac.n_samples == ap.n_samples == 5
+
+    def test_offset_streams_trimmed(self):
+        counters = make_counter_trace(n=5)
+        power = make_power_trace(n=6)
+        power.timestamps = np.array([0.5, 1.0, 2.0, 3.0, 4.0, 5.0])
+        ac, ap = align_windows(counters, power)
+        assert ac.n_samples == 5
+        assert np.allclose(ac.timestamps, ap.timestamps)
+
+    def test_misaligned_streams_raise(self):
+        counters = make_counter_trace(n=4)
+        power = make_power_trace(n=4)
+        power.timestamps = power.timestamps + 0.4  # beyond tolerance
+        with pytest.raises(TraceError, match="synchronisation failed"):
+            align_windows(counters, power, tolerance_s=0.05)
+
+    def test_bad_tolerance_rejected(self):
+        counters = make_counter_trace(n=3)
+        power = make_power_trace(n=3)
+        with pytest.raises(ValueError):
+            align_windows(counters, power, tolerance_s=0.0)

@@ -1,0 +1,126 @@
+"""Unit tests for the front-side bus and DRAM subsystems."""
+
+import pytest
+
+from repro.simulator.cache import MemoryTraffic
+from repro.simulator.config import BusConfig, DramConfig
+from repro.simulator.dram import DramSubsystem
+from repro.simulator.membus import FrontSideBus
+
+
+def traffic(demand=1000.0, prefetch=0.0):
+    return MemoryTraffic(demand_load_misses=demand, prefetch_requests=prefetch)
+
+
+class TestFrontSideBus:
+    def test_uncongested_bus_grants_everything(self):
+        bus = FrontSideBus(BusConfig())
+        tick = bus.tick([traffic(demand=100.0, prefetch=50.0)], 0.0, 0.01)
+        assert tick.demand_ratio == 1.0
+        assert tick.prefetch_ratio == 1.0
+        assert tick.granted_transactions == pytest.approx(150.0)
+
+    def test_latency_grows_with_utilization(self):
+        config = BusConfig()
+        bus = FrontSideBus(config)
+        capacity = config.capacity_tx_per_s * 0.01
+        bus.tick([traffic(demand=capacity * 0.8)], 0.0, 0.01)
+        loaded = bus.latency_cycles
+        assert loaded > config.base_latency_cycles * 2.0
+
+    def test_saturation_drops_prefetch_first(self):
+        config = BusConfig()
+        bus = FrontSideBus(config)
+        capacity = config.capacity_tx_per_s * 0.01
+        tick = bus.tick(
+            [traffic(demand=capacity * 0.95, prefetch=capacity * 0.5)], 0.0, 0.01
+        )
+        assert tick.demand_ratio == 1.0
+        assert tick.prefetch_ratio < 0.15
+
+    def test_oversubscribed_demand_scaled(self):
+        config = BusConfig()
+        bus = FrontSideBus(config)
+        capacity = config.capacity_tx_per_s * 0.01
+        tick = bus.tick([traffic(demand=capacity * 2.0)], 0.0, 0.01)
+        assert tick.demand_ratio == pytest.approx(0.5)
+        assert tick.prefetch_ratio == 0.0
+        assert tick.utilization == pytest.approx(1.0)
+
+    def test_dma_snoops_count_as_demand(self):
+        config = BusConfig()
+        bus = FrontSideBus(config)
+        capacity = config.capacity_tx_per_s * 0.01
+        tick = bus.tick([traffic(demand=0.0)], capacity * 0.5, 0.01)
+        assert tick.granted_dma_snoops == pytest.approx(capacity * 0.5)
+        assert tick.utilization == pytest.approx(0.5)
+
+    def test_latency_bounded(self):
+        config = BusConfig()
+        bus = FrontSideBus(config)
+        capacity = config.capacity_tx_per_s * 0.01
+        bus.tick([traffic(demand=capacity * 10.0)], 0.0, 0.01)
+        assert bus.latency_cycles <= config.base_latency_cycles * 8.001
+
+    def test_negative_snoops_rejected(self):
+        with pytest.raises(ValueError):
+            FrontSideBus(BusConfig()).tick([], -1.0, 0.01)
+
+
+class TestDramSubsystem:
+    def test_idle_consumes_background_power(self):
+        dram = DramSubsystem(DramConfig())
+        tick = dram.tick(0.0, 0.0, 0.5, 0.0, 0.0, 1.0, 0.01)
+        assert tick.power_w == pytest.approx(DramConfig().background_power_w)
+
+    def test_writes_cost_more_than_reads(self):
+        config = DramConfig()
+        reads = DramSubsystem(config).tick(1.0e5, 0.0, 0.5, 0.0, 0.0, 1.0, 0.01)
+        writes = DramSubsystem(config).tick(0.0, 1.0e5, 0.5, 0.0, 0.0, 1.0, 0.01)
+        assert writes.power_w > reads.power_w
+
+    def test_random_access_costs_more_than_streaming(self):
+        config = DramConfig()
+        streaming = DramSubsystem(config).tick(1.0e5, 0.0, 1.0, 0.0, 0.0, 1.0, 0.01)
+        random = DramSubsystem(config).tick(1.0e5, 0.0, 0.0, 0.0, 0.0, 1.0, 0.01)
+        assert random.activations > streaming.activations
+        assert random.power_w > streaming.power_w
+
+    def test_more_streams_more_activations(self):
+        config = DramConfig()
+        few = DramSubsystem(config).tick(1.0e5, 0.0, 0.7, 0.0, 0.0, 1.0, 0.01)
+        many = DramSubsystem(config).tick(1.0e5, 0.0, 0.7, 0.0, 0.0, 8.0, 0.01)
+        assert many.activations > few.activations
+
+    def test_dma_gets_streaming_locality(self):
+        config = DramConfig()
+        dram = DramSubsystem(config)
+        cpu_random = dram.tick(1.0e5, 0.0, 0.0, 0.0, 0.0, 4.0, 0.01)
+        dram2 = DramSubsystem(config)
+        dma_only = dram2.tick(0.0, 0.0, 0.0, 1.0e5, 0.0, 4.0, 0.01)
+        assert dma_only.activations < cpu_random.activations
+
+    def test_capacity_clamps_traffic(self):
+        config = DramConfig()
+        dram = DramSubsystem(config)
+        capacity = config.capacity_access_per_s * 0.01
+        tick = dram.tick(capacity * 3.0, 0.0, 0.9, 0.0, 0.0, 1.0, 0.01)
+        assert tick.reads == pytest.approx(capacity)
+        assert tick.active_fraction == pytest.approx(1.0)
+
+    def test_energy_accumulates(self):
+        dram = DramSubsystem(DramConfig())
+        dram.tick(1.0e5, 5.0e4, 0.5, 0.0, 0.0, 2.0, 0.01)
+        dram.tick(1.0e5, 5.0e4, 0.5, 0.0, 0.0, 2.0, 0.01)
+        assert dram.total_reads == pytest.approx(2.0e5)
+        assert dram.total_writes == pytest.approx(1.0e5)
+        assert dram.total_energy_j > 0.0
+
+    def test_row_hit_rate_bounds(self):
+        dram = DramSubsystem(DramConfig())
+        for streamability in (0.0, 0.5, 1.0):
+            for streams in (1.0, 4.0, 16.0):
+                hit = dram.row_hit_rate(streamability, streams)
+                assert 0.0 < hit < 1.0
+        with pytest.raises(ValueError):
+            dram.row_hit_rate(1.5, 1.0)

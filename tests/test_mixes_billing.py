@@ -1,0 +1,122 @@
+"""Tests for heterogeneous mixes and process-level billing."""
+
+import numpy as np
+import pytest
+
+from repro.core.accounting import ProcessBillingError, bill_processes
+from repro.core.events import Subsystem
+from repro.core.validation import average_error
+from repro.simulator.config import fast_config
+from repro.simulator.system import Server
+from repro.workloads.mixes import STANDARD_MIXES, mix
+from tests.conftest import TEST_SEED
+
+
+class TestMix:
+    def test_builds_from_components(self):
+        spec = mix({"gcc": 2, "mcf": 3})
+        assert spec.n_threads == 5
+        assert "gcc:2" in spec.name and "mcf:3" in spec.name
+
+    def test_stagger_applied_across_components(self):
+        spec = mix({"gcc": 2, "DiskLoad": 2}, stagger_s=10.0)
+        starts = [plan.start_time_s for plan in spec.threads]
+        assert starts == [0.0, 10.0, 20.0, 30.0]
+
+    def test_blended_knobs(self):
+        gcc_yield = mix({"gcc": 4}).smt_yield
+        mcf_yield = mix({"mcf": 4}).smt_yield
+        blended = mix({"gcc": 2, "mcf": 2}).smt_yield
+        assert min(gcc_yield, mcf_yield) <= blended <= max(gcc_yield, mcf_yield)
+
+    def test_custom_name(self):
+        assert mix({"gcc": 1}, name="consolidated").name == "consolidated"
+
+    def test_component_thread_limit(self):
+        with pytest.raises(ValueError, match="provides"):
+            mix({"gcc": 99})
+
+    def test_empty_and_invalid(self):
+        with pytest.raises(ValueError):
+            mix({})
+        with pytest.raises(ValueError):
+            mix({"gcc": 0})
+
+    def test_standard_mixes_build_and_run(self, config):
+        for components in STANDARD_MIXES:
+            spec = mix(components)
+            server = Server(config, spec, seed=TEST_SEED)
+            breakdown = server.tick()
+            assert breakdown.total_w > 100.0
+
+    def test_suite_generalises_to_a_mix(self, paper_suite, config):
+        """Trained on homogeneous runs, validated on a heterogeneous
+        one — the consolidation scenario the paper does not test."""
+        spec = mix({"gcc": 3, "mcf": 3}, stagger_s=10.0)
+        server = Server(config, spec, seed=TEST_SEED + 1)
+        run = server.run(120.0).drop_warmup(2)
+        total_error = average_error(
+            paper_suite.predict_total(run.counters), run.power.total()
+        )
+        assert total_error < 10.0
+
+
+class TestProcessBilling:
+    @pytest.fixture(scope="class")
+    def billed_run(self, config, paper_suite):
+        spec = mix({"gcc": 2, "mcf": 2}, stagger_s=15.0)
+        server = Server(config, spec, seed=TEST_SEED + 2)
+        run = server.run(120.0)
+        bills = bill_processes(paper_suite, run.counters, server.process_stats)
+        return server, run, bills
+
+    def test_bills_every_process(self, billed_run):
+        server, _, bills = billed_run
+        assert {bill.thread_id for bill in bills} == set(server.process_stats)
+
+    def test_bills_conserve_total_estimate(self, billed_run, paper_suite):
+        _, run, bills = billed_run
+        billed = sum(bill.total_energy_j for bill in bills)
+        estimated = float(
+            np.sum(
+                paper_suite.predict_total(run.counters) * run.counters.durations
+            )
+        )
+        assert billed == pytest.approx(estimated, rel=1e-6)
+
+    def test_longer_running_processes_pay_more_rent(self, billed_run):
+        _, _, bills = billed_run
+        by_thread = {bill.thread_id: bill for bill in bills}
+        # Thread 0 started first (staggered), so it ran longest.
+        assert by_thread[0].runtime_s >= by_thread[3].runtime_s
+        assert by_thread[0].cpu_energy_j > by_thread[3].cpu_energy_j
+
+    def test_memory_hog_pays_more_induced_energy(self, config, paper_suite):
+        """An mcf tenant induces more memory traffic per runtime second
+        than a gcc tenant and is billed accordingly."""
+        spec = mix({"gcc": 1, "mcf": 1}, stagger_s=1.0)
+        server = Server(config, spec, seed=TEST_SEED + 3)
+        run = server.run(90.0)
+        bills = {
+            bill.thread_id: bill
+            for bill in bill_processes(
+                paper_suite, run.counters, server.process_stats
+            )
+        }
+        gcc_bill, mcf_bill = bills[0], bills[1]
+        gcc_rate = gcc_bill.induced_energy_j / gcc_bill.runtime_s
+        mcf_rate = mcf_bill.induced_energy_j / mcf_bill.runtime_s
+        assert mcf_rate > gcc_rate
+
+    def test_empty_stats_rejected(self, paper_suite, idle_run):
+        with pytest.raises(ProcessBillingError):
+            bill_processes(paper_suite, idle_run.counters, {})
+
+    def test_stats_accumulate_during_run(self, config):
+        server = Server(config, mix({"gcc": 2}, stagger_s=0.5), seed=TEST_SEED)
+        for _ in range(200):
+            server.tick()
+        assert len(server.process_stats) == 2
+        for stats in server.process_stats.values():
+            assert stats.runtime_s > 0.0
+            assert stats.fetched_uops > 0.0

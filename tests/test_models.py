@@ -1,0 +1,118 @@
+"""Unit tests for model objects (core/models.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event
+from repro.core.features import FeatureSet
+from repro.core.models import (
+    ConstantModel,
+    PolynomialModel,
+    SubsystemPowerModel,
+    linear_model,
+    quadratic_model,
+)
+from repro.core.traces import CounterTrace
+
+
+def synthetic_trace(n=40, n_cpus=2, seed=0):
+    rng = np.random.default_rng(seed)
+    cycles = np.full((n, n_cpus), 1.0e6)
+    uops = rng.uniform(0.1, 1.0, (n, n_cpus)) * 1.0e6
+    halted = rng.uniform(0.0, 0.5, (n, n_cpus)) * 1.0e6
+    return CounterTrace(
+        timestamps=np.arange(1.0, n + 1.0),
+        durations=np.ones(n),
+        counts={
+            Event.CYCLES: cycles,
+            Event.FETCHED_UOPS: uops,
+            Event.HALTED_CYCLES: halted,
+        },
+    )
+
+
+class TestConstantModel:
+    def test_predicts_constant(self):
+        model = ConstantModel(19.9)
+        trace = synthetic_trace(n=7)
+        assert np.allclose(model.predict(trace), 19.9)
+        assert model.n_parameters == 1
+
+    def test_fit_takes_mean(self):
+        trace = synthetic_trace(n=5)
+        power = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert ConstantModel.fit(trace, power).value == pytest.approx(3.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            ConstantModel(float("nan"))
+
+    def test_describe_mentions_value(self):
+        assert "19.90" in ConstantModel(19.9).describe()
+
+
+class TestPolynomialModel:
+    def test_fit_recovers_planted_relation(self):
+        trace = synthetic_trace()
+        features = FeatureSet.of("active_fraction", "fetched_uops_per_cycle")
+        matrix = features.matrix(trace)
+        power = 37.0 + 26.45 * matrix[:, 0] + 4.31 * matrix[:, 1]
+        model = PolynomialModel.fit(features, 1, trace, power)
+        assert model.coefficients == pytest.approx([37.0, 26.45, 4.31], abs=1e-6)
+        assert np.allclose(model.predict(trace), power)
+
+    def test_quadratic_coefficient_layout(self):
+        trace = synthetic_trace()
+        features = FeatureSet.of("fetched_uops_per_cycle")
+        matrix = features.matrix(trace)[:, 0]
+        power = 28.0 + 3.43 * matrix + 7.66 * matrix**2
+        model = PolynomialModel.fit(features, 2, trace, power)
+        assert model.degree == 2
+        assert model.coefficients == pytest.approx([28.0, 3.43, 7.66], abs=1e-6)
+
+    def test_wrong_coefficient_count_rejected(self):
+        features = FeatureSet.of("fetched_uops_per_cycle")
+        with pytest.raises(ValueError, match="coefficients"):
+            PolynomialModel(features, 1, np.ones(3))
+
+    def test_bad_degree_rejected(self):
+        features = FeatureSet.of("fetched_uops_per_cycle")
+        with pytest.raises(ValueError, match="degree"):
+            PolynomialModel(features, 3, np.ones(4))
+
+    def test_describe_is_equation_like(self):
+        trace = synthetic_trace()
+        model = linear_model(
+            trace, np.full(trace.n_samples, 40.0), "active_fraction"
+        )
+        text = model.describe()
+        assert text.startswith("P = ")
+        assert "active_fraction" in text
+
+    def test_serialisation_round_trip(self):
+        trace = synthetic_trace()
+        model = quadratic_model(
+            trace,
+            40.0 + 2.0 * np.arange(trace.n_samples, dtype=float),
+            "fetched_uops_per_cycle",
+        )
+        clone = SubsystemPowerModel.from_dict(model.to_dict())
+        assert isinstance(clone, PolynomialModel)
+        assert np.allclose(clone.predict(trace), model.predict(trace))
+
+    def test_constant_serialisation_round_trip(self):
+        clone = SubsystemPowerModel.from_dict(ConstantModel(5.0).to_dict())
+        assert isinstance(clone, ConstantModel)
+        assert clone.value == 5.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown model kind"):
+            SubsystemPowerModel.from_dict({"kind": "mystery"})
+
+    def test_diagnostics_attached_by_fit(self):
+        trace = synthetic_trace()
+        model = linear_model(
+            trace, np.full(trace.n_samples, 40.0), "active_fraction"
+        )
+        assert model.diagnostics is not None
+        assert model.diagnostics.n_samples == trace.n_samples

@@ -1,0 +1,210 @@
+"""Unit tests for the OS layer: threads, scheduler, page cache, timer,
+interrupt accounting."""
+
+import numpy as np
+import pytest
+
+from repro.osim.pagecache import PageCache
+from repro.osim.process import SimThread, ThreadState
+from repro.osim.procfs import InterruptAccounting, Vector
+from repro.osim.scheduler import Scheduler
+from repro.osim.timer import TimerSource
+from repro.simulator.config import OsConfig
+from repro.workloads.base import Phase, PhaseBehavior, ThreadPlan
+
+
+def make_thread(thread_id=0, start=0.0, variability=0.0, phases=None, loop=True):
+    plan = ThreadPlan(
+        phases=tuple(
+            phases
+            or [Phase(10.0, PhaseBehavior(uops_per_cycle=1.0), "a")]
+        ),
+        start_time_s=start,
+        loop=loop,
+    )
+    return SimThread(thread_id, plan, variability, np.random.default_rng(thread_id))
+
+
+class TestSimThread:
+    def test_not_started_before_start_time(self):
+        thread = make_thread(start=5.0)
+        assert thread.state(1.0) is ThreadState.NOT_STARTED
+        assert thread.tick(1.0, 0.01) is None
+
+    def test_runnable_after_start(self):
+        thread = make_thread(start=5.0)
+        assert thread.state(6.0) is ThreadState.RUNNABLE
+        assert thread.tick(6.0, 0.01) is not None
+
+    def test_non_looping_thread_finishes(self):
+        thread = make_thread(loop=False)
+        for _ in range(1001):
+            thread.tick(100.0, 0.01)
+        assert thread.state(100.0) is ThreadState.FINISHED
+
+    def test_phase_progression(self):
+        phases = [
+            Phase(1.0, PhaseBehavior(uops_per_cycle=1.0), "first"),
+            Phase(1.0, PhaseBehavior(uops_per_cycle=2.0), "second"),
+        ]
+        thread = make_thread(phases=phases)
+        first = thread.tick(0.1, 0.5)
+        assert first.phase_name == "first"
+        thread.tick(0.6, 0.5)
+        third = thread.tick(1.1, 0.5)
+        assert third.phase_name == "second"
+
+    def test_modulation_is_neutral_without_variability(self):
+        thread = make_thread(variability=0.0)
+        activity = thread.tick(0.0, 0.01)
+        assert activity.modulation == pytest.approx(1.0)
+
+    def test_modulation_varies_with_variability(self):
+        thread = make_thread(variability=0.3)
+        values = {round(thread.tick(0.0, 1.0).modulation, 6) for _ in range(50)}
+        assert len(values) > 10
+
+    def test_sync_requested_once_per_phase_entry(self):
+        phases = [
+            Phase(1.0, PhaseBehavior(uops_per_cycle=1.0), "work"),
+            Phase(1.0, PhaseBehavior(uops_per_cycle=0.5, sync_file=True), "sync"),
+        ]
+        thread = make_thread(phases=phases)
+        syncs = sum(
+            thread.tick(0.0, 0.25).sync_requested for _ in range(16)  # 4s: 2 cycles
+        )
+        assert syncs == 2
+
+
+class TestScheduler:
+    def test_breadth_first_placement(self):
+        scheduler = Scheduler(4, 2)
+        threads = [make_thread(i) for i in range(4)]
+        loads = scheduler.tick(threads, 1.0, 0.01)
+        assert [load.n_running for load in loads] == [1, 1, 1, 1]
+
+    def test_sticky_affinity(self):
+        scheduler = Scheduler(2, 2)
+        threads = [make_thread(i) for i in range(2)]
+        scheduler.tick(threads, 1.0, 0.01)
+        switches_before = scheduler.context_switches
+        scheduler.tick(threads, 1.1, 0.01)
+        assert scheduler.context_switches == switches_before
+
+    def test_smt_doubling_after_packages_full(self):
+        scheduler = Scheduler(2, 2)
+        threads = [make_thread(i) for i in range(4)]
+        loads = scheduler.tick(threads, 1.0, 0.01)
+        assert [load.n_running for load in loads] == [2, 2]
+
+    def test_overflow_time_shares(self):
+        scheduler = Scheduler(1, 2)
+        threads = [make_thread(i) for i in range(4)]
+        loads = scheduler.tick(threads, 1.0, 0.01)
+        load = loads[0]
+        assert load.n_running == 4
+        assert sum(a.occupancy for a in load.activities) == pytest.approx(2.0)
+
+    def test_package_occupancy_zero_when_idle(self):
+        scheduler = Scheduler(2, 2)
+        loads = scheduler.tick([], 1.0, 0.01)
+        assert all(load.occupancy == 0.0 for load in loads)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(0, 2)
+
+
+class TestPageCache:
+    def test_writes_dirty_the_cache(self):
+        cache = PageCache(OsConfig())
+        request = cache.tick(10.0e6, 0.0, 1.0, 0.01, 90.0e6)
+        assert cache.dirty_bytes == pytest.approx(1.0e5)
+        assert request.write_bytes == 0.0  # below background threshold
+
+    def test_read_misses_reach_the_disk(self):
+        cache = PageCache(OsConfig())
+        request = cache.tick(0.0, 10.0e6, 0.8, 0.01, 90.0e6)
+        assert request.read_bytes == pytest.approx(10.0e6 * 0.01 * 0.2)
+
+    def test_sync_flushes_everything(self):
+        cache = PageCache(OsConfig())
+        cache.tick(100.0e6, 0.0, 1.0, 0.1, 90.0e6)
+        dirty = cache.dirty_bytes
+        cache.request_sync()
+        drained = 0.0
+        for _ in range(300):
+            drained += cache.tick(0.0, 0.0, 1.0, 0.01, 90.0e6).write_bytes
+            if not cache.sync_in_progress:
+                break
+        assert drained == pytest.approx(dirty, rel=1e-6)
+        assert cache.dirty_bytes == pytest.approx(0.0)
+
+    def test_sync_drain_limited_by_disk_speed(self):
+        cache = PageCache(OsConfig())
+        cache.tick(500.0e6, 0.0, 1.0, 0.1, 90.0e6)
+        cache.request_sync()
+        request = cache.tick(0.0, 0.0, 1.0, 0.01, 90.0e6)
+        assert request.write_bytes <= 90.0e6 * 0.01 * 1.0001
+
+    def test_background_writeback_kicks_in(self):
+        config = OsConfig()
+        cache = PageCache(config)
+        threshold = config.page_cache_bytes * config.dirty_background_ratio
+        cache.tick(threshold * 1.5 / 0.01, 0.0, 1.0, 0.01, 90.0e6)
+        request = cache.tick(0.0, 0.0, 1.0, 0.01, 90.0e6)
+        assert request.write_bytes > 0.0
+
+    def test_dirty_fraction_bounded_under_sustained_writes(self):
+        cache = PageCache(OsConfig())
+        for _ in range(2000):
+            cache.tick(120.0e6, 0.0, 1.0, 0.01, 90.0e6)
+        assert cache.dirty_fraction < 1.5
+
+
+class TestTimerSource:
+    def test_hz_rate_maintained(self):
+        timer = TimerSource(OsConfig(timer_hz=1000.0), 4)
+        total = np.zeros(4)
+        for _ in range(100):
+            total += timer.tick(0.01)
+        assert np.allclose(total, 1000.0)
+
+    def test_fractional_ticks_accumulate(self):
+        timer = TimerSource(OsConfig(timer_hz=100.0), 1)
+        fired = [timer.tick(0.004)[0] for _ in range(5)]  # 0.4 irq/tick
+        assert sum(fired) == 2
+
+
+class TestInterruptAccounting:
+    def test_round_robin_distribution(self):
+        acct = InterruptAccounting(4)
+        cpus = [acct.deliver(Vector.DISK, 1) for _ in range(8)]
+        assert cpus == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_timer_pinned_to_cpu(self):
+        acct = InterruptAccounting(2)
+        acct.deliver(Vector.TIMER, 5, cpu=1)
+        snapshot = acct.snapshot()
+        assert snapshot[Vector.TIMER] == [0.0, 5.0]
+
+    def test_read_and_clear(self):
+        acct = InterruptAccounting(2)
+        acct.deliver(Vector.DISK, 3, cpu=0)
+        first = acct.read_and_clear()
+        assert first[Vector.DISK][0] == 3.0
+        second = acct.read_and_clear()
+        assert second[Vector.DISK][0] == 0.0
+
+    def test_per_cpu_totals_span_vectors(self):
+        acct = InterruptAccounting(2)
+        acct.deliver(Vector.TIMER, 2, cpu=0)
+        acct.deliver(Vector.DISK, 1, cpu=0)
+        assert acct.per_cpu_total() == [3.0, 0.0]
+
+    def test_invalid_inputs_rejected(self):
+        acct = InterruptAccounting(2)
+        with pytest.raises(ValueError):
+            acct.deliver(Vector.DISK, -1)
+        with pytest.raises(ValueError):
+            acct.deliver(Vector.DISK, 1, cpu=7)

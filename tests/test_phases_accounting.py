@@ -1,0 +1,105 @@
+"""Tests for the extensions: phase detection and per-CPU accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.accounting import PowerAccountant
+from repro.core.events import Subsystem
+from repro.core.features import FeatureSet
+from repro.core.models import ConstantModel
+from repro.core.phases import PhaseDetector, power_phase_table
+from repro.core.suite import TrickleDownSuite
+
+
+def detector():
+    return PhaseDetector(
+        FeatureSet.of("active_fraction", "fetched_uops_per_cycle"),
+        threshold=0.3,
+    )
+
+
+class TestPhaseDetector:
+    def test_detects_idle_vs_loaded_phases(self, gcc_run):
+        d = detector()
+        assignments = d.fit(gcc_run.counters, gcc_run.power.power(Subsystem.CPU))
+        assert d.n_phases >= 2
+        assert len(assignments) == gcc_run.n_samples
+
+    def test_phases_separate_power_levels(self, gcc_run):
+        d = detector()
+        d.fit(gcc_run.counters, gcc_run.power.power(Subsystem.CPU))
+        table = power_phase_table(d)
+        means = [row[2] for row in table if row[1] >= 5]
+        assert max(means) - min(means) > 20.0  # ramp spans many Watts
+
+    def test_single_phase_for_stationary_idle(self, idle_run):
+        d = detector()
+        d.fit(idle_run.counters, idle_run.power.power(Subsystem.CPU))
+        table = power_phase_table(d)
+        # The dominant phase holds almost all samples.
+        assert table[0][1] >= idle_run.n_samples * 0.9
+
+    def test_stability_metric(self, gcc_run, idle_run):
+        d_idle = detector()
+        idle_assign = d_idle.fit(idle_run.counters)
+        d_gcc = detector()
+        gcc_assign = d_gcc.fit(gcc_run.counters)
+        assert d_idle.stability(idle_assign) >= d_gcc.stability(gcc_assign) - 0.05
+        assert 0.0 <= d_gcc.stability(gcc_assign) <= 1.0
+
+    def test_threshold_controls_granularity(self, gcc_run):
+        coarse = PhaseDetector(
+            FeatureSet.of("active_fraction"), threshold=1.0
+        )
+        fine = PhaseDetector(
+            FeatureSet.of("active_fraction"), threshold=0.05
+        )
+        coarse.fit(gcc_run.counters)
+        fine.fit(gcc_run.counters)
+        assert fine.n_phases >= coarse.n_phases
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseDetector(FeatureSet.of("active_fraction"), threshold=0.0)
+
+    def test_power_length_mismatch_rejected(self, idle_run):
+        d = detector()
+        with pytest.raises(ValueError):
+            d.fit(idle_run.counters, np.ones(3))
+
+
+class TestPowerAccountant:
+    def test_per_cpu_sums_to_suite_estimate(self, paper_suite, gcc_run):
+        accountant = PowerAccountant(paper_suite)
+        attribution = accountant.attribute(gcc_run.counters)
+        suite_cpu = paper_suite.predict(Subsystem.CPU, gcc_run.counters)
+        assert np.allclose(
+            attribution.cpu_watts.sum(axis=1), suite_cpu, rtol=1e-9
+        )
+
+    def test_staggered_start_shows_asymmetry_then_balance(
+        self, paper_suite, gcc_run
+    ):
+        accountant = PowerAccountant(paper_suite)
+        attribution = accountant.attribute(gcc_run.counters)
+        early = attribution.cpu_watts[: gcc_run.n_samples // 8]
+        late = attribution.cpu_watts[-gcc_run.n_samples // 8 :]
+        # Early in the staggered ramp, one package dominates.
+        assert early.max(axis=1).mean() > early.min(axis=1).mean() + 5.0
+        # Once all threads run, packages are balanced.
+        late_spread = late.max(axis=1).mean() - late.min(axis=1).mean()
+        assert late_spread < 6.0
+
+    def test_induced_power_attributed_by_activity(self, paper_suite, gcc_run):
+        accountant = PowerAccountant(paper_suite)
+        attribution = accountant.attribute(gcc_run.counters)
+        assert (attribution.induced_watts >= 0.0).all()
+        # Four CPUs' attributed totals are all positive and finite.
+        totals = attribution.total_per_cpu
+        assert totals.shape == (4,)
+        assert (totals > 10.0).all()
+
+    def test_requires_polynomial_cpu_model(self):
+        suite = TrickleDownSuite({Subsystem.CPU: ConstantModel(40.0)})
+        with pytest.raises(TypeError, match="polynomial"):
+            PowerAccountant(suite)

@@ -1,0 +1,114 @@
+"""Tests for ASCII charts, residual diagnostics and the new CLI verbs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ascii_chart, residual_summary
+from repro.cli import main as cli_main
+
+
+class TestAsciiChart:
+    def test_renders_grid_with_axis(self):
+        chart = ascii_chart(
+            {"a": np.linspace(0.0, 10.0, 100)}, width=40, height=8
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 10  # 8 rows + axis + legend
+        assert "*=a" in lines[-1]
+        assert "|" in lines[0]
+
+    def test_two_series_get_distinct_glyphs(self):
+        chart = ascii_chart(
+            {
+                "measured": np.linspace(0.0, 1.0, 50),
+                "modeled": np.linspace(1.0, 0.0, 50),
+            },
+            width=30,
+            height=6,
+        )
+        assert "*=measured" in chart
+        assert "o=modeled" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_long_series_downsampled(self):
+        chart = ascii_chart({"x": np.sin(np.linspace(0, 20, 5000))}, width=50)
+        for line in chart.splitlines()[:-2]:
+            assert len(line) <= 50 + 11
+
+    def test_constant_series_does_not_crash(self):
+        ascii_chart({"flat": np.full(20, 42.0)})
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"x": np.ones(5)}, width=4)
+        with pytest.raises(ValueError):
+            ascii_chart({"x": np.array([])})
+
+    def test_y_axis_bounds_bracket_data(self):
+        chart = ascii_chart({"x": np.array([10.0, 20.0, 30.0])}, height=6)
+        lines = chart.splitlines()
+        top = float(lines[0].split("|")[0])
+        bottom = float(lines[5].split("|")[0])
+        assert top >= 30.0
+        assert bottom <= 10.0
+
+
+class TestResidualSummary:
+    def test_perfect_model(self):
+        series = np.linspace(10.0, 20.0, 50)
+        stats = residual_summary(series, series)
+        assert stats["bias_w"] == 0.0
+        assert stats["rmse_w"] == 0.0
+        assert stats["correlation"] == pytest.approx(1.0)
+
+    def test_constant_offset(self):
+        measured = np.linspace(10.0, 20.0, 50)
+        stats = residual_summary(measured, measured + 2.0)
+        assert stats["bias_w"] == pytest.approx(2.0)
+        assert stats["rmse_w"] == pytest.approx(2.0)
+        assert stats["p95_abs_error_w"] == pytest.approx(2.0)
+
+    def test_bias_sign_convention(self):
+        """Positive bias means the model overestimates."""
+        measured = np.full(10, 100.0)
+        measured[0] += 1e-9  # avoid zero variance
+        stats = residual_summary(measured, np.full(10, 90.0))
+        assert stats["bias_w"] < 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            residual_summary(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            residual_summary(np.ones(1), np.ones(1))
+
+
+class TestCliExtras:
+    COMMON = ["--duration", "60", "--tick-ms", "10"]
+
+    def test_export_command(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.csv")
+        code = cli_main(["export", "idle", "-o", out] + self.COMMON)
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        with open(out, encoding="utf-8") as handle:
+            assert handle.readline().startswith("# workload=idle")
+
+    def test_export_requires_output(self):
+        with pytest.raises(SystemExit):
+            cli_main(["export", "idle"] + self.COMMON)
+
+    def test_billing_command(self, capsys):
+        code = cli_main(["billing"] + self.COMMON)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-process energy bill" in out
+        assert "thread 0" in out
+
+    def test_figure_command_renders_chart(self, capsys):
+        code = cli_main(["fig6"] + self.COMMON)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "residuals:" in out
+        assert "*=measured" in out

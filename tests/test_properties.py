@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) on core data structures and
+simulator invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event
+from repro.core.regression import fit_least_squares, polynomial_design
+from repro.core.traces import CounterTrace
+from repro.core.validation import average_error
+from repro.counters.perfctr import CounterBank
+from repro.osim.pagecache import PageCache
+from repro.simulator.cache import MemoryTraffic, merge_traffic
+from repro.simulator.config import (
+    BusConfig,
+    DiskConfig,
+    DramConfig,
+    IoConfig,
+    OsConfig,
+)
+from repro.simulator.disk import DiskSubsystem
+from repro.simulator.dma import DmaEngine
+from repro.simulator.dram import DramSubsystem
+from repro.simulator.membus import FrontSideBus
+
+finite = st.floats(
+    min_value=0.0, max_value=1.0e7, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRegressionProperties:
+    @given(
+        coeffs=st.tuples(
+            st.floats(-100.0, 100.0), st.floats(-10.0, 10.0), st.floats(-1.0, 1.0)
+        ),
+        xs=st.lists(st.floats(0.0, 50.0), min_size=8, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quadratic_fit_recovers_generating_coefficients(self, coeffs, xs):
+        """Fitting noise-free data from the model family is exact."""
+        x = np.asarray(xs)
+        if np.ptp(x) < 1.0e-3:  # degenerate: no variation to identify slope
+            return
+        design = polynomial_design(x[:, None], 2)
+        target = coeffs[0] + coeffs[1] * x + coeffs[2] * x**2
+        fitted, diag = fit_least_squares(design, target)
+        predicted = design @ fitted
+        assert np.allclose(predicted, target, atol=1.0e-5 * max(1.0, np.abs(target).max()))
+
+    @given(
+        values=st.lists(st.floats(1.0, 1000.0), min_size=1, max_size=50),
+        scale=st.floats(0.5, 2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_average_error_scale_invariant(self, values, scale):
+        """Eq. 6 is invariant to rescaling both series."""
+        measured = np.asarray(values)
+        modeled = measured * 1.07
+        a = average_error(modeled, measured)
+        b = average_error(modeled * scale, measured * scale)
+        assert np.isclose(a, b)
+        assert np.isclose(a, 7.0)
+
+
+class TestCounterProperties:
+    @given(
+        counts=st.lists(
+            st.lists(finite, min_size=3, max_size=3), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_counter_bank_conserves_counts(self, counts):
+        """Sum of read_and_clear values equals the sum of all adds."""
+        bank = CounterBank((Event.CYCLES,), 3)
+        total = np.zeros(3)
+        snapshots = []
+        for row in counts:
+            bank.add_all_cpus(Event.CYCLES, row)
+            total += np.asarray(row)
+            if len(snapshots) < 3:
+                snapshots.append(bank.read_and_clear()[Event.CYCLES])
+        snapshots.append(bank.read_and_clear()[Event.CYCLES])
+        assert np.allclose(np.sum(snapshots, axis=0), total, rtol=1e-9)
+
+
+class TestBusProperties:
+    @given(
+        demand=finite,
+        prefetch=finite,
+        snoops=finite,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grants_never_exceed_capacity(self, demand, prefetch, snoops):
+        bus = FrontSideBus(BusConfig())
+        tick = bus.tick(
+            [MemoryTraffic(demand_load_misses=demand, prefetch_requests=prefetch)],
+            snoops,
+            0.01,
+        )
+        capacity = BusConfig().capacity_tx_per_s * 0.01
+        assert tick.granted_transactions <= capacity * (1.0 + 1.0e-9)
+        assert 0.0 <= tick.demand_ratio <= 1.0
+        assert 0.0 <= tick.prefetch_ratio <= 1.0
+        assert 0.0 <= tick.utilization <= 1.0
+        assert tick.latency_cycles >= BusConfig().base_latency_cycles
+
+
+class TestDramProperties:
+    @given(
+        reads=finite,
+        writes=finite,
+        streamability=st.floats(0.0, 1.0),
+        streams=st.floats(1.0, 32.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_power_bounded_and_monotonic_floor(
+        self, reads, writes, streamability, streams
+    ):
+        dram = DramSubsystem(DramConfig())
+        tick = dram.tick(reads, writes, streamability, 0.0, 0.0, streams, 0.01)
+        assert tick.power_w >= DramConfig().background_power_w - 1.0e-9
+        assert tick.activations <= tick.reads + tick.writes + 1.0e-6
+        assert 0.0 <= tick.row_hit_rate <= 1.0
+
+
+class TestDiskProperties:
+    @given(
+        submissions=st.lists(
+            st.tuples(
+                st.floats(0.0, 5.0e6, allow_subnormal=False),
+                st.floats(0.0, 5.0e6, allow_subnormal=False),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_served_never_exceed_submitted(self, submissions):
+        disk = DiskSubsystem(DiskConfig())
+        submitted = 0.0
+        served = 0.0
+        for reads, writes, seq in submissions:
+            disk.submit(reads, writes, write_sequential=seq)
+            submitted += reads + writes
+            served += disk.tick(0.01).served_bytes
+        for _ in range(2000):
+            served += disk.tick(0.01).served_bytes
+        assert served <= submitted * (1.0 + 1.0e-9) + 1.0e-9
+        assert served + disk.queued_bytes == np.float64(submitted).item() or (
+            abs(served + disk.queued_bytes - submitted) < max(1.0, submitted) * 1e-6
+        )
+
+    @given(reads=st.floats(0.0, 1.0e7), writes=st.floats(0.0, 1.0e7))
+    @settings(max_examples=40, deadline=None)
+    def test_power_within_mode_envelope(self, reads, writes):
+        config = DiskConfig()
+        disk = DiskSubsystem(config)
+        disk.submit(reads, writes)
+        tick = disk.tick(0.01)
+        floor = config.rotation_power_w * config.num_disks
+        ceiling = floor + config.num_disks * (
+            config.seek_power_w + config.transfer_power_w
+        )
+        assert floor - 1.0e-9 <= tick.power_w <= ceiling + 1.0e-9
+
+
+class TestDmaProperties:
+    @given(
+        transfers=st.lists(
+            st.tuples(st.floats(0.0, 1.0e6), st.floats(0.0, 1.0e6)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_interrupt_count_matches_total_bytes(self, transfers):
+        config = IoConfig()
+        engine = DmaEngine(config)
+        total_bytes = 0.0
+        total_interrupts = 0
+        for inbound, outbound in transfers:
+            tick = engine.tick(inbound, outbound)
+            total_bytes += inbound + outbound
+            total_interrupts += tick.interrupts
+        expected = total_bytes / config.bytes_per_interrupt
+        assert abs(total_interrupts - expected) <= 1.0
+
+
+class TestPageCacheProperties:
+    @given(
+        writes=st.lists(st.floats(0.0, 2.0e8), min_size=1, max_size=40),
+        sync_at=st.integers(0, 39),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dirty_bytes_conserved(self, writes, sync_at):
+        """written = drained-to-disk + still-dirty, always."""
+        cache = PageCache(OsConfig())
+        written = 0.0
+        drained = 0.0
+        for i, write_bps in enumerate(writes):
+            if i == sync_at:
+                cache.request_sync()
+            request = cache.tick(write_bps, 0.0, 1.0, 0.01, 9.0e7)
+            written += write_bps * 0.01
+            drained += request.write_bytes
+        assert np.isclose(written, drained + cache.dirty_bytes, rtol=1e-9, atol=1.0)
+        assert cache.dirty_bytes >= 0.0
+
+
+class TestTraceProperties:
+    @given(
+        n=st.integers(2, 20),
+        n_cpus=st.integers(1, 8),
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_slice_concat_identity(self, n, n_cpus, data):
+        counts = data.draw(
+            st.lists(
+                st.lists(finite, min_size=n_cpus, max_size=n_cpus),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        trace = CounterTrace(
+            timestamps=np.arange(1.0, n + 1.0),
+            durations=np.ones(n),
+            counts={Event.CYCLES: np.asarray(counts) + 1.0},
+        )
+        k = data.draw(st.integers(1, n - 1))
+        left, right = trace.slice(0, k), trace.slice(k)
+        rejoined = np.concatenate(
+            [left.total(Event.CYCLES), right.total(Event.CYCLES)]
+        )
+        assert np.allclose(rejoined, trace.total(Event.CYCLES))

@@ -1,0 +1,91 @@
+"""Unit tests for least-squares fitting (core/regression.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.regression import (
+    RegressionError,
+    fit_least_squares,
+    polynomial_design,
+)
+
+
+class TestPolynomialDesign:
+    def test_degree_one_adds_intercept(self):
+        raw = np.array([[1.0], [2.0]])
+        design = polynomial_design(raw, 1)
+        assert design.shape == (2, 2)
+        assert np.allclose(design[:, 0], 1.0)
+        assert np.allclose(design[:, 1], [1.0, 2.0])
+
+    def test_degree_two_squares_each_feature(self):
+        raw = np.array([[2.0, 3.0]])
+        design = polynomial_design(raw, 2)
+        assert np.allclose(design, [[1.0, 2.0, 3.0, 4.0, 9.0]])
+
+    def test_no_cross_terms(self):
+        raw = np.array([[2.0, 3.0]])
+        design = polynomial_design(raw, 2)
+        assert 6.0 not in design  # 2*3 cross term absent
+
+    def test_degree_zero_is_intercept_only(self):
+        design = polynomial_design(np.ones((4, 3)), 0)
+        assert design.shape == (4, 1)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(RegressionError):
+            polynomial_design(np.ones(3), 1)
+        with pytest.raises(RegressionError):
+            polynomial_design(np.ones((3, 1)), -1)
+
+
+class TestFitLeastSquares:
+    def test_recovers_exact_linear_relation(self):
+        x = np.linspace(0.0, 10.0, 50)
+        design = polynomial_design(x[:, None], 1)
+        target = 3.0 + 2.0 * x
+        coeffs, diag = fit_least_squares(design, target)
+        assert coeffs == pytest.approx([3.0, 2.0])
+        assert diag.r_squared == pytest.approx(1.0)
+        assert diag.avg_abs_error_pct < 1.0e-8
+
+    def test_recovers_quadratic(self, rng):
+        x = rng.uniform(0.0, 5.0, 200)
+        design = polynomial_design(x[:, None], 2)
+        target = 1.0 + 0.5 * x + 0.25 * x**2
+        coeffs, _ = fit_least_squares(design, target)
+        assert coeffs == pytest.approx([1.0, 0.5, 0.25], abs=1.0e-8)
+
+    def test_noise_degrades_r_squared(self, rng):
+        x = np.linspace(0.0, 10.0, 300)
+        design = polynomial_design(x[:, None], 1)
+        target = 5.0 + x + rng.normal(0.0, 2.0, x.size)
+        _, diag = fit_least_squares(design, target)
+        assert 0.0 < diag.r_squared < 1.0
+        assert diag.rmse_w > 0.5
+
+    def test_underdetermined_rejected(self):
+        design = np.ones((2, 3))
+        with pytest.raises(RegressionError, match="at least"):
+            fit_least_squares(design, np.ones(2))
+
+    def test_nonfinite_rejected(self):
+        design = np.array([[1.0, np.nan], [1.0, 2.0], [1.0, 3.0]])
+        with pytest.raises(RegressionError, match="non-finite"):
+            fit_least_squares(design, np.ones(3))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(RegressionError):
+            fit_least_squares(np.ones((3, 1)), np.ones(4))
+
+    def test_constant_target_r_squared_is_one(self):
+        design = polynomial_design(np.arange(5.0)[:, None], 1)
+        coeffs, diag = fit_least_squares(design, np.full(5, 7.0))
+        assert coeffs[0] == pytest.approx(7.0)
+        assert diag.r_squared == pytest.approx(1.0)
+
+    def test_condition_number_reported(self):
+        x = np.linspace(1.0, 2.0, 20)
+        design = polynomial_design(np.column_stack([x, x * 1.0000001]), 1)
+        _, diag = fit_least_squares(design, x)
+        assert diag.condition_number > 1.0e5  # nearly collinear features

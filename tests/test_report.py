@@ -1,0 +1,79 @@
+"""Tests for the EXPERIMENTS.md report builder (analysis/report.py)."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentContext
+from repro.analysis.report import build_report
+from repro.simulator.config import fast_config
+
+
+@pytest.fixture(scope="module")
+def report_text(tmp_path_factory):
+    """One full (short) report build; shared across assertions."""
+    context = ExperimentContext(
+        config=fast_config(),
+        seed=19,
+        duration_s=80.0,
+        cache_dir=str(tmp_path_factory.mktemp("report-runs")),
+    )
+    return build_report(context)
+
+
+class TestBuildReport:
+    def test_contains_all_tables(self, report_text):
+        for title in (
+            "Table 1: Subsystem Average Power",
+            "Table 2: Subsystem Power Standard Deviation",
+            "Table 3: Integer Average Model Error",
+            "Table 4: Floating-Point Average Model Error",
+        ):
+            assert title in report_text
+
+    def test_contains_all_figures(self, report_text):
+        for figure in ("Figure 2", "Figure 3", "Figure 4", "Figure 5",
+                       "Figure 6", "Figure 7"):
+            assert figure in report_text
+
+    def test_contains_fitted_equations(self, report_text):
+        assert "Equations 1-5 analogues" in report_text
+        assert "bus_transactions_per_mcycle" in report_text
+        assert "l3_misses_per_mcycle" in report_text  # the ablation model
+
+    def test_paper_values_shown_alongside(self, report_text):
+        # Table 1 idle row carries the paper's 38.40 W reference.
+        assert "*(38.40)*" in report_text
+
+    def test_every_workload_row_present(self, report_text):
+        from repro.workloads.registry import PAPER_WORKLOADS
+
+        for name in PAPER_WORKLOADS:
+            assert f"| {name} |" in report_text
+
+    def test_deviations_documented(self, report_text):
+        assert "Known deviations" in report_text
+        assert "Heavy-FP memory error sign" in report_text
+
+    def test_extensions_summarised(self, report_text):
+        assert "Extensions (beyond the paper's evaluation)" in report_text
+        assert "Per-vector interrupt attribution" in report_text
+
+    def test_dc_adjusted_section(self, report_text):
+        assert "DC-offset-adjusted errors" in report_text
+
+    def test_is_valid_markdown_tables(self, report_text):
+        """Every pipe-table row has a consistent column count."""
+        lines = report_text.splitlines()
+        i = 0
+        tables_checked = 0
+        while i < len(lines):
+            if lines[i].startswith("| workload"):
+                width = lines[i].count("|")
+                j = i + 1
+                while j < len(lines) and lines[j].startswith("|"):
+                    assert lines[j].count("|") == width, lines[j]
+                    j += 1
+                tables_checked += 1
+                i = j
+            else:
+                i += 1
+        assert tables_checked >= 4

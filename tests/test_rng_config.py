@@ -1,0 +1,74 @@
+"""Unit tests for RNG streams and system configuration."""
+
+import pytest
+
+from repro.simulator.config import SystemConfig, fast_config
+from repro.simulator.rng import RngStreams, _stable_hash
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(42).stream("dram").standard_normal(8)
+        b = RngStreams(42).stream("dram").standard_normal(8)
+        assert (a == b).all()
+
+    def test_different_names_differ(self):
+        streams = RngStreams(42)
+        a = streams.stream("dram").standard_normal(8)
+        b = streams.stream("disk").standard_normal(8)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").standard_normal(8)
+        b = RngStreams(2).stream("x").standard_normal(8)
+        assert not (a == b).all()
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_stable_hash_is_deterministic(self):
+        assert _stable_hash("memory") == _stable_hash("memory")
+        assert _stable_hash("memory") != _stable_hash("disk")
+        assert 0 <= _stable_hash("anything") < 2**32
+
+
+class TestSystemConfig:
+    def test_defaults_describe_the_paper_machine(self):
+        config = SystemConfig()
+        assert config.num_packages == 4
+        assert config.cpu.smt_contexts == 2
+        assert config.hardware_threads == 8
+        assert config.disk.num_disks == 2
+
+    def test_cycles_per_tick(self):
+        config = SystemConfig()
+        assert config.cycles_per_tick == pytest.approx(
+            config.cpu.frequency_hz * config.tick_s
+        )
+
+    def test_fast_config_coarser_tick(self):
+        assert fast_config().tick_s == pytest.approx(0.01)
+        assert fast_config(0.005).tick_s == pytest.approx(0.005)
+
+    def test_invalid_tick_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(tick_s=0.0)
+        with pytest.raises(ValueError):
+            SystemConfig(tick_s=2.0)  # longer than the sample period
+
+    def test_invalid_package_count_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_packages=0)
+
+    def test_idle_power_budget_matches_paper(self):
+        """4 x halted packages + static domains ~= the paper's 141 W idle."""
+        config = SystemConfig()
+        idle_floor = (
+            config.num_packages * config.cpu.halted_power_w
+            + config.chipset.nominal_power_w
+            + config.dram.background_power_w
+            + config.io.static_power_w
+            + config.disk.rotation_power_w * config.disk.num_disks
+        )
+        assert idle_floor == pytest.approx(139.0, abs=2.5)

@@ -1,0 +1,94 @@
+"""Unit tests for TrickleDownSuite and SystemPowerEstimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import SystemPowerEstimator
+from repro.core.events import Event, Subsystem
+from repro.core.models import ConstantModel
+from repro.core.suite import TrickleDownSuite
+
+
+class TestTrickleDownSuite:
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            TrickleDownSuite({})
+
+    def test_predict_total_sums_subsystems(self, paper_suite, idle_run):
+        per_subsystem = paper_suite.predict_all(idle_run.counters)
+        total = paper_suite.predict_total(idle_run.counters)
+        assert np.allclose(
+            total, np.sum(list(per_subsystem.values()), axis=0)
+        )
+
+    def test_missing_model_raises(self):
+        suite = TrickleDownSuite({Subsystem.CHIPSET: ConstantModel(19.9)})
+        with pytest.raises(KeyError, match="no model"):
+            suite.model(Subsystem.DISK)
+
+    def test_describe_lists_all_models(self, paper_suite):
+        text = paper_suite.describe()
+        for subsystem in Subsystem:
+            assert subsystem.value in text
+
+    def test_save_load_round_trip(self, paper_suite, idle_run, tmp_path):
+        path = str(tmp_path / "suite.json")
+        paper_suite.save(path)
+        clone = TrickleDownSuite.load(path)
+        assert np.allclose(
+            clone.predict_total(idle_run.counters),
+            paper_suite.predict_total(idle_run.counters),
+        )
+        assert clone.recipe_name == paper_suite.recipe_name
+
+    def test_subsystems_in_paper_order(self, paper_suite):
+        assert paper_suite.subsystems == (
+            Subsystem.CPU,
+            Subsystem.CHIPSET,
+            Subsystem.MEMORY,
+            Subsystem.IO,
+            Subsystem.DISK,
+        )
+
+
+class TestSystemPowerEstimator:
+    def sample_from_run(self, run, index=0):
+        return {
+            event: run.counters.per_cpu(event)[index]
+            for event in run.counters.events
+        }
+
+    def test_streaming_matches_batch(self, paper_suite, idle_run):
+        estimator = SystemPowerEstimator(paper_suite)
+        counts = self.sample_from_run(idle_run, 3)
+        duration = float(idle_run.counters.durations[3])
+        estimate = estimator.estimate(counts, duration_s=duration)
+        batch = paper_suite.predict_total(idle_run.counters)[3]
+        assert estimate.total_w == pytest.approx(float(batch), rel=1e-9)
+
+    def test_history_accumulates(self, paper_suite, idle_run):
+        estimator = SystemPowerEstimator(paper_suite)
+        for i in range(3):
+            estimator.estimate(self.sample_from_run(idle_run, i))
+        assert len(estimator.history) == 3
+        # Default timestamps advance monotonically.
+        times = [e.timestamp_s for e in estimator.history]
+        assert times == sorted(times)
+
+    def test_estimate_trace_matches_predict_all(self, paper_suite, idle_run):
+        estimator = SystemPowerEstimator(paper_suite)
+        estimates = estimator.estimate_trace(idle_run.counters)
+        assert len(estimates) == idle_run.n_samples
+        totals = paper_suite.predict_total(idle_run.counters)
+        assert estimates[-1].total_w == pytest.approx(float(totals[-1]))
+
+    def test_bad_duration_rejected(self, paper_suite):
+        estimator = SystemPowerEstimator(paper_suite)
+        with pytest.raises(ValueError):
+            estimator.estimate({Event.CYCLES: np.ones(4)}, duration_s=0.0)
+
+    def test_estimate_reports_all_subsystems(self, paper_suite, idle_run):
+        estimator = SystemPowerEstimator(paper_suite)
+        estimate = estimator.estimate(self.sample_from_run(idle_run))
+        assert set(estimate.subsystem_w) == set(Subsystem)
+        assert estimate.total_w > 100.0  # a whole server, not a chip

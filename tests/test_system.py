@@ -1,0 +1,145 @@
+"""Integration tests for the Server tick loop and simulate_workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, SUBSYSTEMS, Subsystem
+from repro.simulator.config import fast_config
+from repro.simulator.system import Server, simulate_workload
+from repro.workloads.registry import get_workload
+
+
+class TestServerRun:
+    def test_run_produces_aligned_traces(self, idle_run):
+        assert idle_run.counters.n_samples == idle_run.power.n_samples
+        assert np.allclose(
+            idle_run.counters.timestamps, idle_run.power.timestamps
+        )
+
+    def test_all_events_recorded(self, gcc_run):
+        for event in Event:
+            assert event in gcc_run.counters.counts
+
+    def test_all_subsystems_measured(self, gcc_run):
+        assert set(gcc_run.power.subsystems) == set(SUBSYSTEMS)
+
+    def test_counts_are_nonnegative(self, gcc_run):
+        for event in Event:
+            assert (gcc_run.counters.per_cpu(event) >= 0).all(), event
+
+    def test_cycles_match_frequency(self, idle_run, config):
+        per_window = idle_run.counters.per_cpu(Event.CYCLES)
+        expected = config.cpu.frequency_hz * idle_run.counters.durations
+        for cpu in range(per_window.shape[1]):
+            assert np.allclose(per_window[:, cpu], expected, rtol=1e-6)
+
+    def test_halted_never_exceeds_cycles(self, mcf_run):
+        cycles = mcf_run.counters.per_cpu(Event.CYCLES)
+        halted = mcf_run.counters.per_cpu(Event.HALTED_CYCLES)
+        assert (halted <= cycles + 1e-6).all()
+
+    def test_determinism_same_seed(self, config):
+        spec = get_workload("gcc")
+        a = simulate_workload(spec, duration_s=20.0, seed=5, config=config)
+        b = simulate_workload(spec, duration_s=20.0, seed=5, config=config)
+        assert np.allclose(
+            a.counters.total(Event.FETCHED_UOPS),
+            b.counters.total(Event.FETCHED_UOPS),
+        )
+        assert np.allclose(
+            a.power.power(Subsystem.CPU), b.power.power(Subsystem.CPU)
+        )
+
+    def test_different_seeds_differ(self, config):
+        spec = get_workload("gcc")
+        a = simulate_workload(spec, duration_s=20.0, seed=5, config=config)
+        b = simulate_workload(spec, duration_s=20.0, seed=6, config=config)
+        assert not np.allclose(
+            a.power.power(Subsystem.CPU), b.power.power(Subsystem.CPU)
+        )
+
+    def test_too_short_run_rejected(self, config):
+        with pytest.raises(ValueError, match="two sampling windows"):
+            simulate_workload(get_workload("idle"), duration_s=1.0, config=config)
+
+    def test_metadata_records_truth(self, idle_run):
+        truth = idle_run.metadata["true_mean_power_w"]
+        assert set(truth) == {s.value for s in SUBSYSTEMS}
+        # The noisy measurement should track true power closely.
+        for subsystem in SUBSYSTEMS:
+            measured = idle_run.power.mean(subsystem)
+            assert measured == pytest.approx(truth[subsystem.value], rel=0.05)
+
+
+class TestTrickleDownCausality:
+    """The causal chains of the paper's Figure 1, observed end to end."""
+
+    def test_idle_machine_is_mostly_halted(self, idle_run):
+        cycles = idle_run.counters.total(Event.CYCLES)
+        halted = idle_run.counters.total(Event.HALTED_CYCLES)
+        assert (halted / cycles).mean() > 0.95
+
+    def test_cpu_load_reduces_halted_cycles(self, gcc_run, idle_run):
+        gcc_halted = (
+            gcc_run.counters.total(Event.HALTED_CYCLES)
+            / gcc_run.counters.total(Event.CYCLES)
+        ).mean()
+        idle_halted = (
+            idle_run.counters.total(Event.HALTED_CYCLES)
+            / idle_run.counters.total(Event.CYCLES)
+        ).mean()
+        assert gcc_halted < idle_halted - 0.3
+
+    def test_misses_induce_memory_power(self, mcf_run, idle_run):
+        assert mcf_run.power.mean(Subsystem.MEMORY) > idle_run.power.mean(
+            Subsystem.MEMORY
+        ) + 5.0
+
+    def test_disk_io_induces_interrupts_and_io_power(self, diskload_run, idle_run):
+        disk_irqs = diskload_run.counters.total(Event.DISK_INTERRUPTS).sum()
+        assert disk_irqs > 100.0
+        assert idle_run.counters.total(Event.DISK_INTERRUPTS).sum() == 0.0
+        assert diskload_run.power.mean(Subsystem.IO) > idle_run.power.mean(
+            Subsystem.IO
+        ) + 1.0
+
+    def test_dma_visible_on_the_bus(self, diskload_run, idle_run):
+        dma = diskload_run.counters.total(Event.DMA_ACCESSES)
+        assert dma.mean() > idle_run.counters.total(Event.DMA_ACCESSES).mean()
+
+    def test_interrupt_floor_from_timer(self, idle_run, config):
+        per_second = idle_run.counters.total(Event.INTERRUPTS) / (
+            idle_run.counters.durations
+        )
+        expected = config.osim.timer_hz * config.num_packages
+        assert per_second.mean() == pytest.approx(expected, rel=0.05)
+
+    def test_staggered_starts_ramp_power(self, gcc_run):
+        cpu = gcc_run.power.power(Subsystem.CPU)
+        first_quarter = cpu[: len(cpu) // 4].mean()
+        last_quarter = cpu[-len(cpu) // 4 :].mean()
+        assert last_quarter > first_quarter + 30.0
+
+    def test_disk_power_dynamic_range_is_small(self, diskload_run, idle_run):
+        """Paper: DiskLoad raises disk power only ~2.8 % over idle."""
+        idle_disk = idle_run.power.mean(Subsystem.DISK)
+        load_disk = diskload_run.power.mean(Subsystem.DISK)
+        assert idle_disk < load_disk < idle_disk * 1.10
+
+    def test_sync_phases_modulate_io_power(self, diskload_run):
+        io_power = diskload_run.power.power(Subsystem.IO)
+        assert io_power.max() - io_power.min() > 0.8
+
+
+class TestServerInternals:
+    def test_tick_returns_power_breakdown(self, config):
+        server = Server(config, get_workload("idle"), seed=1)
+        breakdown = server.tick()
+        assert breakdown.total_w > 100.0
+        assert breakdown.cpu_w > 30.0
+
+    def test_energy_account_tracks_time(self, config):
+        server = Server(config, get_workload("idle"), seed=1)
+        for _ in range(10):
+            server.tick()
+        assert server.energy.elapsed_s == pytest.approx(10 * config.tick_s)

@@ -1,0 +1,173 @@
+"""Unit tests for trace containers (core/traces.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, Subsystem
+from repro.core.traces import (
+    CounterTrace,
+    MeasuredRun,
+    PowerTrace,
+    TraceError,
+    concat_runs,
+)
+
+
+def make_counter_trace(n=5, n_cpus=2, rate=100.0):
+    timestamps = np.arange(1.0, n + 1.0)
+    durations = np.ones(n)
+    counts = {
+        Event.CYCLES: np.full((n, n_cpus), 1.0e6),
+        Event.FETCHED_UOPS: np.full((n, n_cpus), rate),
+    }
+    return CounterTrace(timestamps=timestamps, durations=durations, counts=counts)
+
+
+def make_power_trace(n=5, cpu=40.0, memory=28.0):
+    return PowerTrace(
+        timestamps=np.arange(1.0, n + 1.0),
+        watts={
+            Subsystem.CPU: np.full(n, cpu),
+            Subsystem.MEMORY: np.full(n, memory),
+        },
+    )
+
+
+class TestCounterTrace:
+    def test_basic_accessors(self):
+        trace = make_counter_trace()
+        assert trace.n_samples == 5
+        assert trace.n_cpus == 2
+        assert Event.CYCLES in trace.events
+
+    def test_total_sums_cpus(self):
+        trace = make_counter_trace(rate=50.0)
+        assert np.allclose(trace.total(Event.FETCHED_UOPS), 100.0)
+
+    def test_rate_divides_by_duration(self):
+        trace = make_counter_trace()
+        trace.durations[:] = 2.0
+        assert np.allclose(trace.rate(Event.FETCHED_UOPS), 100.0)
+
+    def test_missing_event_raises(self):
+        trace = make_counter_trace()
+        with pytest.raises(TraceError, match="does not record"):
+            trace.total(Event.DISK_BYTES)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            CounterTrace(
+                timestamps=np.arange(3.0),
+                durations=np.ones(3),
+                counts={Event.CYCLES: np.ones((2, 2))},
+            )
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(TraceError, match="positive"):
+            CounterTrace(
+                timestamps=np.arange(2.0),
+                durations=np.array([1.0, -1.0]),
+                counts={Event.CYCLES: np.ones((2, 1))},
+            )
+
+    def test_slice_preserves_alignment(self):
+        trace = make_counter_trace(n=6)
+        sliced = trace.slice(2, 5)
+        assert sliced.n_samples == 3
+        assert sliced.timestamps[0] == trace.timestamps[2]
+
+
+class TestPowerTrace:
+    def test_total_sums_subsystems(self):
+        trace = make_power_trace(cpu=40.0, memory=28.0)
+        assert np.allclose(trace.total(), 68.0)
+
+    def test_mean_and_std(self):
+        trace = make_power_trace()
+        assert trace.mean(Subsystem.CPU) == pytest.approx(40.0)
+        assert trace.std(Subsystem.CPU) == pytest.approx(0.0)
+
+    def test_missing_subsystem_raises(self):
+        trace = make_power_trace()
+        with pytest.raises(TraceError, match="does not measure"):
+            trace.power(Subsystem.DISK)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(TraceError):
+            PowerTrace(
+                timestamps=np.arange(3.0),
+                watts={Subsystem.CPU: np.ones(2)},
+            )
+
+
+class TestMeasuredRun:
+    def make_run(self, n=6, workload="w"):
+        return MeasuredRun(
+            workload=workload,
+            counters=make_counter_trace(n=n),
+            power=make_power_trace(n=n),
+        )
+
+    def test_mismatched_sample_counts_rejected(self):
+        with pytest.raises(TraceError, match="synchronisation"):
+            MeasuredRun(
+                workload="w",
+                counters=make_counter_trace(n=5),
+                power=make_power_trace(n=4),
+            )
+
+    def test_drop_warmup(self):
+        run = self.make_run(n=6)
+        trimmed = run.drop_warmup(2)
+        assert trimmed.n_samples == 4
+        assert trimmed.workload == run.workload
+
+    def test_drop_warmup_too_much_raises(self):
+        with pytest.raises(TraceError):
+            self.make_run(n=3).drop_warmup(3)
+
+    def test_round_trip_via_dict(self):
+        run = self.make_run()
+        clone = MeasuredRun.from_dict(run.to_dict())
+        assert clone.workload == run.workload
+        assert np.allclose(
+            clone.counters.total(Event.CYCLES), run.counters.total(Event.CYCLES)
+        )
+        assert np.allclose(
+            clone.power.power(Subsystem.CPU), run.power.power(Subsystem.CPU)
+        )
+
+    def test_save_load(self, tmp_path):
+        run = self.make_run()
+        path = str(tmp_path / "run.json")
+        run.save(path)
+        clone = MeasuredRun.load(path)
+        assert clone.n_samples == run.n_samples
+
+    def test_duration(self):
+        assert self.make_run(n=6).duration_s == pytest.approx(6.0)
+
+
+class TestConcatRuns:
+    def test_concatenates_samples(self):
+        runs = [
+            MeasuredRun("a", make_counter_trace(4), make_power_trace(4)),
+            MeasuredRun("b", make_counter_trace(3), make_power_trace(3)),
+        ]
+        merged = concat_runs(runs)
+        assert merged.n_samples == 7
+        assert merged.workload == "a+b"
+        # Timestamps keep increasing across the join.
+        assert np.all(np.diff(merged.counters.timestamps) > 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            concat_runs([])
+
+    def test_mismatched_events_rejected(self):
+        a = MeasuredRun("a", make_counter_trace(3), make_power_trace(3))
+        counters = make_counter_trace(3)
+        del counters.counts[Event.FETCHED_UOPS]
+        b = MeasuredRun("b", counters, make_power_trace(3))
+        with pytest.raises(TraceError, match="different events"):
+            concat_runs([a, b])

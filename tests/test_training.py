@@ -1,0 +1,103 @@
+"""Unit tests for the training recipe machinery (core/training.py)."""
+
+import pytest
+
+from repro.core.events import Subsystem
+from repro.core.models import ConstantModel, PolynomialModel
+from repro.core.training import (
+    L3_MEMORY_RECIPE,
+    ModelSpec,
+    ModelTrainer,
+    PAPER_RECIPE,
+    TrainingError,
+    TrainingRecipe,
+)
+
+
+class TestRecipeDefinitions:
+    def test_paper_recipe_covers_five_subsystems(self):
+        assert {spec.subsystem for spec in PAPER_RECIPE.specs} == set(Subsystem)
+
+    def test_paper_recipe_training_workloads(self):
+        assert set(PAPER_RECIPE.training_workloads) == {
+            "gcc",
+            "mcf",
+            "DiskLoad",
+            "idle",
+        }
+
+    def test_memory_model_uses_bus_transactions(self):
+        spec = PAPER_RECIPE.spec_for(Subsystem.MEMORY)
+        assert spec.feature_names == ("bus_transactions_per_mcycle",)
+        assert spec.form == "quadratic"
+        assert spec.train_workload == "mcf"
+
+    def test_disk_model_uses_interrupts_and_dma(self):
+        spec = PAPER_RECIPE.spec_for(Subsystem.DISK)
+        assert "disk_interrupts_per_mcycle" in spec.feature_names
+        assert "dma_accesses_per_mcycle" in spec.feature_names
+
+    def test_chipset_is_constant(self):
+        assert PAPER_RECIPE.spec_for(Subsystem.CHIPSET).form == "constant"
+
+    def test_l3_recipe_trains_on_mesa(self):
+        spec = L3_MEMORY_RECIPE.spec_for(Subsystem.MEMORY)
+        assert spec.train_workload == "mesa"
+        assert spec.feature_names == ("l3_misses_per_mcycle",)
+
+    def test_duplicate_subsystems_rejected(self):
+        spec = ModelSpec(Subsystem.CPU, "constant", (), "idle")
+        with pytest.raises(ValueError, match="duplicate"):
+            TrainingRecipe(name="bad", specs=(spec, spec))
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError, match="form"):
+            ModelSpec(Subsystem.CPU, "cubic", ("active_fraction",), "idle")
+
+    def test_nonconstant_needs_features(self):
+        with pytest.raises(ValueError, match="features"):
+            ModelSpec(Subsystem.CPU, "linear", (), "idle")
+
+    def test_spec_for_missing_subsystem(self):
+        with pytest.raises(KeyError):
+            L3_MEMORY_RECIPE.spec_for(Subsystem.DISK)
+
+
+class TestModelTrainer:
+    def test_missing_training_run_is_a_clear_error(self, idle_run):
+        trainer = ModelTrainer(PAPER_RECIPE)
+        with pytest.raises(TrainingError, match="needs a training run of"):
+            trainer.train({"idle": idle_run})
+
+    def test_trains_all_five_models(self, paper_suite):
+        assert set(paper_suite.models) == set(Subsystem)
+        assert isinstance(paper_suite.model(Subsystem.CHIPSET), ConstantModel)
+        assert isinstance(paper_suite.model(Subsystem.CPU), PolynomialModel)
+
+    def test_cpu_model_form_matches_equation_1(self, paper_suite):
+        cpu = paper_suite.model(Subsystem.CPU)
+        assert cpu.degree == 1
+        assert cpu.features.names == (
+            "active_fraction",
+            "fetched_uops_per_cycle",
+        )
+
+    def test_chipset_constant_near_nominal(self, paper_suite):
+        chipset = paper_suite.model(Subsystem.CHIPSET)
+        # Trained on idle, the constant should sit near 19.9 W.
+        assert 19.0 < chipset.value < 20.8
+
+    def test_local_event_features_rejected(self, idle_run):
+        recipe = TrainingRecipe(
+            name="cheating",
+            specs=(
+                ModelSpec(
+                    Subsystem.MEMORY, "linear", ("dram_reads_per_s",), "idle"
+                ),
+            ),
+        )
+        trainer = ModelTrainer(recipe)
+        # The cheating feature does not even exist in the paper
+        # vocabulary, so the purity gate or the lookup must fail.
+        with pytest.raises((KeyError, TrainingError)):
+            trainer.train({"idle": idle_run})

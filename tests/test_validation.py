@@ -1,0 +1,112 @@
+"""Unit tests for Equation 6 and the validation report."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Subsystem
+from repro.core.validation import (
+    ValidationReport,
+    average_error,
+    dc_adjusted_error,
+    validate_suite,
+)
+
+
+class TestAverageError:
+    def test_equation_six_definition(self):
+        measured = np.array([100.0, 100.0])
+        modeled = np.array([110.0, 90.0])
+        assert average_error(modeled, measured) == pytest.approx(10.0)
+
+    def test_perfect_model_is_zero(self):
+        series = np.array([1.0, 2.0, 3.0])
+        assert average_error(series, series) == 0.0
+
+    def test_sign_symmetric(self):
+        measured = np.full(4, 50.0)
+        over = average_error(measured * 1.1, measured)
+        under = average_error(measured * 0.9, measured)
+        assert over == pytest.approx(under)
+
+    def test_rejects_zero_measured(self):
+        with pytest.raises(ValueError, match="positive"):
+            average_error(np.ones(2), np.array([1.0, 0.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            average_error(np.array([]), np.array([]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            average_error(np.ones(3), np.ones(4))
+
+
+class TestDcAdjustedError:
+    def test_dc_adjustment_amplifies_error(self):
+        # 1 W of modeling error on a 33 W signal with a 32 W DC offset:
+        # raw error ~3 %, DC-adjusted error 100 %.
+        measured = np.full(5, 33.0)
+        modeled = np.full(5, 34.0)
+        raw = average_error(modeled, measured)
+        adjusted = dc_adjusted_error(modeled, measured, 32.0)
+        assert raw == pytest.approx(100.0 / 33.0)
+        assert adjusted == pytest.approx(100.0)
+
+    def test_samples_at_dc_are_excluded(self):
+        measured = np.array([21.6, 22.6])
+        modeled = np.array([21.6, 22.1])
+        adjusted = dc_adjusted_error(modeled, measured, 21.6)
+        assert adjusted == pytest.approx(50.0)
+
+    def test_all_samples_at_dc_rejected(self):
+        measured = np.full(3, 21.6)
+        with pytest.raises(ValueError, match="dynamic"):
+            dc_adjusted_error(measured, measured, 21.6)
+
+
+class TestValidationReport:
+    def make_report(self):
+        return ValidationReport(
+            errors={
+                "gcc": {Subsystem.CPU: 4.0, Subsystem.DISK: 0.2},
+                "mcf": {Subsystem.CPU: 12.0, Subsystem.DISK: 0.1},
+            }
+        )
+
+    def test_subsystem_average(self):
+        report = self.make_report()
+        assert report.subsystem_average(Subsystem.CPU) == pytest.approx(8.0)
+
+    def test_worst_case(self):
+        report = self.make_report()
+        workload, error = report.worst_case(Subsystem.CPU)
+        assert workload == "mcf"
+        assert error == 12.0
+
+    def test_overall_average(self):
+        report = self.make_report()
+        assert report.overall_average() == pytest.approx((4 + 0.2 + 12 + 0.1) / 4)
+
+    def test_subset_average(self):
+        report = self.make_report()
+        assert report.subsystem_average(
+            Subsystem.CPU, ("gcc",)
+        ) == pytest.approx(4.0)
+
+
+class TestValidateSuite:
+    def test_validates_every_run_and_subsystem(self, paper_suite, training_runs):
+        report = validate_suite(paper_suite, training_runs)
+        assert set(report.workloads) == set(training_runs)
+        for workload in report.workloads:
+            assert set(report.errors[workload]) == set(Subsystem)
+            for error in report.errors[workload].values():
+                assert 0.0 <= error < 100.0
+
+    def test_accepts_list_of_runs(self, paper_suite, idle_run):
+        report = validate_suite(paper_suite, [idle_run])
+        assert report.workloads == ("idle",)
+
+    def test_empty_runs_rejected(self, paper_suite):
+        with pytest.raises(ValueError):
+            validate_suite(paper_suite, [])

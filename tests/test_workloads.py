@@ -1,0 +1,156 @@
+"""Unit tests for workload abstractions and the paper's profiles."""
+
+import pytest
+
+from repro.workloads.base import (
+    Phase,
+    PhaseBehavior,
+    ThreadPlan,
+    WorkloadSpec,
+    staggered,
+)
+from repro.workloads.registry import (
+    FP_TABLE_WORKLOADS,
+    INTEGER_TABLE_WORKLOADS,
+    PAPER_WORKLOADS,
+    get_workload,
+    list_workloads,
+)
+
+
+class TestPhaseBehavior:
+    def test_defaults_are_valid(self):
+        PhaseBehavior()
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseBehavior(l3_load_misses_per_kuop=-1.0)
+
+    def test_fraction_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseBehavior(blocking_fraction=1.5)
+
+    def test_scaled_multiplies_named_fields(self):
+        behavior = PhaseBehavior(uops_per_cycle=1.0, l3_load_misses_per_kuop=2.0)
+        scaled = behavior.scaled(uops_per_cycle=2.0)
+        assert scaled.uops_per_cycle == 2.0
+        assert scaled.l3_load_misses_per_kuop == 2.0  # untouched
+
+
+class TestThreadPlan:
+    def make_plan(self, loop=True):
+        return ThreadPlan(
+            phases=(
+                Phase(2.0, PhaseBehavior(uops_per_cycle=1.0), "a"),
+                Phase(3.0, PhaseBehavior(uops_per_cycle=2.0), "b"),
+            ),
+            loop=loop,
+        )
+
+    def test_phase_lookup(self):
+        plan = self.make_plan()
+        assert plan.phase_at(1.0).name == "a"
+        assert plan.phase_at(4.0).name == "b"
+
+    def test_looping_wraps(self):
+        plan = self.make_plan()
+        assert plan.phase_at(6.0).name == "a"  # 6 % 5 = 1
+
+    def test_non_looping_finishes(self):
+        plan = self.make_plan(loop=False)
+        assert plan.phase_at(5.5) is None
+
+    def test_cycle_duration(self):
+        assert self.make_plan().cycle_duration_s == pytest.approx(5.0)
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadPlan(phases=())
+
+    def test_zero_duration_phase_rejected(self):
+        with pytest.raises(ValueError):
+            Phase(0.0, PhaseBehavior())
+
+
+class TestStaggered:
+    def test_start_times_spaced(self):
+        plans = staggered(
+            [Phase(10.0, PhaseBehavior())], n_threads=4, stagger_s=30.0
+        )
+        assert [p.start_time_s for p in plans] == [0.0, 30.0, 60.0, 90.0]
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            staggered([Phase(1.0, PhaseBehavior())], 0)
+
+
+class TestWorkloadSpec:
+    def test_smt_yield_bounds(self):
+        threads = staggered([Phase(1.0, PhaseBehavior())], 1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="w", threads=threads, smt_yield=0.4)
+
+    def test_needs_threads(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="w", threads=())
+
+
+class TestRegistry:
+    def test_twelve_paper_workloads_plus_extensions(self):
+        assert len(PAPER_WORKLOADS) == 12
+        assert list_workloads()[: len(PAPER_WORKLOADS)] == PAPER_WORKLOADS
+        assert "netload" in list_workloads()  # extension workload
+
+    def test_table_partitions(self):
+        assert set(INTEGER_TABLE_WORKLOADS) | set(FP_TABLE_WORKLOADS) == set(
+            PAPER_WORKLOADS
+        )
+        assert not set(INTEGER_TABLE_WORKLOADS) & set(FP_TABLE_WORKLOADS)
+
+    def test_every_workload_builds(self):
+        for name in list_workloads():
+            spec = get_workload(name)
+            assert spec.name == name
+            assert spec.n_threads >= 1
+
+    def test_unknown_workload_lists_options(self):
+        with pytest.raises(KeyError, match="available"):
+            get_workload("doom")
+
+    def test_spec_workloads_run_eight_instances(self):
+        for name in ("gcc", "mcf", "vortex", "art", "lucas", "mesa"):
+            assert get_workload(name).n_threads == 8
+
+    def test_gcc_is_smt_unfriendly(self):
+        """gcc saturates at four threads (paper Section 4.2.1)."""
+        assert get_workload("gcc").smt_yield == pytest.approx(0.5)
+
+    def test_mcf_has_speculation_power(self):
+        """mcf's window-search power drives the 12 % CPU model error."""
+        spec = get_workload("mcf")
+        behavior = spec.threads[0].phases[0].behavior
+        assert behavior.speculation_factor > 0.5
+        assert behavior.memory_sensitivity == pytest.approx(1.0)
+
+    def test_diskload_syncs(self):
+        spec = get_workload("DiskLoad")
+        behaviors = [phase.behavior for phase in spec.threads[0].phases]
+        assert any(b.sync_file for b in behaviors)
+        assert any(b.disk_write_bps > 1.0e6 for b in behaviors)
+
+    def test_dbt2_is_disk_limited(self):
+        spec = get_workload("dbt-2")
+        behavior = spec.threads[0].phases[0].behavior
+        assert behavior.blocking_fraction > 0.8
+        assert behavior.disk_read_bps > 0.0
+
+    def test_idle_has_minimal_activity(self):
+        spec = get_workload("idle")
+        behavior = spec.threads[0].phases[0].behavior
+        assert behavior.blocking_fraction > 0.98
+
+    def test_netload_generates_network_traffic(self):
+        spec = get_workload("netload")
+        behaviors = [p.behavior for t in spec.threads for p in t.phases]
+        assert any(b.net_tx_bps > 1.0e6 for b in behaviors)
+        assert all(b.disk_write_bps == 0.0 for b in behaviors)
