@@ -16,23 +16,35 @@ from repro.workloads.registry import get_workload
 
 
 def test_estimator_single_sample_latency(benchmark, context, show):
-    """One 1 Hz estimation step must be microseconds, not milliseconds."""
+    """One 1 Hz estimation step must be microseconds, not milliseconds.
+
+    The estimator is built once outside the benchmarked closure: a
+    deployed power-management loop constructs it at startup and then
+    calls ``estimate`` per sample, so timing construction inside the
+    loop overstated the steady-state latency (see
+    ``test_estimator_construction`` for the one-time cost).
+    """
     suite = context.paper_suite()
     run = context.run("gcc")
     counts = {
         event: run.counters.per_cpu(event)[-1] for event in run.counters.events
     }
+    estimator = SystemPowerEstimator(suite)
 
-    def step():
-        estimator = SystemPowerEstimator(suite)
-        return estimator.estimate(counts, duration_s=1.0)
-
-    estimate = benchmark(step)
+    estimate = benchmark(lambda: estimator.estimate(counts, duration_s=1.0))
     show(
         f"single-sample complete-system estimate: total={estimate.total_w:.1f}W "
         f"({', '.join(f'{s.value}={w:.1f}' for s, w in estimate.subsystem_w.items())})"
     )
     assert estimate.total_w > 100.0
+
+
+def test_estimator_construction(benchmark, context, show):
+    """One-time cost of building an estimator from a trained suite."""
+    suite = context.paper_suite()
+    estimator = benchmark(lambda: SystemPowerEstimator(suite))
+    show("estimator construction: see benchmark stats above")
+    assert estimator is not None
 
 
 def test_suite_batch_prediction_throughput(benchmark, context, show):
@@ -48,15 +60,16 @@ def test_suite_batch_prediction_throughput(benchmark, context, show):
 
 
 def test_simulator_tick_throughput(benchmark, show):
-    """Simulated ticks per second of the full-system model."""
+    """Simulated ticks per second of the full-system model.
+
+    Drives the batched :meth:`Server.run_ticks` hot path — the one the
+    cluster simulator and ``simulate_workload`` use — which hoists
+    per-tick constants and accumulates counters row-wise.
+    """
     config = fast_config()
     server = Server(config, get_workload("SPECjbb"), seed=3)
 
-    def hundred_ticks():
-        for _ in range(100):
-            server.tick()
-
-    benchmark.pedantic(hundred_ticks, iterations=1, rounds=10)
+    benchmark.pedantic(lambda: server.run_ticks(100), iterations=1, rounds=10)
     show(
         "simulator throughput: 100 ticks (1 s simulated at 10 ms tick) "
         "per round; see benchmark stats above"

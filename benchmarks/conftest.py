@@ -9,6 +9,7 @@ Environment knobs:
     REPRO_BENCH_TICK_MS   simulation tick (default 10 ms)
     REPRO_BENCH_DURATION  seconds per workload (default 300)
     REPRO_BENCH_SEED      run seed (default 7)
+    REPRO_SWEEP_WORKERS   parallel sweep processes (default: CPU count)
 """
 
 from __future__ import annotations
@@ -27,11 +28,13 @@ def context() -> ExperimentContext:
     duration = float(os.environ.get("REPRO_BENCH_DURATION", "300"))
     seed = int(os.environ.get("REPRO_BENCH_SEED", "7"))
     cache = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+    workers = os.environ.get("REPRO_SWEEP_WORKERS")
     return ExperimentContext(
         config=SystemConfig(tick_s=tick_ms / 1000.0),
         seed=seed,
         duration_s=duration,
         cache_dir=cache,
+        n_workers=int(workers) if workers else None,
     )
 
 

@@ -12,14 +12,12 @@ Run:  python examples/model_exploration.py
 
 import numpy as np
 
-from repro import fast_config
+from repro import fast_config, sweep
 from repro.analysis.tables import format_table
 from repro.core.events import Subsystem
 from repro.core.features import FeatureSet, PAPER_FEATURES
 from repro.core.models import PolynomialModel
 from repro.core.validation import average_error
-from repro.simulator.system import simulate_workload
-from repro.workloads.registry import get_workload
 
 SEED = 5
 CONFIG = fast_config()
@@ -66,12 +64,11 @@ STUDY = {
 
 def main() -> None:
     print("simulating workloads...")
-    runs = {
-        name: simulate_workload(
-            get_workload(name), duration_s=260.0, seed=SEED, config=CONFIG
-        ).drop_warmup(2)
-        for name in WORKLOADS
-    }
+    # Independent runs: fan out over worker processes via the sweep
+    # engine (bit-identical to a serial loop, just faster).
+    runs = sweep(
+        WORKLOADS, config=CONFIG, seed=SEED, duration_s=260.0, warmup_windows=2
+    )
 
     for subsystem, (train_name, candidates) in STUDY.items():
         train = runs[train_name]

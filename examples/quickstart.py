@@ -19,6 +19,7 @@ from repro import (
     fast_config,
     get_workload,
     simulate_workload,
+    sweep,
     validate_suite,
 )
 
@@ -28,13 +29,16 @@ CONFIG = fast_config()  # 10 ms tick: fast, fidelity-preserving
 
 def main() -> None:
     # 1. Instrumented training runs (the paper's Section 3.2 set-up).
+    #    sweep() fans the independent runs out over worker processes;
+    #    results are bit-identical to running them one at a time.
     print("simulating training workloads (idle, gcc, mcf, DiskLoad)...")
-    runs = {
-        name: simulate_workload(
-            get_workload(name), duration_s=280.0, seed=SEED, config=CONFIG
-        ).drop_warmup(2)
-        for name in ("idle", "gcc", "mcf", "DiskLoad")
-    }
+    runs = sweep(
+        ("idle", "gcc", "mcf", "DiskLoad"),
+        config=CONFIG,
+        seed=SEED,
+        duration_s=280.0,
+        warmup_windows=2,
+    )
 
     # 2. Fit the per-subsystem models.
     suite = ModelTrainer().train(runs)

@@ -1,0 +1,172 @@
+"""Benchmark regression gate: measure, compare against the baseline.
+
+Measures a small set of runtime-cost metrics (the ones the paper's
+"low computational cost" claim rests on, plus the simulator's own
+throughput) and compares them against the checked-in
+``BENCH_baseline.json``.  A metric that regresses by more than the
+tolerance (default 20 %) in its bad direction fails the run with exit
+code 1 — improvements never fail.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_compare.py            # compare
+    PYTHONPATH=src python scripts/bench_compare.py --update   # rebaseline
+    PYTHONPATH=src python scripts/bench_compare.py --tolerance 0.5
+
+Absolute times differ across machines, so compare against a baseline
+recorded on the same class of hardware (CI re-records via ``--update``
+when the runner fleet changes; ``BENCH_COMPARE_TOLERANCE`` widens the
+gate for noisy shared runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_baseline.json")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.estimator import SystemPowerEstimator  # noqa: E402
+from repro.core.training import ModelTrainer  # noqa: E402
+from repro.exec import sweep  # noqa: E402
+from repro.simulator.config import fast_config  # noqa: E402
+from repro.simulator.system import Server  # noqa: E402
+from repro.workloads.registry import get_workload  # noqa: E402
+
+#: Workloads the default recipe needs, simulated short for the gate.
+_TRAIN_DURATION_S = 60.0
+_TRAIN_SEED = 7
+
+
+def _best_of(fn, rounds: int, budget_s: float = 0.25) -> float:
+    """Best (smallest) per-call wall time over ``rounds`` timed batches."""
+    best = float("inf")
+    for _ in range(rounds):
+        calls = 0
+        t0 = time.perf_counter()
+        while time.perf_counter() - t0 < budget_s:
+            fn()
+            calls += 1
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed / calls)
+    return best
+
+
+def measure() -> "dict[str, dict]":
+    """Run every gate metric; returns name -> {value, unit, direction}."""
+    metrics: "dict[str, dict]" = {}
+
+    # 1. Simulator tick throughput via the batched hot path.
+    server = Server(fast_config(), get_workload("SPECjbb"), seed=3)
+    server.run_ticks(200)  # warm caches and JIT-able paths
+    per_batch = _best_of(lambda: server.run_ticks(100), rounds=8)
+    metrics["simulator_ticks_per_s"] = {
+        "value": 100.0 / per_batch,
+        "unit": "ticks/s",
+        "direction": "higher",
+    }
+
+    # 2/3. Estimator costs need a trained suite: short parallel sweep.
+    trainer = ModelTrainer()
+    runs = sweep(
+        trainer.recipe.training_workloads,
+        config=fast_config(),
+        seed=_TRAIN_SEED,
+        duration_s=_TRAIN_DURATION_S,
+        warmup_windows=2,
+    )
+    suite = trainer.train(runs)
+    sample_run = runs[trainer.recipe.training_workloads[0]]
+    counts = {
+        event: sample_run.counters.per_cpu(event)[-1]
+        for event in sample_run.counters.events
+    }
+    estimator = SystemPowerEstimator(suite)
+    metrics["estimator_sample_latency_us"] = {
+        "value": _best_of(lambda: estimator.estimate(counts, duration_s=1.0), rounds=5)
+        * 1e6,
+        "unit": "us",
+        "direction": "lower",
+    }
+    metrics["suite_batch_predict_us"] = {
+        "value": _best_of(lambda: suite.predict_total(sample_run.counters), rounds=5)
+        * 1e6,
+        "unit": "us",
+        "direction": "lower",
+    }
+    return metrics
+
+
+def compare(measured: "dict[str, dict]", baseline: "dict[str, dict]", tolerance: float) -> int:
+    failures = 0
+    for name, entry in sorted(baseline.items()):
+        if name not in measured:
+            print(f"MISSING {name}: metric not measured")
+            failures += 1
+            continue
+        base = float(entry["value"])
+        now = float(measured[name]["value"])
+        if entry.get("direction", "lower") == "higher":
+            change = (base - now) / base  # positive = got slower
+        else:
+            change = (now - base) / base
+        status = "FAIL" if change > tolerance else "ok"
+        print(
+            f"{status:4} {name:28} baseline {base:12.1f} {entry.get('unit', ''):8} "
+            f"now {now:12.1f}  ({'regressed' if change > 0 else 'improved'} "
+            f"{abs(change) * 100.0:.1f}%)"
+        )
+        if change > tolerance:
+            failures += 1
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from this run"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_COMPARE_TOLERANCE", "0.20")),
+        help="allowed fractional regression before failing (default 0.20)",
+    )
+    parser.add_argument("--baseline", default=BASELINE_PATH)
+    args = parser.parse_args(argv)
+
+    print("measuring...", flush=True)
+    measured = measure()
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(measured, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.baseline}")
+        for name, entry in sorted(measured.items()):
+            print(f"  {name:28} {entry['value']:12.1f} {entry['unit']}")
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --update first")
+        return 2
+
+    failures = compare(measured, baseline, args.tolerance)
+    if failures:
+        print(f"{failures} metric(s) regressed beyond {args.tolerance * 100:.0f}%")
+        return 1
+    print("all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,8 +14,8 @@ import sys
 import time
 
 from repro.core.events import Event, SUBSYSTEMS
+from repro.exec import SweepSpec, sweep_specs
 from repro.simulator.config import fast_config
-from repro.simulator.system import simulate_workload
 from repro.workloads.registry import PAPER_WORKLOADS, get_workload
 
 #: Paper Table 1 (Watts): cpu, chipset, memory, io, disk.
@@ -45,10 +45,16 @@ def main(argv: "list[str]") -> None:
     config = fast_config()
     print(f"{'wl':9} " + " ".join(f"{s.value:>13}" for s in SUBSYSTEMS) + "   upc  l3/ms  bus/ms")
     t0 = time.time()
-    for name in names:
-        spec = get_workload(name)
-        start = steady_state_start(spec)
-        run = simulate_workload(spec, duration_s=start + 90.0, seed=7, config=config)
+    # All runs are independent: sweep them across worker processes
+    # (results are bit-identical to the former serial loop).
+    starts = {name: steady_state_start(get_workload(name)) for name in names}
+    specs = [
+        SweepSpec(workload=name, seed=7, duration_s=starts[name] + 90.0, config=config)
+        for name in names
+    ]
+    result = sweep_specs(specs)
+    for name, run in zip(names, result.runs):
+        start = starts[name]
         keep = run.counters.timestamps >= start
         idx = keep.nonzero()[0]
         run = run.drop_warmup(int(idx[0])) if idx[0] > 0 else run

@@ -44,6 +44,7 @@ from repro.core import (
 from repro.core.accounting import PowerAccountant, bill_processes
 from repro.core.phases import PhaseDetector
 from repro.core.selection import EventSelector
+from repro.exec import RunCache, SweepSpec, sweep, sweep_specs
 from repro.simulator import Server, SystemConfig, simulate_workload
 from repro.simulator.config import fast_config
 from repro.simulator.thermal import RcThermalModel, ThermalSensor
@@ -69,8 +70,12 @@ __all__ = [
     "PAPER_RECIPE",
     "PolynomialModel",
     "PowerTrace",
+    "RunCache",
     "Server",
     "Subsystem",
+    "SweepSpec",
+    "sweep",
+    "sweep_specs",
     "SystemConfig",
     "SystemPowerEstimator",
     "TrainingRecipe",

@@ -24,8 +24,8 @@ from repro.core.suite import TrickleDownSuite
 from repro.core.training import L3_MEMORY_RECIPE, ModelTrainer, PAPER_RECIPE
 from repro.core.traces import MeasuredRun
 from repro.core.validation import average_error, validate_suite
+from repro.exec import RunCache, SweepSpec, sweep_specs
 from repro.simulator.config import SystemConfig, fast_config
-from repro.simulator.system import simulate_workload
 from repro.workloads.registry import (
     FP_TABLE_WORKLOADS,
     INTEGER_TABLE_WORKLOADS,
@@ -102,7 +102,16 @@ class ExperimentContext:
     Runs are cached in memory; set ``cache_dir`` (or the
     ``REPRO_CACHE_DIR`` environment variable) to also cache them on
     disk across processes — a full twelve-workload sweep takes about a
-    minute of simulation otherwise.
+    minute of simulation otherwise.  The disk cache is content-addressed
+    (see :mod:`repro.exec.cache`): any change to the configuration,
+    seed or duration changes the key, so stale entries are never
+    served.  Cached runs are stored **after** warmup removal, so a
+    disk hit is returned as-is instead of re-dropping windows on every
+    load (the former behaviour silently shortened cached runs twice
+    when the stored trace already lacked its warmup).
+
+    ``n_workers`` parallelises multi-run requests (:meth:`runs`) over
+    worker processes; results are bit-identical to serial execution.
     """
 
     config: SystemConfig = field(default_factory=fast_config)
@@ -112,41 +121,48 @@ class ExperimentContext:
     cache_dir: "str | None" = field(
         default_factory=lambda: os.environ.get("REPRO_CACHE_DIR")
     )
+    #: Worker processes for multi-run sweeps; ``None`` = auto
+    #: (``REPRO_SWEEP_WORKERS`` or the CPU count).
+    n_workers: "int | None" = None
     _runs: "dict[str, MeasuredRun]" = field(default_factory=dict, repr=False)
     _suites: "dict[str, TrickleDownSuite]" = field(default_factory=dict, repr=False)
 
-    def _cache_path(self, name: str) -> "str | None":
-        if not self.cache_dir:
-            return None
-        key = (
-            f"{name}-d{self.duration_s:g}-s{self.seed}"
-            f"-t{self.config.tick_s * 1e6:g}us-v4.json"
+    def __post_init__(self) -> None:
+        self._cache = RunCache(self.cache_dir)
+
+    @property
+    def cache(self) -> RunCache:
+        """The content-addressed disk cache (disabled when no dir set)."""
+        return self._cache
+
+    def _spec(self, name: str) -> SweepSpec:
+        return SweepSpec(
+            workload=name,
+            seed=self.seed,
+            duration_s=self.duration_s,
+            pstate=0,
+            config=self.config,
+            warmup_windows=self.warmup_windows,
         )
-        return os.path.join(self.cache_dir, key)
 
     def run(self, name: str) -> MeasuredRun:
         """The instrumented run of a workload (simulate or load)."""
-        if name in self._runs:
-            return self._runs[name]
-        path = self._cache_path(name)
-        if path and os.path.exists(path):
-            run = MeasuredRun.load(path)
-        else:
-            run = simulate_workload(
-                get_workload(name),
-                duration_s=self.duration_s,
-                seed=self.seed,
-                config=self.config,
-            )
-            if path:
-                os.makedirs(self.cache_dir, exist_ok=True)
-                run.save(path)
-        run = run.drop_warmup(self.warmup_windows)
-        self._runs[name] = run
-        return run
+        if name not in self._runs:
+            result = sweep_specs([self._spec(name)], n_workers=1, cache=self._cache)
+            self._runs[name] = result.runs[0]
+        return self._runs[name]
 
     def runs(self, names: "tuple[str, ...]" = PAPER_WORKLOADS) -> "dict[str, MeasuredRun]":
-        return {name: self.run(name) for name in names}
+        """Runs for every name, simulating the missing ones in parallel."""
+        missing = [name for name in names if name not in self._runs]
+        if missing:
+            result = sweep_specs(
+                [self._spec(name) for name in missing],
+                n_workers=self.n_workers,
+                cache=self._cache,
+            )
+            self._runs.update(zip(missing, result.runs))
+        return {name: self._runs[name] for name in names}
 
     def paper_suite(self) -> TrickleDownSuite:
         """The paper's five models, trained per its recipe."""

@@ -13,7 +13,8 @@ Commands::
     repro-power billing                          # per-process energy bill
 
 Common options: ``--seed``, ``--duration`` (seconds per workload),
-``--tick-ms`` (simulation resolution), ``--cache-dir`` (run cache).
+``--tick-ms`` (simulation resolution), ``--cache-dir`` (run cache),
+``--workers`` (parallel sweep processes).
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ def _context(args: argparse.Namespace) -> ex.ExperimentContext:
         seed=args.seed,
         duration_s=args.duration,
         cache_dir=args.cache_dir,
+        n_workers=args.workers,
     )
 
 
@@ -87,6 +89,13 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--duration", type=float, default=300.0)
     parser.add_argument("--tick-ms", type=float, default=10.0)
     parser.add_argument("--cache-dir", default=None)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for multi-workload sweeps "
+        "(default: REPRO_SWEEP_WORKERS or the CPU count)",
+    )
     parser.add_argument("-o", "--output", default=None, help="write report here")
     args = parser.parse_args(argv)
 

@@ -115,10 +115,7 @@ class ClusterNode:
             return BOOT_POWER_W
         self._server.threads = self._all_threads[: self.assigned_threads]
         ticks = int(round(1.0 / self.config.tick_s))
-        energy = 0.0
-        for _ in range(ticks):
-            energy += self._server.tick().total_w * self.config.tick_s
-        return energy
+        return self._server.run_ticks(ticks)
 
 
 @dataclass

@@ -5,6 +5,14 @@ the selected events per processor, reads the totals once per second and
 clears the counters.  Reading is a handful of fast register accesses —
 the reason the paper prefers on-chip counters over OS counters (no
 system-call overhead).
+
+Counts are accumulated in plain Python floats (one row of ``n_cpus``
+accumulators per event) rather than a numpy array: the simulator's hot
+loop performs dozens of scalar accumulations per tick, and a Python
+``float`` add is several times cheaper than a numpy scalar indexed add
+while rounding identically (both are IEEE-754 doubles).  Rows are
+cleared in place so references obtained via :meth:`row` stay valid
+across sampling windows.
 """
 
 from __future__ import annotations
@@ -25,13 +33,15 @@ class CounterBank:
         self.events = tuple(events)
         self.n_cpus = n_cpus
         self._index = {event: i for i, event in enumerate(self.events)}
-        self._counts = np.zeros((len(self.events), n_cpus), dtype=float)
+        self._rows: "list[list[float]]" = [
+            [0.0] * n_cpus for _ in self.events
+        ]
 
     def add(self, event: Event, cpu: int, count: float) -> None:
         """Accumulate ``count`` occurrences of ``event`` on ``cpu``."""
         if count < 0:
             raise ValueError(f"negative count for {event}: {count}")
-        self._counts[self._index[event], cpu] += count
+        self._rows[self._index[event]][cpu] += count
 
     def add_all_cpus(self, event: Event, counts: "list[float] | np.ndarray") -> None:
         """Accumulate a per-CPU vector of counts at once."""
@@ -42,16 +52,33 @@ class CounterBank:
             )
         if np.any(counts < 0):
             raise ValueError(f"negative count for {event}")
-        self._counts[self._index[event]] += counts
+        row = self._rows[self._index[event]]
+        for cpu in range(self.n_cpus):
+            row[cpu] += counts[cpu]
+
+    def row(self, event: Event) -> "list[float]":
+        """The live per-CPU accumulator row for ``event``.
+
+        The returned list is the bank's own storage: callers on the
+        simulator's fast path accumulate into it directly
+        (``row[cpu] += count``), avoiding per-event method dispatch.
+        The reference stays valid across :meth:`read_and_clear` because
+        clearing zeroes rows in place.  Only valid for a plain
+        ``CounterBank`` — multiplexed banks gate :meth:`add` and must be
+        driven through it.
+        """
+        return self._rows[self._index[event]]
 
     def peek(self, event: Event) -> np.ndarray:
         """Current per-CPU totals without clearing."""
-        return self._counts[self._index[event]].copy()
+        return np.asarray(self._rows[self._index[event]], dtype=float)
 
     def read_and_clear(self) -> "dict[Event, np.ndarray]":
         """Counts since the last read; counters reset to zero."""
-        snapshot = {
-            event: self._counts[i].copy() for event, i in self._index.items()
-        }
-        self._counts.fill(0.0)
+        snapshot = {}
+        for event, i in self._index.items():
+            row = self._rows[i]
+            snapshot[event] = np.asarray(row, dtype=float)
+            for cpu in range(self.n_cpus):
+                row[cpu] = 0.0
         return snapshot

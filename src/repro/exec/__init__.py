@@ -1,0 +1,29 @@
+"""Execution engine: parallel sweeps and the content-addressed run cache.
+
+``repro.exec`` owns *how* simulated runs get produced — serial or
+process-parallel, fresh or from disk — so the rest of the codebase only
+ever says *which* runs it wants.  See :func:`sweep` for the main entry
+point and :class:`RunCache` for the on-disk store.
+"""
+
+from repro.exec.cache import CacheStats, RunCache, run_key
+from repro.exec.sweep import (
+    SweepResult,
+    SweepSpec,
+    default_workers,
+    run_spec,
+    sweep,
+    sweep_specs,
+)
+
+__all__ = [
+    "CacheStats",
+    "RunCache",
+    "SweepResult",
+    "SweepSpec",
+    "default_workers",
+    "run_key",
+    "run_spec",
+    "sweep",
+    "sweep_specs",
+]

@@ -1,0 +1,187 @@
+"""Content-addressed on-disk cache of simulated runs.
+
+A cached run is addressed by the sha256 of everything that determines
+its content: the full :class:`~repro.simulator.config.SystemConfig`
+(every nested dataclass field), the workload name, the base seed, the
+duration, the DVFS operating point and the number of warmup windows
+dropped before storing.  Any change to any of these — a retuned power
+constant, a different tick length — changes the key, so stale cache
+entries can never be returned; the hand-rolled filename scheme this
+replaces keyed only on ``(name, duration, seed, tick)`` and had to be
+version-bumped by hand whenever the simulator changed behaviour.
+
+Writes are atomic (write to a temp file in the cache directory, then
+``os.replace``) so a crashed or killed process never leaves a torn
+JSON behind, and concurrent sweep workers racing to store the same run
+both succeed.  A best-effort ``index.json`` maps keys back to
+human-readable run parameters for inspection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.core.traces import MeasuredRun
+from repro.simulator.config import SystemConfig
+
+#: Bump when the on-disk run format (not the run content) changes.
+_SCHEMA_VERSION = 1
+
+
+def run_key(
+    workload: str,
+    seed: int,
+    duration_s: float,
+    config: SystemConfig,
+    pstate: int = 0,
+    warmup_windows: int = 0,
+) -> str:
+    """The content hash addressing one simulated run.
+
+    The key is the sha256 hex digest of a canonical (sorted-keys,
+    exact-float-repr) JSON document of every parameter that affects the
+    run's content.  Two calls agree exactly when the runs they describe
+    are bit-identical.
+    """
+    document = {
+        "schema": _SCHEMA_VERSION,
+        "workload": str(workload),
+        "seed": int(seed),
+        "duration_s": float(duration_s),
+        "pstate": int(pstate),
+        "warmup_windows": int(warmup_windows),
+        "config": dataclasses.asdict(config),
+    }
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one :class:`RunCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.writes} write(s)"
+        )
+
+
+@dataclass
+class RunCache:
+    """Content-addressed store of :class:`MeasuredRun` JSON files.
+
+    Args:
+        root: cache directory; created lazily on first write.  ``None``
+            disables the cache (every lookup misses, stores are no-ops)
+            so callers need no conditional plumbing.
+    """
+
+    root: "str | None"
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    @classmethod
+    def from_env(cls, default: "str | None" = None) -> "RunCache":
+        """A cache rooted at ``$REPRO_CACHE_DIR`` (or ``default``)."""
+        return cls(os.environ.get("REPRO_CACHE_DIR", default))
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.root)
+
+    def path_for(self, key: str) -> "str | None":
+        if not self.root:
+            return None
+        return os.path.join(self.root, f"run-{key}.json")
+
+    def load(self, key: str) -> "MeasuredRun | None":
+        """The cached run for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        if path is None or not os.path.exists(path):
+            self.stats.misses += 1
+            return None
+        try:
+            run = MeasuredRun.load(path)
+        except (OSError, ValueError, KeyError):
+            # A torn or foreign file: treat as a miss; the subsequent
+            # store will atomically replace it.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return run
+
+    def store(self, key: str, run: MeasuredRun) -> "str | None":
+        """Atomically persist ``run`` under ``key``; returns its path."""
+        path = self.path_for(key)
+        if path is None:
+            return None
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=f".run-{key[:12]}-", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(run.to_dict(), handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        self._index_add(key, run)
+        return path
+
+    # -- index (best effort, for humans) --------------------------------
+
+    def _index_path(self) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, "index.json")
+
+    def _index_add(self, key: str, run: MeasuredRun) -> None:
+        """Record human-readable parameters for ``key``.
+
+        Purely informational: lookups never consult the index, so a
+        lost race between concurrent writers costs nothing but an index
+        line.
+        """
+        try:
+            index = self.index()
+            index[key] = {
+                "workload": run.workload,
+                "n_samples": run.n_samples,
+                "duration_s": run.duration_s,
+                "base_seed": run.metadata.get("base_seed"),
+            }
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=".index-", suffix=".tmp", dir=self.root
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(index, handle, indent=2, sort_keys=True)
+            os.replace(tmp_path, self._index_path())
+        except OSError:
+            pass
+
+    def index(self) -> dict:
+        """The key -> run-parameters mapping (empty when absent)."""
+        if not self.root:
+            return {}
+        try:
+            with open(self._index_path(), encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return {}

@@ -1,0 +1,187 @@
+"""Parallel sweep engine: many independent simulated runs at once.
+
+The paper's evaluation is a sweep — twelve workloads simulated under
+one configuration, then fed to training and validation.  Each run is
+completely independent (its RNG streams derive from the base seed and
+the workload name, never from other runs), so runs parallelise across
+worker processes with **bit-identical** results: the worker executes
+exactly the same ``simulate_workload`` call the serial path would, and
+result ordering follows the spec list, not completion order.
+
+``sweep``/``sweep_specs`` are the single entry point the experiment
+context, the CLI, the benchmarks and the calibration script all route
+through; pair them with :class:`~repro.exec.cache.RunCache` to skip
+already-simulated runs across processes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.traces import MeasuredRun
+from repro.exec.cache import RunCache, run_key
+from repro.simulator.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One run of the sweep: which workload, under which conditions.
+
+    ``config=None`` means the default :class:`SystemConfig`; the spec
+    must stay picklable because it crosses the process boundary whole.
+    """
+
+    workload: str
+    seed: int = 7
+    duration_s: float = 300.0
+    pstate: int = 0
+    config: "SystemConfig | None" = None
+    #: Counter windows dropped from the front of the returned run
+    #: (program initialisation); applied inside the worker so cached
+    #: and freshly simulated runs are interchangeable.
+    warmup_windows: int = 0
+
+    def resolved_config(self) -> SystemConfig:
+        return self.config if self.config is not None else SystemConfig()
+
+    def key(self) -> str:
+        """Content-hash cache key for this spec's run."""
+        return run_key(
+            workload=self.workload,
+            seed=self.seed,
+            duration_s=self.duration_s,
+            config=self.resolved_config(),
+            pstate=self.pstate,
+            warmup_windows=self.warmup_windows,
+        )
+
+
+def run_spec(spec: SweepSpec) -> MeasuredRun:
+    """Execute one spec (module-level so it pickles to pool workers)."""
+    # Imported here so a pool worker pays the simulator import once per
+    # process, not per task, and the module import stays cheap.
+    from repro.simulator.system import simulate_workload
+    from repro.workloads.registry import get_workload
+
+    run = simulate_workload(
+        get_workload(spec.workload),
+        duration_s=spec.duration_s,
+        seed=spec.seed,
+        config=spec.resolved_config(),
+        pstate=spec.pstate,
+    )
+    if spec.warmup_windows > 0:
+        run = run.drop_warmup(spec.warmup_windows)
+    return run
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose one.
+
+    ``REPRO_SWEEP_WORKERS`` overrides; otherwise the machine's CPU
+    count, so a laptop parallelises and a CI container degrades to
+    serial without configuration.
+    """
+    env = os.environ.get("REPRO_SWEEP_WORKERS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+@dataclass
+class SweepResult:
+    """Runs in spec order plus where each one came from."""
+
+    runs: "list[MeasuredRun]"
+    cache_stats_hits: int = 0
+    cache_stats_misses: int = 0
+    n_workers: int = 1
+    #: Index positions that were simulated (vs loaded from cache).
+    simulated: "list[int]" = field(default_factory=list)
+
+
+def sweep_specs(
+    specs: "list[SweepSpec] | tuple[SweepSpec, ...]",
+    n_workers: "int | None" = None,
+    cache: "RunCache | None" = None,
+) -> SweepResult:
+    """Run every spec, in parallel, returning runs in spec order.
+
+    Cache hits are served without touching the pool; only the misses
+    are simulated.  ``n_workers=1`` (or a single outstanding miss)
+    runs inline in this process — the results are identical either
+    way, only the wall-clock differs.
+    """
+    specs = list(specs)
+    if n_workers is None:
+        n_workers = default_workers()
+    runs: "list[MeasuredRun | None]" = [None] * len(specs)
+
+    pending: "list[int]" = []
+    hits = misses = 0
+    for i, spec in enumerate(specs):
+        if cache is not None and cache.enabled:
+            cached = cache.load(spec.key())
+            if cached is not None:
+                runs[i] = cached
+                hits += 1
+                continue
+            misses += 1
+        pending.append(i)
+
+    effective_workers = min(n_workers, len(pending)) if pending else 0
+    if effective_workers > 1:
+        with ProcessPoolExecutor(max_workers=effective_workers) as pool:
+            for i, run in zip(pending, pool.map(run_spec, [specs[i] for i in pending])):
+                runs[i] = run
+    else:
+        for i in pending:
+            runs[i] = run_spec(specs[i])
+
+    if cache is not None and cache.enabled:
+        for i in pending:
+            run = runs[i]
+            assert run is not None
+            cache.store(specs[i].key(), run)
+
+    assert all(run is not None for run in runs)
+    return SweepResult(
+        runs=runs,  # type: ignore[arg-type]
+        cache_stats_hits=hits,
+        cache_stats_misses=misses,
+        n_workers=max(1, effective_workers),
+        simulated=pending,
+    )
+
+
+def sweep(
+    workloads: "tuple[str, ...] | list[str]",
+    config: "SystemConfig | None" = None,
+    seed: int = 7,
+    duration_s: float = 300.0,
+    pstate: int = 0,
+    warmup_windows: int = 0,
+    n_workers: "int | None" = None,
+    cache: "RunCache | None" = None,
+) -> "dict[str, MeasuredRun]":
+    """Simulate ``workloads`` under one configuration, possibly in parallel.
+
+    The name-keyed result dict preserves the input order.  Parallel and
+    serial execution produce bit-identical runs (each run's RNG streams
+    depend only on ``(seed, workload name)``).
+    """
+    specs = [
+        SweepSpec(
+            workload=name,
+            seed=seed,
+            duration_s=duration_s,
+            pstate=pstate,
+            config=config,
+            warmup_windows=warmup_windows,
+        )
+        for name in workloads
+    ]
+    result = sweep_specs(specs, n_workers=n_workers, cache=cache)
+    return dict(zip(list(workloads), result.runs))

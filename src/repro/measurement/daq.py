@@ -37,6 +37,13 @@ class DataAcquisition:
         self.config = config
         self._rng = rng
         self._window_energy = {s: 0.0 for s in sensors.subsystems}
+        #: Flattened analog chain for the per-tick fast path:
+        #: (subsystem, gain, drift phase) per channel.
+        self._chain = tuple(
+            (s, sensors.gain(s), sensors._drift_phase[s])
+            for s in sensors.subsystems
+        )
+        self._two_pi = 2.0 * math.pi
         self._window_start_s = 0.0
         self._timestamps: list[float] = []
         self._means: dict[Subsystem, list[float]] = {
@@ -46,12 +53,20 @@ class DataAcquisition:
     def record_tick(
         self, true_power_w: "dict[Subsystem, float]", now_s: float, dt_s: float
     ) -> None:
-        """Integrate one tick of true power through the analog chain."""
-        for subsystem in self.sensors.subsystems:
-            reading = self.sensors.observe(
-                subsystem, true_power_w[subsystem], now_s
-            )
-            self._window_energy[subsystem] += reading * dt_s
+        """Integrate one tick of true power through the analog chain.
+
+        Inlines :meth:`PowerSensors.observe` with the same arithmetic
+        (gain then drift, identical association); the time-dependent
+        part of the drift angle is shared by every channel, so it is
+        computed once per tick instead of once per channel.
+        """
+        angle = self._two_pi * now_s / PowerSensors._DRIFT_PERIOD_S
+        drift_rel = self.config.drift_rel
+        window_energy = self._window_energy
+        sin = math.sin
+        for subsystem, gain, phase in self._chain:
+            drift = 1.0 + drift_rel * sin(angle + phase)
+            window_energy[subsystem] += true_power_w[subsystem] * gain * drift * dt_s
 
     def close_window(self, pulse_time_s: float) -> None:
         """A sync pulse arrived: emit the averaged window."""

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.simulator.config import OsConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskRequest:
     """Bytes the OS submits to the disk subsystem this tick.
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.simulator.rng import NormalStream
 from repro.workloads.base import PhaseBehavior, ThreadPlan
 
 
@@ -26,8 +27,23 @@ class ThreadState(enum.Enum):
 #: Time constant of the OU rate modulation (seconds).
 _OU_TAU_S = 8.0
 
+#: dt_s -> (alpha, noise_scale) for the OU step.  The tick length is
+#: fixed for a simulation run, so every thread shares one cached pair
+#: instead of paying exp/sqrt per thread per tick.
+_OU_COEFF_CACHE: dict[float, tuple[float, float]] = {}
 
-@dataclass
+
+def _ou_coefficients(dt_s: float) -> tuple[float, float]:
+    coeff = _OU_COEFF_CACHE.get(dt_s)
+    if coeff is None:
+        alpha = math.exp(-dt_s / _OU_TAU_S)
+        noise_scale = math.sqrt(max(0.0, 1.0 - alpha * alpha))
+        coeff = (alpha, noise_scale)
+        _OU_COEFF_CACHE[dt_s] = coeff
+    return coeff
+
+
+@dataclass(slots=True)
 class ThreadActivity:
     """The behaviour a thread presents to the hardware this tick."""
 
@@ -57,14 +73,33 @@ class SimThread:
         self.plan = plan
         self.variability = variability
         self._rng = rng
+        self._normal = NormalStream(rng)
         self._runtime_s = 0.0
+        #: Cycle length and cumulative phase end times, accumulated in
+        #: the same order as ``ThreadPlan.phase_at`` so lookups through
+        #: the cache compare against bit-identical boundaries.
+        self._cycle_s = plan.cycle_duration_s
+        bounds: list[float] = []
+        elapsed = 0.0
+        for phase in plan.phases:
+            elapsed += phase.duration_s
+            bounds.append(elapsed)
+        self._phase_bounds = bounds
+        self._phase_idx = 0
         self._ou = 0.0
         self._last_phase_name: str | None = None
+        #: Set when a non-looping plan runs out; lets the scheduler skip
+        #: the tick() call entirely for dead threads.
+        self.finished = False
+        #: Per-thread OU coefficient cache (dt is fixed within a run).
+        self._coeff_dt = -1.0
+        self._ou_alpha = 0.0
+        self._ou_noise = 0.0
 
     def state(self, now_s: float) -> ThreadState:
         if now_s < self.plan.start_time_s:
             return ThreadState.NOT_STARTED
-        if not self.plan.loop and self._runtime_s >= self.plan.cycle_duration_s:
+        if not self.plan.loop and self._runtime_s >= self._cycle_s:
             return ThreadState.FINISHED
         return ThreadState.RUNNABLE
 
@@ -81,11 +116,34 @@ class SimThread:
         only while the thread runs, so staggered threads stay
         decorrelated.
         """
-        if self.state(now_s) is not ThreadState.RUNNABLE:
+        # Inline state check (NOT_STARTED / FINISHED), then the phase
+        # lookup: equivalent to plan.phase_at(runtime) but remembers the
+        # current phase index — threads stay in one phase for many
+        # ticks, so the linear boundary scan rarely runs.
+        plan = self.plan
+        if now_s < plan.start_time_s:
             return None
-        phase = self.plan.phase_at(self._runtime_s)
-        if phase is None:
+        runtime = self._runtime_s
+        if plan.loop:
+            position = runtime % self._cycle_s
+        elif runtime >= self._cycle_s:
+            self.finished = True
             return None
+        else:
+            position = runtime
+        bounds = self._phase_bounds
+        idx = self._phase_idx
+        if not (
+            position < bounds[idx] and (idx == 0 or position >= bounds[idx - 1])
+        ):
+            idx = 0
+            n_phases = len(bounds)
+            while idx < n_phases and position >= bounds[idx]:
+                idx += 1
+            if idx == n_phases:
+                idx = n_phases - 1  # phase_at falls back to the last phase
+            self._phase_idx = idx
+        phase = plan.phases[idx]
 
         sync_requested = bool(
             phase.behavior.sync_file and phase.name != self._last_phase_name
@@ -93,10 +151,13 @@ class SimThread:
         self._last_phase_name = phase.name
 
         # Ornstein-Uhlenbeck step: mean-reverting to 0, stationary std 1.
-        alpha = math.exp(-dt_s / _OU_TAU_S)
-        noise_scale = math.sqrt(max(0.0, 1.0 - alpha * alpha))
-        self._ou = alpha * self._ou + noise_scale * self._rng.standard_normal()
-        modulation = max(0.1, 1.0 + self.variability * self._ou)
+        if dt_s != self._coeff_dt:
+            self._ou_alpha, self._ou_noise = _ou_coefficients(dt_s)
+            self._coeff_dt = dt_s
+        self._ou = self._ou_alpha * self._ou + self._ou_noise * self._normal.next()
+        modulation = 1.0 + self.variability * self._ou
+        if modulation < 0.1:
+            modulation = 0.1
 
         occupancy = 1.0 - phase.behavior.blocking_fraction
         self._runtime_s += dt_s

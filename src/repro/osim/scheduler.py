@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.osim.process import SimThread, ThreadActivity
 
 
-@dataclass
+@dataclass(slots=True)
 class PackageLoad:
     """Threads running on one package during a tick."""
 
@@ -52,6 +52,8 @@ class Scheduler:
         #: package_id -> number of threads bound to it.
         self._bound: list[int] = [0] * n_packages
         self.context_switches = 0
+        #: Reused per-tick result objects; cleared at the top of tick().
+        self._loads = [PackageLoad(package_id=p) for p in range(n_packages)]
 
     def _place(self, thread_id: int) -> int:
         """Bind a new thread to the least-loaded package (breadth first)."""
@@ -71,22 +73,33 @@ class Scheduler:
         overflow rotates (handled by capping activities per package and
         scaling occupancy — rare in the paper's workloads, which use at
         most eight threads on eight contexts).
+
+        The returned ``PackageLoad`` objects are reused between calls;
+        they are valid until the next ``tick``.
         """
-        loads = [PackageLoad(package_id=p) for p in range(self.n_packages)]
+        loads = self._loads
+        for load in loads:
+            load.activities.clear()
+        affinity = self._affinity
         for thread in threads:
+            # Cheap pre-checks: a thread whose start time has not
+            # arrived, or that already ran out of phases, would return
+            # None from tick(); skip the call entirely.
+            if thread.finished or now_s < thread.plan.start_time_s:
+                continue
             activity = thread.tick(now_s, dt_s)
             if activity is None:
                 continue
-            package = self._affinity.get(thread.thread_id)
+            package = affinity.get(thread.thread_id)
             if package is None:
                 package = self._place(thread.thread_id)
             loads[package].activities.append(activity)
 
         # Time-share overflow: more threads than contexts on a package.
         for load in loads:
-            excess = load.n_running - self.smt_contexts
+            excess = len(load.activities) - self.smt_contexts
             if excess > 0:
-                share = self.smt_contexts / load.n_running
+                share = self.smt_contexts / len(load.activities)
                 load.activities = [
                     ThreadActivity(
                         thread_id=a.thread_id,

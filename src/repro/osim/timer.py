@@ -18,14 +18,25 @@ class TimerSource:
         self.config = config
         self.n_packages = n_packages
         self._residual = [0.0] * n_packages
+        #: (per_tick, counts) fast path when ``timer_hz * dt_s`` is a
+        #: whole number: residuals stay exactly zero, so every tick
+        #: fires the same counts and no per-package arithmetic runs.
+        self._steady: "tuple[float, list[int]] | None" = None
 
     def tick(self, dt_s: float) -> list[int]:
         """Whole timer interrupts delivered to each package this tick."""
-        fired = []
         per_tick = self.config.timer_hz * dt_s
+        steady = self._steady
+        if steady is not None and steady[0] == per_tick:
+            return steady[1]
+        fired = []
         for package in range(self.n_packages):
             self._residual[package] += per_tick
             whole = int(self._residual[package])
             self._residual[package] -= whole
             fired.append(whole)
+        if float(int(per_tick)) == per_tick and not any(self._residual):
+            self._steady = (per_tick, fired)
+        else:
+            self._steady = None
         return fired

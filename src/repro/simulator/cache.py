@@ -15,7 +15,7 @@ from repro.simulator.config import CacheConfig
 from repro.workloads.base import PhaseBehavior
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryTraffic:
     """Off-package traffic produced by one package during a tick.
 
@@ -43,7 +43,15 @@ class MemoryTraffic:
         )
 
     def scaled(self, demand_ratio: float, prefetch_ratio: float) -> "MemoryTraffic":
-        """Traffic after bus arbitration granted the given ratios."""
+        """Traffic after bus arbitration granted the given ratios.
+
+        On an unsaturated bus both ratios are exactly 1.0 and scaling
+        is the identity (``x * 1.0 == x`` bit-for-bit), so the common
+        case returns ``self`` without allocating.  Traffic objects are
+        treated as immutable by every consumer.
+        """
+        if demand_ratio == 1.0 and prefetch_ratio == 1.0:
+            return self
         return MemoryTraffic(
             demand_load_misses=self.demand_load_misses * demand_ratio,
             writebacks=self.writebacks * demand_ratio,
@@ -75,15 +83,21 @@ class CacheHierarchy:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
+        # latency_ratio is constant within a tick (and usually across
+        # ticks on an unsaturated bus); memoise the last ramp value.
+        self._ramp_key = -1.0
+        self._ramp_value = 1.0
+        self._prefetch_per_miss = config.prefetch_per_miss
+        self._pagewalk_per_tlb = config.pagewalk_reads_per_tlb_miss
 
     def prefetch_ramp(self, latency_ratio: float) -> float:
         """Aggressiveness multiplier given current latency inflation."""
         if latency_ratio < 1.0:
             raise ValueError("latency_ratio is relative to base latency (>= 1)")
-        return min(
-            self._PREFETCH_RAMP_MAX,
-            1.0 + self._PREFETCH_RAMP * (latency_ratio - 1.0),
-        )
+        ramp = 1.0 + self._PREFETCH_RAMP * (latency_ratio - 1.0)
+        if ramp > self._PREFETCH_RAMP_MAX:
+            return self._PREFETCH_RAMP_MAX
+        return ramp
 
     def traffic_for(
         self,
@@ -104,19 +118,23 @@ class CacheHierarchy:
         kuops = executed_uops / 1000.0
         load_misses = kuops * behavior.l3_load_misses_per_kuop * modulation
         tlb_misses = kuops * behavior.tlb_misses_per_kuop * modulation
+        if latency_ratio == self._ramp_key:
+            ramp = self._ramp_value
+        else:
+            ramp = self.prefetch_ramp(latency_ratio)
+            self._ramp_key = latency_ratio
+            self._ramp_value = ramp
         prefetches = (
-            load_misses
-            * self.config.prefetch_per_miss
-            * behavior.streamability
-            * self.prefetch_ramp(latency_ratio)
+            load_misses * self._prefetch_per_miss * behavior.streamability * ramp
         )
+        sharing = sharing_threads - 1
         writeback_ratio = behavior.writeback_ratio * (
-            1.0 + behavior.cache_pressure * max(0, sharing_threads - 1)
+            1.0 + behavior.cache_pressure * (sharing if sharing > 0 else 0)
         )
         return MemoryTraffic(
             demand_load_misses=load_misses,
             writebacks=load_misses * writeback_ratio,
-            pagewalk_reads=tlb_misses * self.config.pagewalk_reads_per_tlb_miss,
+            pagewalk_reads=tlb_misses * self._pagewalk_per_tlb,
             prefetch_requests=prefetches,
             uncacheable_accesses=behavior.uncacheable_per_s * dt_s * occupancy,
             tlb_misses=tlb_misses,
@@ -139,7 +157,14 @@ def merge_traffic(parts: "list[MemoryTraffic]") -> MemoryTraffic:
         total.prefetch_requests += part.prefetch_requests
         total.uncacheable_accesses += part.uncacheable_accesses
         total.tlb_misses += part.tlb_misses
-        part_weight = part.demand_transactions + part.prefetch_requests
+        # demand_transactions inlined (same summation order).
+        part_weight = (
+            part.demand_load_misses
+            + part.writebacks
+            + part.pagewalk_reads
+            + part.uncacheable_accesses
+            + part.prefetch_requests
+        )
         total.streamability += part.streamability * part_weight
         weight += part_weight
     total.streamability = total.streamability / weight if weight > 0 else 0.5

@@ -21,6 +21,7 @@ import math
 import numpy as np
 
 from repro.simulator.config import ChipsetConfig
+from repro.simulator.rng import NormalStream
 
 
 class ChipsetSubsystem:
@@ -40,6 +41,12 @@ class ChipsetSubsystem:
         high = config.derivation_offset_range_w / 4.0
         self._offset_mean = float(rng.uniform(low, high))
         self._offset = self._offset_mean
+        # Created after the offset-mean draw so the buffered stream
+        # consumes exactly the values the per-tick scalar draws did.
+        self._normal = NormalStream(rng)
+        #: dt_s -> (alpha, noise) OU coefficients; the tick length is
+        #: fixed per run, so exp/sqrt are paid once, not per tick.
+        self._drift_coeff: "dict[float, tuple[float, float]]" = {}
 
     @property
     def derivation_offset_mean_w(self) -> float:
@@ -67,12 +74,17 @@ class ChipsetSubsystem:
             raise ValueError("bus_utilization must be in [0, 1]")
         if not 0.0 <= system_activity <= 1.0:
             raise ValueError("system_activity must be in [0, 1]")
-        alpha = math.exp(-dt_s / self._DRIFT_TAU_S)
-        noise = math.sqrt(max(0.0, 1.0 - alpha * alpha)) * self._DRIFT_STD_W
+        coeff = self._drift_coeff.get(dt_s)
+        if coeff is None:
+            alpha = math.exp(-dt_s / self._DRIFT_TAU_S)
+            noise = math.sqrt(max(0.0, 1.0 - alpha * alpha)) * self._DRIFT_STD_W
+            coeff = (alpha, noise)
+            self._drift_coeff[dt_s] = coeff
+        alpha, noise = coeff
         self._offset = (
             self._offset_mean
             + alpha * (self._offset - self._offset_mean)
-            + noise * float(self._rng.standard_normal())
+            + noise * self._normal.next()
         )
         # Smoothstep: the offset fades in as the machine leaves idle.
         gate = system_activity * system_activity * (3.0 - 2.0 * system_activity)

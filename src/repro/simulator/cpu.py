@@ -21,11 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.osim.scheduler import PackageLoad
-from repro.simulator.cache import CacheHierarchy, MemoryTraffic, merge_traffic
+from repro.simulator.cache import CacheHierarchy, MemoryTraffic
 from repro.simulator.config import CacheConfig, CpuConfig
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ThreadTickStat:
     """One thread's share of a package tick (for process accounting)."""
 
@@ -36,7 +36,7 @@ class ThreadTickStat:
     bus_demand_tx: float
 
 
-@dataclass
+@dataclass(slots=True)
 class PackageTick:
     """Everything one package did and consumed during a tick."""
 
@@ -74,6 +74,30 @@ class CpuPackage:
         self.config = cpu
         self.cache = CacheHierarchy(cache)
         self._pstate_index = 0
+        self._interrupt_service_cycles = cpu.interrupt_service_cycles
+        self._refresh_pstate()
+
+    def _refresh_pstate(self) -> None:
+        """Cache the per-pstate constants the per-tick paths read.
+
+        Recomputed only on a DVFS switch, so the tick loop pays plain
+        attribute loads instead of chained property evaluations.
+        """
+        state = self.config.dvfs_states[self._pstate_index]
+        nominal = self.config.dvfs_states[0].frequency_hz
+        self._pstate = state
+        self._frequency_hz = state.frequency_hz
+        self._voltage_sq = state.voltage_scale**2
+        self._power_scale_value = state.voltage_scale**2 * (
+            state.frequency_hz / nominal
+        )
+        # Idle ticks recur with identical (cycles, occupancy); the
+        # resulting PackageTick and its power are pure functions of the
+        # pair plus the pstate, so cache one of each.  Consumers treat
+        # PackageTick as read-only.
+        self._idle_tick_key: "tuple[float, float] | None" = None
+        self._idle_tick: "PackageTick | None" = None
+        self._idle_power = 0.0
 
     @property
     def pstate_index(self) -> int:
@@ -87,21 +111,20 @@ class CpuPackage:
                 f"{len(self.config.dvfs_states)} states"
             )
         self._pstate_index = index
+        self._refresh_pstate()
 
     @property
     def pstate(self):
-        return self.config.dvfs_states[self._pstate_index]
+        return self._pstate
 
     @property
     def frequency_hz(self) -> float:
-        return self.pstate.frequency_hz
+        return self._frequency_hz
 
     @property
     def _power_scale(self) -> float:
         """V^2 * f scaling of dynamic power relative to nominal."""
-        nominal = self.config.dvfs_states[0].frequency_hz
-        state = self.pstate
-        return state.voltage_scale**2 * (state.frequency_hz / nominal)
+        return self._power_scale_value
 
     def tick(
         self,
@@ -125,24 +148,28 @@ class CpuPackage:
             interrupts: interrupts serviced by this package this tick.
             dt_s: tick length in seconds.
         """
-        cycles = self.frequency_hz * dt_s
-        latency_ratio = max(1.0, mem_latency_cycles / base_latency_cycles)
-        interrupt_busy = min(
-            0.5, interrupts * self.config.interrupt_service_cycles / cycles
-        )
+        cycles = self._frequency_hz * dt_s
+        interrupt_busy = interrupts * self._interrupt_service_cycles / cycles
+        if interrupt_busy > 0.5:
+            interrupt_busy = 0.5
 
         if not load.activities:
-            occupancy = interrupt_busy
-            return self._finish_idle_tick(cycles, occupancy)
+            return self._finish_idle_tick(cycles, interrupt_busy)
 
-        n_running = load.n_running
+        latency_ratio = mem_latency_cycles / base_latency_cycles
+        if latency_ratio < 1.0:
+            latency_ratio = 1.0
+
+        n_running = len(load.activities)
         smt_scale = 1.0 if n_running <= 1 else smt_yield * 2.0 / n_running
+        max_upc = self.config.max_uops_per_cycle
+        pagewalk_per_tlb = self.cache.config.pagewalk_reads_per_tlb_miss
+        traffic_for = self.cache.traffic_for
 
         fetched = 0.0
         executed = 0.0
         fp_uops = 0.0
         speculation = 0.0
-        traffic_parts = []
         file_read = 0.0
         file_write = 0.0
         net_rx = 0.0
@@ -150,18 +177,32 @@ class CpuPackage:
         hit_ratio_weighted = 0.0
         sync_requested = False
         thread_stats = []
+        occ_max = 0.0
+        # merge_traffic fused into the loop below: each accumulator sums
+        # per-thread parts in activity order, exactly as the standalone
+        # merge would, but on locals instead of dataclass attributes.
+        t_dlm = 0.0
+        t_wb = 0.0
+        t_pw = 0.0
+        t_pf = 0.0
+        t_ua = 0.0
+        t_tlb = 0.0
+        t_stream = 0.0
+        t_weight = 0.0
 
         for activity in load.activities:
             behavior = activity.behavior
-            target_upc = min(
-                behavior.uops_per_cycle * activity.modulation,
-                self.config.max_uops_per_cycle,
-            )
-            cpi_base = 1.0 / max(target_upc, 1.0e-6)
+            if activity.occupancy > occ_max:
+                occ_max = activity.occupancy
+            target_upc = behavior.uops_per_cycle * activity.modulation
+            if target_upc > max_upc:
+                target_upc = max_upc
+            if target_upc < 1.0e-6:
+                target_upc = 1.0e-6
+            cpi_base = 1.0 / target_upc
             misses_per_uop = (
                 behavior.l3_load_misses_per_kuop
-                + self.cache.config.pagewalk_reads_per_tlb_miss
-                * behavior.tlb_misses_per_kuop
+                + pagewalk_per_tlb * behavior.tlb_misses_per_kuop
             ) / 1000.0
             stall_per_uop = (
                 behavior.memory_sensitivity * misses_per_uop * mem_latency_cycles
@@ -179,26 +220,39 @@ class CpuPackage:
             speculation += (
                 behavior.speculation_factor * thread_cycles * activity.modulation
             )
-            traffic_parts.append(
-                self.cache.traffic_for(
-                    behavior,
-                    thread_executed,
-                    activity.modulation,
-                    activity.occupancy,
-                    latency_ratio,
-                    dt_s,
-                    sharing_threads=n_running,
-                )
+            traffic = traffic_for(
+                behavior,
+                thread_executed,
+                activity.modulation,
+                activity.occupancy,
+                latency_ratio,
+                dt_s,
+                sharing_threads=n_running,
             )
-            traffic = traffic_parts[-1]
+            dlm = traffic.demand_load_misses
+            wb = traffic.writebacks
+            pw = traffic.pagewalk_reads
+            pf = traffic.prefetch_requests
+            ua = traffic.uncacheable_accesses
+            # bus_demand_tx and the streamability weight are the same
+            # five-term sum (demand_transactions + prefetches, inlined
+            # in merge order), so compute it once per thread.
+            tx = dlm + wb + pw + ua + pf
+            t_dlm += dlm
+            t_wb += wb
+            t_pw += pw
+            t_pf += pf
+            t_ua += ua
+            t_tlb += traffic.tlb_misses
+            t_stream += traffic.streamability * tx
+            t_weight += tx
             thread_stats.append(
                 ThreadTickStat(
                     thread_id=activity.thread_id,
                     runtime_s=dt_s * activity.occupancy,
                     executed_uops=thread_executed,
                     fetched_uops=thread_fetched,
-                    bus_demand_tx=traffic.demand_transactions
-                    + traffic.prefetch_requests,
+                    bus_demand_tx=tx,
                 )
             )
             file_read += behavior.disk_read_bps * dt_s
@@ -210,7 +264,9 @@ class CpuPackage:
             )
             sync_requested = sync_requested or activity.sync_requested
 
-        occupancy = min(1.0, load.occupancy + interrupt_busy)
+        occupancy = occ_max + interrupt_busy
+        if occupancy > 1.0:
+            occupancy = 1.0
         halted_cycles = cycles * (1.0 - occupancy)
         read_hit_ratio = hit_ratio_weighted / file_read if file_read > 0 else 1.0
 
@@ -221,7 +277,15 @@ class CpuPackage:
             executed_uops=executed,
             fp_uops=fp_uops,
             speculation_uops=speculation,
-            traffic=merge_traffic(traffic_parts),
+            traffic=MemoryTraffic(
+                demand_load_misses=t_dlm,
+                writebacks=t_wb,
+                pagewalk_reads=t_pw,
+                prefetch_requests=t_pf,
+                uncacheable_accesses=t_ua,
+                tlb_misses=t_tlb,
+                streamability=t_stream / t_weight if t_weight > 0 else 0.5,
+            ),
             file_read_bytes=file_read,
             file_write_bytes=file_write,
             read_hit_ratio=read_hit_ratio,
@@ -232,8 +296,18 @@ class CpuPackage:
         )
 
     def _finish_idle_tick(self, cycles: float, occupancy: float) -> PackageTick:
-        """A package with nothing to run: halted except interrupt wakes."""
-        return PackageTick(
+        """A package with nothing to run: halted except interrupt wakes.
+
+        Idle ticks repeat with the same (cycles, occupancy) — the timer
+        delivers a constant interrupt count — so the tick object and its
+        power are cached and shared.  Consumers never mutate ticks.
+        """
+        key = (cycles, occupancy)
+        if self._idle_tick_key == key:
+            tick = self._idle_tick
+            assert tick is not None
+            return tick
+        tick = PackageTick(
             cycles=cycles,
             halted_cycles=cycles * (1.0 - occupancy),
             fetched_uops=cycles * occupancy * 0.4,  # interrupt-handler uops
@@ -241,32 +315,44 @@ class CpuPackage:
             fp_uops=0.0,
             speculation_uops=0.0,
         )
+        self._idle_tick_key = key
+        self._idle_tick = tick
+        self._idle_power = self._compute_power(tick)
+        return tick
 
     def power(self, tick: PackageTick) -> float:
         """Ground-truth package power for a finished tick (Watts)."""
+        if tick is self._idle_tick:
+            return self._idle_power
+        return self._compute_power(tick)
+
+    def _compute_power(self, tick: PackageTick) -> float:
         cfg = self.config
-        occupancy = 1.0 - tick.halted_cycles / tick.cycles
-        fetched_upc = tick.fetched_uops / tick.cycles
-        executed_upc = tick.executed_uops / tick.cycles
-        spec_upc = tick.speculation_uops / tick.cycles
-        fp_share = tick.fp_uops / tick.executed_uops if tick.executed_uops > 0 else 0.0
+        cycles = tick.cycles
+        executed_uops = tick.executed_uops
+        occupancy = 1.0 - tick.halted_cycles / cycles
+        fetched_upc = tick.fetched_uops / cycles
+        executed_upc = executed_uops / cycles
+        spec_upc = tick.speculation_uops / cycles
+        fp_share = tick.fp_uops / executed_uops if executed_uops > 0 else 0.0
         # A stalled-but-active package burns less than the full
         # active-idle delta: clocks run, execution units quiesce.
-        issue_intensity = min(1.0, executed_upc / max(occupancy, 1.0e-9))
-        active_scale = cfg.stall_power_fraction + (
-            1.0 - cfg.stall_power_fraction
-        ) * issue_intensity
+        issue_intensity = executed_upc / (occupancy if occupancy > 1.0e-9 else 1.0e-9)
+        if issue_intensity > 1.0:
+            issue_intensity = 1.0
+        stall_fraction = cfg.stall_power_fraction
+        active_scale = stall_fraction + (1.0 - stall_fraction) * issue_intensity
         dynamic = (
             cfg.uop_power_w * fetched_upc * (1.0 + cfg.fp_power_premium * fp_share)
             + cfg.speculation_power_w * spec_upc
         )
         # DVFS: dynamic and active-baseline power scale with V^2*f;
         # gated power scales with V^2 (leakage under the lower rail).
-        scale = self._power_scale
-        voltage_sq = self.pstate.voltage_scale**2
+        scale = self._power_scale_value
+        halted_power = cfg.halted_power_w
         return (
-            cfg.halted_power_w * voltage_sq
-            + (cfg.active_idle_power_w - cfg.halted_power_w)
+            halted_power * self._voltage_sq
+            + (cfg.active_idle_power_w - halted_power)
             * occupancy
             * active_scale
             * scale

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.simulator.config import DiskConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskTick:
     """Disk activity during one tick (summed over all disks)."""
 
@@ -46,15 +46,28 @@ class DiskSubsystem:
 
     def __init__(self, config: DiskConfig) -> None:
         self.config = config
-        #: Queued bytes per class: [sequential_read, sequential_write,
-        #: random_read, random_write].
-        self._queues = {
-            ("seq", "read"): 0.0,
-            ("seq", "write"): 0.0,
-            ("rand", "read"): 0.0,
-            ("rand", "write"): 0.0,
-        }
+        #: Queued bytes per class, in elevator service order:
+        #: sequential read/write, then random read/write.
+        self._q_seq_read = 0.0
+        self._q_seq_write = 0.0
+        self._q_rand_read = 0.0
+        self._q_rand_write = 0.0
         self.total_bytes = 0.0
+        #: Per-class (throughput, seek_fraction) — constant for a given
+        #: config, so computed once instead of per tick.
+        self._seq_rate = self._class_throughput("seq")
+        self._rand_rate = self._class_throughput("rand")
+        # With all queues empty a tick serves nothing, changes no state
+        # and burns exactly rotation power, so idle ticks share one
+        # result object.  Consumers never mutate DiskTick.
+        self._idle_tick = DiskTick(
+            served_read_bytes=0.0,
+            served_write_bytes=0.0,
+            seek_time_s=0.0,
+            transfer_time_s=0.0,
+            requests_completed=0.0,
+            power_w=config.rotation_power_w * config.num_disks,
+        )
 
     def submit(
         self,
@@ -70,12 +83,23 @@ class DiskSubsystem:
         """
         if read_bytes < 0 or write_bytes < 0:
             raise ValueError("byte counts must be non-negative")
-        self._queues[("seq" if read_sequential else "rand", "read")] += read_bytes
-        self._queues[("seq" if write_sequential else "rand", "write")] += write_bytes
+        if read_sequential:
+            self._q_seq_read += read_bytes
+        else:
+            self._q_rand_read += read_bytes
+        if write_sequential:
+            self._q_seq_write += write_bytes
+        else:
+            self._q_rand_write += write_bytes
 
     @property
     def queued_bytes(self) -> float:
-        return sum(self._queues.values())
+        return (
+            self._q_seq_read
+            + self._q_seq_write
+            + self._q_rand_read
+            + self._q_rand_write
+        )
 
     def write_capacity_bps(self) -> float:
         """Sequential write absorption rate (drives sync drain speed)."""
@@ -96,46 +120,73 @@ class DiskSubsystem:
         return throughput, seek_fraction
 
     def tick(self, dt_s: float) -> DiskTick:
-        """Service queued traffic for one tick and account mode power."""
-        budget_s = dt_s * self.config.num_disks  # disk-seconds available
-        served = {key: 0.0 for key in self._queues}
+        """Service queued traffic for one tick and account mode power.
+
+        The four class/direction queues are served in elevator order
+        (sequential before random, reads before writes) with the same
+        budget arithmetic per queue as the original dict-keyed loop —
+        unrolled to plain attributes so the hot path does no hashing.
+        """
+        config = self.config
+        budget_s = dt_s * config.num_disks  # disk-seconds available
+        if (
+            budget_s > 0
+            and self._q_seq_read == 0.0
+            and self._q_seq_write == 0.0
+            and self._q_rand_read == 0.0
+            and self._q_rand_write == 0.0
+        ):
+            return self._idle_tick
         seek_time = 0.0
         transfer_time = 0.0
         requests = 0.0
+        served_seq_read = served_seq_write = 0.0
+        served_rand_read = served_rand_write = 0.0
 
         # Sequential traffic first (elevator scheduling favours streams).
-        for klass in ("seq", "rand"):
-            throughput, seek_fraction = self._class_throughput(klass)
-            request_bytes = (
-                _SEQUENTIAL_REQUEST_BYTES if klass == "seq" else _RANDOM_REQUEST_BYTES
-            )
-            for direction in ("read", "write"):
-                if budget_s <= 0:
-                    break
-                queued = self._queues[(klass, direction)]
-                if queued <= 0:
-                    continue
-                service_s = min(budget_s, queued / throughput)
-                bytes_served = service_s * throughput
-                served[(klass, direction)] = bytes_served
-                self._queues[(klass, direction)] -= bytes_served
-                budget_s -= service_s
-                seek_time += service_s * seek_fraction
-                transfer_time += service_s * (1.0 - seek_fraction)
-                requests += bytes_served / request_bytes
+        throughput, seek_fraction = self._seq_rate
+        if budget_s > 0 and self._q_seq_read > 0:
+            service_s = min(budget_s, self._q_seq_read / throughput)
+            served_seq_read = service_s * throughput
+            self._q_seq_read -= served_seq_read
+            budget_s -= service_s
+            seek_time += service_s * seek_fraction
+            transfer_time += service_s * (1.0 - seek_fraction)
+            requests += served_seq_read / _SEQUENTIAL_REQUEST_BYTES
+        if budget_s > 0 and self._q_seq_write > 0:
+            service_s = min(budget_s, self._q_seq_write / throughput)
+            served_seq_write = service_s * throughput
+            self._q_seq_write -= served_seq_write
+            budget_s -= service_s
+            seek_time += service_s * seek_fraction
+            transfer_time += service_s * (1.0 - seek_fraction)
+            requests += served_seq_write / _SEQUENTIAL_REQUEST_BYTES
+        throughput, seek_fraction = self._rand_rate
+        if budget_s > 0 and self._q_rand_read > 0:
+            service_s = min(budget_s, self._q_rand_read / throughput)
+            served_rand_read = service_s * throughput
+            self._q_rand_read -= served_rand_read
+            budget_s -= service_s
+            seek_time += service_s * seek_fraction
+            transfer_time += service_s * (1.0 - seek_fraction)
+            requests += served_rand_read / _RANDOM_REQUEST_BYTES
+        if budget_s > 0 and self._q_rand_write > 0:
+            service_s = min(budget_s, self._q_rand_write / throughput)
+            served_rand_write = service_s * throughput
+            self._q_rand_write -= served_rand_write
+            budget_s -= service_s
+            seek_time += service_s * seek_fraction
+            transfer_time += service_s * (1.0 - seek_fraction)
+            requests += served_rand_write / _RANDOM_REQUEST_BYTES
 
-        busy_disk_seconds = seek_time + transfer_time
-        total_disk_seconds = dt_s * self.config.num_disks
-        rotation = self.config.rotation_power_w * self.config.num_disks
-        power = rotation
-        if total_disk_seconds > 0:
-            power += self.config.seek_power_w * (
+        power = config.rotation_power_w * config.num_disks
+        if dt_s * config.num_disks > 0:
+            power += config.seek_power_w * (
                 seek_time / dt_s
-            ) + self.config.transfer_power_w * (transfer_time / dt_s)
-        del busy_disk_seconds, total_disk_seconds
+            ) + config.transfer_power_w * (transfer_time / dt_s)
 
-        read_bytes = served[("seq", "read")] + served[("rand", "read")]
-        write_bytes = served[("seq", "write")] + served[("rand", "write")]
+        read_bytes = served_seq_read + served_rand_read
+        write_bytes = served_seq_write + served_rand_write
         self.total_bytes += read_bytes + write_bytes
         return DiskTick(
             served_read_bytes=read_bytes,

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from repro.simulator.config import IoConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class DmaTick:
     """System-wide effects of DMA activity during one tick."""
 
@@ -53,6 +53,22 @@ class DmaEngine:
         self.config = config
         self._interrupt_residual = 0.0
         self.total_interrupts = 0
+        # Per-tick constants derived from the (frozen) config.
+        self._line_bytes = float(config.line_bytes)
+        self._transaction_factor = 1.0 - config.write_combining_efficiency
+        self._bytes_per_interrupt = config.bytes_per_interrupt
+        # With zero bytes every output is 0.0 and no state changes (the
+        # interrupt residual stays < 1 between ticks), so idle ticks all
+        # share one result object.  Consumers never mutate DmaTick.
+        self._zero_tick = DmaTick(
+            bus_snoops=0.0,
+            dram_reads=0.0,
+            dram_writes=0.0,
+            io_bytes=0.0,
+            io_transactions=0.0,
+            uncacheable_accesses=0.0,
+            interrupts=0,
+        )
 
     def tick(
         self,
@@ -75,17 +91,16 @@ class DmaEngine:
         inbound = device_to_memory_bytes + background_bytes / 2.0
         outbound = memory_to_device_bytes + background_bytes / 2.0
         total = inbound + outbound
+        if total == 0.0:
+            return self._zero_tick
 
-        line = float(self.config.line_bytes)
+        line = self._line_bytes
         snoops = total / line
         # Write-combining merges adjacent PCI transactions at the I/O
         # chip; bytes are unchanged but transaction count drops.
-        naive_transactions = total / 512.0
-        transactions = naive_transactions * (
-            1.0 - self.config.write_combining_efficiency
-        )
+        transactions = (total / 512.0) * self._transaction_factor
 
-        self._interrupt_residual += total / self.config.bytes_per_interrupt
+        self._interrupt_residual += total / self._bytes_per_interrupt
         interrupts = int(self._interrupt_residual)
         self._interrupt_residual -= interrupts
         self.total_interrupts += interrupts

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.simulator.config import DramConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class DramTick:
     """DRAM activity and energy for one tick."""
 
@@ -48,6 +48,21 @@ class DramSubsystem:
         self.total_reads = 0.0
         self.total_writes = 0.0
         self.total_activations = 0.0
+        # Per-tick constants (config is frozen).
+        self._capacity_per_s = config.capacity_access_per_s
+        self._read_energy = config.read_energy_j
+        self._write_energy = config.write_energy_j
+        self._activation_energy = config.activation_energy_j
+        self._background_power = config.background_power_w
+        self._random_tp = config.random_throughput_factor
+        self._congestion = config.congestion_factor
+        self._congestion_cap = 1.0 - 1.0 / config.max_latency_factor
+        # One-entry memo per call site: the (streamability, streams)
+        # pairs repeat tick after tick under steady load.
+        self._cpu_hit_key: "tuple[float, float] | None" = None
+        self._cpu_hit = 0.0
+        self._dma_hit_key: "tuple[float, float] | None" = None
+        self._dma_hit = 0.0
 
     def row_hit_rate(self, streamability: float, stream_count: float) -> float:
         """Open-row hit rate for the blended access pattern.
@@ -84,7 +99,7 @@ class DramSubsystem:
         DMA traffic is sequential (disk/network buffers), so it gets
         near-streaming row locality regardless of CPU behaviour.
         """
-        capacity = self.config.capacity_access_per_s * dt_s
+        capacity = self._capacity_per_s * dt_s
         total = cpu_reads + cpu_writes + dma_reads + dma_writes
         if total > capacity > 0:
             scale = capacity / total
@@ -94,8 +109,22 @@ class DramSubsystem:
             dma_writes *= scale
             total = capacity
 
-        cpu_hit = self.row_hit_rate(cpu_streamability, stream_count)
-        dma_hit = self.row_hit_rate(0.9, max(1.0, stream_count * 0.25))
+        cpu_key = (cpu_streamability, stream_count)
+        if cpu_key == self._cpu_hit_key:
+            cpu_hit = self._cpu_hit
+        else:
+            cpu_hit = self.row_hit_rate(cpu_streamability, stream_count)
+            self._cpu_hit_key = cpu_key
+            self._cpu_hit = cpu_hit
+        if cpu_key == self._dma_hit_key:
+            dma_hit = self._dma_hit
+        else:
+            dma_streams = stream_count * 0.25
+            if dma_streams < 1.0:
+                dma_streams = 1.0
+            dma_hit = self.row_hit_rate(0.9, dma_streams)
+            self._dma_hit_key = cpu_key
+            self._dma_hit = dma_hit
         activations = (cpu_reads + cpu_writes) * (1.0 - cpu_hit) + (
             dma_reads + dma_writes
         ) * (1.0 - dma_hit)
@@ -103,10 +132,10 @@ class DramSubsystem:
         reads = cpu_reads + dma_reads
         writes = cpu_writes + dma_writes
         energy = (
-            reads * self.config.read_energy_j
-            + writes * self.config.write_energy_j
-            + activations * self.config.activation_energy_j
-            + self.config.background_power_w * dt_s
+            reads * self._read_energy
+            + writes * self._write_energy
+            + activations * self._activation_energy
+            + self._background_power * dt_s
         )
 
         self.total_energy_j += energy
@@ -118,13 +147,12 @@ class DramSubsystem:
         # Sustainable throughput shrinks as the access mix gets more
         # random: a row miss costs activate+precharge serialisation.
         effective_capacity = capacity * (
-            row_hit + (1.0 - row_hit) * self.config.random_throughput_factor
+            row_hit + (1.0 - row_hit) * self._random_tp
         )
         utilization = total / effective_capacity if effective_capacity > 0 else 0.0
-        congestion = min(
-            utilization * self.config.congestion_factor,
-            1.0 - 1.0 / self.config.max_latency_factor,
-        )
+        congestion = utilization * self._congestion
+        if congestion > self._congestion_cap:
+            congestion = self._congestion_cap
         latency_factor = 1.0 / (1.0 - congestion)
         return DramTick(
             reads=reads,

@@ -27,14 +27,28 @@ class InterruptController:
         self._vector_since_sample: "dict[Vector, list[float]]" = {
             vector: [0.0] * n_packages for vector in Vector
         }
+        #: Spare buffers swapped in by :meth:`drain_tick` so the hot
+        #: loop does not allocate fresh lists every tick.
+        self._spare_since_sample = [0.0] * n_packages
+        self._spare_vector_since_sample: "dict[Vector, list[float]]" = {
+            vector: [0.0] * n_packages for vector in Vector
+        }
 
     def deliver_timer(self, per_package: "list[int]") -> None:
-        """Timer ticks land on their own package."""
+        """Timer ticks land on their own package.
+
+        Accumulates straight into the accounting rows — the explicit-cpu
+        ``deliver`` path with its per-call checks hoisted out (timer
+        delivery runs every tick for every package).
+        """
+        accounting_row = self.accounting._counts[Vector.TIMER]
+        since = self._since_sample
+        vector_row = self._vector_since_sample[Vector.TIMER]
         for cpu, count in enumerate(per_package):
             if count:
-                self.accounting.deliver(Vector.TIMER, count, cpu=cpu)
-                self._since_sample[cpu] += count
-                self._vector_since_sample[Vector.TIMER][cpu] += count
+                accounting_row[cpu] += count
+                since[cpu] += count
+                vector_row[cpu] += count
 
     def deliver_device(self, vector: Vector, count: int) -> None:
         """Device interrupts are balanced across packages."""
@@ -48,11 +62,22 @@ class InterruptController:
         return list(self._since_sample)
 
     def drain_tick(self) -> "tuple[list[float], dict[Vector, list[float]]]":
-        """(all-vector totals, per-vector counts) per package this tick."""
-        counts = list(self._since_sample)
-        vectors = {v: list(c) for v, c in self._vector_since_sample.items()}
-        self._since_sample = [0.0] * self.n_packages
+        """(all-vector totals, per-vector counts) per package this tick.
+
+        The returned buffers are valid until the *next* drain: the
+        controller keeps two sets and swaps them, zeroing the set it
+        hands out for reuse, so the per-tick path allocates nothing.
+        """
+        n = self.n_packages
+        counts = self._since_sample
+        vectors = self._vector_since_sample
+        self._since_sample = spare = self._spare_since_sample
+        self._vector_since_sample = self._spare_vector_since_sample
+        self._spare_since_sample = counts
+        self._spare_vector_since_sample = vectors
+        for cpu in range(n):
+            spare[cpu] = 0.0
         for vector_counts in self._vector_since_sample.values():
-            for cpu in range(self.n_packages):
+            for cpu in range(n):
                 vector_counts[cpu] = 0.0
         return counts, vectors

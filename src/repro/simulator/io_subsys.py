@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.simulator.config import IoConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class IoTick:
     """I/O-subsystem activity and power for one tick."""
 

@@ -23,7 +23,7 @@ from repro.simulator.cache import MemoryTraffic
 from repro.simulator.config import BusConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class BusTick:
     """Outcome of one tick of bus arbitration."""
 
@@ -47,6 +47,9 @@ class FrontSideBus:
     def __init__(self, config: BusConfig) -> None:
         self.config = config
         self._latency_cycles = config.base_latency_cycles
+        self._capacity_per_s = config.capacity_tx_per_s
+        self._base_latency = config.base_latency_cycles
+        self._congestion = config.congestion_factor
 
     @property
     def latency_cycles(self) -> float:
@@ -69,25 +72,46 @@ class FrontSideBus:
         """
         if dma_snoops < 0:
             raise ValueError("dma_snoops must be non-negative")
-        capacity = self.config.capacity_tx_per_s * dt_s
-        demand = sum(t.demand_transactions for t in package_traffic) + dma_snoops
-        prefetch = sum(t.prefetch_requests for t in package_traffic)
+        capacity = self._capacity_per_s * dt_s
+        demand = 0.0
+        prefetch = 0.0
+        for t in package_traffic:
+            # demand_transactions inlined (same summation order).
+            demand += (
+                t.demand_load_misses
+                + t.writebacks
+                + t.pagewalk_reads
+                + t.uncacheable_accesses
+            )
+            prefetch += t.prefetch_requests
+        demand += dma_snoops
 
         if demand >= capacity:
             demand_ratio = capacity / demand if demand > 0 else 1.0
             prefetch_ratio = 0.0
         else:
             demand_ratio = 1.0
-            headroom = capacity - demand
-            prefetch_ratio = min(1.0, headroom / prefetch) if prefetch > 0 else 1.0
+            if prefetch > 0:
+                prefetch_ratio = (capacity - demand) / prefetch
+                if prefetch_ratio > 1.0:
+                    prefetch_ratio = 1.0
+            else:
+                prefetch_ratio = 1.0
 
         granted = demand * demand_ratio + prefetch * prefetch_ratio
-        utilization = min(1.0, granted / capacity) if capacity > 0 else 1.0
+        if capacity > 0:
+            utilization = granted / capacity
+            if utilization > 1.0:
+                utilization = 1.0
+        else:
+            utilization = 1.0
 
         # Latency for the next tick: queueing inflation, clamped so a
         # fully saturated bus costs ~8x the unloaded latency.
-        effective = min(utilization * self.config.congestion_factor, 0.875)
-        self._latency_cycles = self.config.base_latency_cycles / (1.0 - effective)
+        effective = utilization * self._congestion
+        if effective > 0.875:
+            effective = 0.875
+        self._latency_cycles = self._base_latency / (1.0 - effective)
 
         return BusTick(
             demand_ratio=demand_ratio,

@@ -36,7 +36,7 @@ class NicConfig:
     idle_power_w: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class NicTick:
     """NIC activity for one tick."""
 
@@ -66,13 +66,23 @@ class NicDevice:
         )
         self._dma = DmaEngine(nic_io)
         self.total_bytes = 0.0
+        self._line_rate = nic_config.line_rate_bps
+        # Idle ticks (no traffic) are state-invariant; share one result.
+        self._zero_tick = NicTick(
+            served_rx_bytes=0.0,
+            served_tx_bytes=0.0,
+            dma=self._dma._zero_tick,
+        )
 
     def tick(self, rx_bps: float, tx_bps: float, dt_s: float) -> NicTick:
         """Move one tick of traffic, capped at line rate per direction."""
         if rx_bps < 0 or tx_bps < 0:
             raise ValueError("network rates must be non-negative")
-        rx = min(rx_bps, self.config.line_rate_bps) * dt_s
-        tx = min(tx_bps, self.config.line_rate_bps) * dt_s
+        if rx_bps == 0.0 and tx_bps == 0.0:
+            return self._zero_tick
+        line_rate = self._line_rate
+        rx = (rx_bps if rx_bps < line_rate else line_rate) * dt_s
+        tx = (tx_bps if tx_bps < line_rate else line_rate) * dt_s
         # Received packets land in memory (device->memory); transmitted
         # packets are read out of memory (memory->device).
         dma = self._dma.tick(device_to_memory_bytes=rx, memory_to_device_bytes=tx)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from repro.core.events import Subsystem
 
 
-@dataclass
+@dataclass(slots=True)
 class PowerBreakdown:
     """True power of each subsystem during one tick (Watts)."""
 
@@ -36,7 +36,7 @@ class PowerBreakdown:
         return self.cpu_w + self.chipset_w + self.memory_w + self.io_w + self.disk_w
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessStats:
     """Cumulative per-thread activity (for process-level billing).
 
@@ -61,10 +61,19 @@ class EnergyAccount:
         self._time_s = 0.0
 
     def record(self, breakdown: PowerBreakdown, dt_s: float) -> None:
+        self.record_dict(breakdown.as_dict(), dt_s)
+
+    def record_dict(self, power_w: "dict[Subsystem, float]", dt_s: float) -> None:
+        """Record a tick whose per-subsystem dict was already built.
+
+        The system loop builds the dict once per tick (it also feeds the
+        DAQ) — this entry point avoids a second ``as_dict`` allocation.
+        """
         if dt_s <= 0:
             raise ValueError("dt_s must be positive")
-        for subsystem, watts in breakdown.as_dict().items():
-            self._energy_j[subsystem] += watts * dt_s
+        energy = self._energy_j
+        for subsystem, watts in power_w.items():
+            energy[subsystem] += watts * dt_s
         self._time_s += dt_s
 
     @property

@@ -17,7 +17,7 @@ spec for a given duration and returns a
 
 from __future__ import annotations
 
-from repro.core.events import Event, SUBSYSTEMS
+from repro.core.events import Event, Subsystem, SUBSYSTEMS
 from repro.core.traces import MeasuredRun
 from repro.counters.perfctr import CounterBank
 from repro.counters.sampler import CounterSampler
@@ -114,180 +114,418 @@ class Server:
         #: Per-thread cumulative activity (OS-virtualised counters, the
         #: facility perfctr offered): thread_id -> ProcessStats.
         self.process_stats: "dict[int, ProcessStats]" = {}
+        #: Power breakdown of the most recent tick (None before the
+        #: first tick).
+        self._last_breakdown: "PowerBreakdown | None" = None
 
     # -- one tick ------------------------------------------------------
 
     def tick(self) -> PowerBreakdown:
-        """Advance the machine by one tick; returns true power."""
+        """Advance the machine by one tick; returns true power.
+
+        Thin wrapper over :meth:`run_ticks` so the single-tick and
+        batched paths cannot diverge.
+        """
+        self.run_ticks(1)
+        assert self._last_breakdown is not None
+        return self._last_breakdown
+
+    def run_ticks(self, n_ticks: int) -> float:
+        """Advance the machine ``n_ticks`` ticks; the batched hot path.
+
+        Produces bit-identical state to calling :meth:`tick` in a loop
+        — same model arithmetic, same RNG draw order, same counter
+        accumulation order — but hoists per-tick constants out of the
+        loop, fuses the per-package aggregation passes, and accumulates
+        directly into the counter bank's rows when the bank is a plain
+        :class:`CounterBank` (a multiplexed bank gates ``add`` per
+        event, so it is driven through the generic path).
+
+        Returns the true energy consumed over the batch in joules
+        (``sum(breakdown.total_w * tick_s)``), which is what cluster
+        simulations integrate.
+        """
+        if n_ticks <= 0:
+            return 0.0
         cfg = self.config
         dt = cfg.tick_s
-        self.now_s += dt
-
-        # 1. Timer interrupts land per package; device interrupts from
-        #    the previous tick are drained and serviced now.
-        self.irq.deliver_timer(self.timer.tick(dt))
-        irq_counts, vector_irq_counts = self.irq.drain_tick()
-
-        # 2. Schedule threads and run the packages.
-        loads = self.scheduler.tick(self.threads, self.now_s, dt)
+        workload = self.workload
+        smt_yield = workload.smt_yield
         base_latency = cfg.bus.base_latency_cycles
-        latency = self.bus.latency_cycles * self._dram_latency_factor
-        package_ticks = [
-            package.tick(
-                load,
-                self.workload.smt_yield,
-                latency,
-                base_latency,
-                irq_counts[package.package_id],
+        background_dma_bytes = workload.background_dma_bps * dt
+        n = cfg.num_packages
+        threads = self.threads
+        packages = self.packages
+        # Per-package bound methods plus index-assigned scratch lists,
+        # reused every tick (their contents are consumed within the
+        # tick before being overwritten).
+        package_tick_funcs = [p.tick for p in packages]
+        package_power_funcs = [p.power for p in packages]
+        package_idle_funcs = [p._finish_idle_tick for p in packages]
+        # Idle-branch constants (pstate is fixed for the batch: nothing
+        # calls set_pstate while run_ticks is on the stack).
+        package_cycles = [p._frequency_hz * dt for p in packages]
+        package_isc = [p._interrupt_service_cycles for p in packages]
+        package_ticks: list = [None] * n
+        raw_traffic: list = [None] * n
+        own_tx = [0.0] * n
+        range_n = range(n)
+        scheduler = self.scheduler
+        bus = self.bus
+        disk = self.disk
+        process_stats = self.process_stats
+        write_capacity = disk.write_capacity_bps()
+        # Bound methods hoisted so the loop pays no attribute lookups.
+        timer_tick = self.timer.tick
+        irq_deliver_timer = self.irq.deliver_timer
+        irq_drain = self.irq.drain_tick
+        irq_deliver_device = self.irq.deliver_device
+        scheduler_tick = scheduler.tick
+        tlb_read_bytes = self.tlb_policy.disk_read_bytes
+        pagecache_tick = self.pagecache.tick
+        pagecache_request_sync = self.pagecache.request_sync
+        disk_submit = disk.submit
+        disk_do_tick = disk.tick
+        dma_do_tick = self.dma.tick
+        nic_do_tick = self.nic.tick
+        bus_do_tick = bus.tick
+        dram_do_tick = self.dram.tick
+        chipset_do_tick = self.chipset.tick
+        io_do_tick = self.io.tick
+        # Energy integration is unrolled into local accumulators seeded
+        # from (and written back to) the account's dict: each subsystem
+        # accumulator sees the exact same sequence of ``+= watts * dt``
+        # as EnergyAccount.record_dict would apply.
+        if dt <= 0:
+            raise ValueError("dt_s must be positive")
+        energy_account = self.energy
+        energy_j = energy_account._energy_j
+        sub_cpu = Subsystem.CPU
+        sub_chipset = Subsystem.CHIPSET
+        sub_memory = Subsystem.MEMORY
+        sub_io = Subsystem.IO
+        sub_disk = Subsystem.DISK
+        e_cpu = energy_j[sub_cpu]
+        e_chipset = energy_j[sub_chipset]
+        e_memory = energy_j[sub_memory]
+        e_io = energy_j[sub_io]
+        e_disk = energy_j[sub_disk]
+        e_time = energy_account._time_s
+        daq_record = self.daq.record_tick
+        daq_close = self.daq.close_window
+        maybe_sample = self.sampler.maybe_sample
+        vector_disk = Vector.DISK
+        vector_network = Vector.NETWORK
+
+        counters = self.counters
+        fast = type(counters) is CounterBank
+        if fast:
+            row = counters.row
+            r_cycles = row(Event.CYCLES)
+            r_halted = row(Event.HALTED_CYCLES)
+            r_fetched = row(Event.FETCHED_UOPS)
+            r_l3 = row(Event.L3_MISSES)
+            r_tlb = row(Event.TLB_MISSES)
+            r_unc = row(Event.UNCACHEABLE_ACCESSES)
+            r_dma = row(Event.DMA_ACCESSES)
+            r_bus = row(Event.BUS_TRANSACTIONS)
+            r_irq = row(Event.INTERRUPTS)
+            r_disk_irq = row(Event.DISK_INTERRUPTS)
+            r_net_irq = row(Event.NETWORK_INTERRUPTS)
+            r_dram_reads = row(Event.DRAM_READS)
+            r_dram_writes = row(Event.DRAM_WRITES)
+            r_dram_act = row(Event.DRAM_ACTIVATIONS)
+            r_dram_time = row(Event.DRAM_ACTIVE_TIME)
+            r_prefetch = row(Event.PREFETCH_TRANSACTIONS)
+            r_writeback = row(Event.WRITEBACK_TRANSACTIONS)
+            r_io_bytes = row(Event.IO_BYTES)
+            r_io_tx = row(Event.IO_TRANSACTIONS)
+            r_seek = row(Event.DISK_SEEK_TIME)
+            r_xfer = row(Event.DISK_TRANSFER_TIME)
+            r_disk_bytes = row(Event.DISK_BYTES)
+            r_sectors = row(Event.OS_DISK_SECTORS)
+            r_ctx = row(Event.OS_CONTEXT_SWITCHES)
+
+        now = self.now_s
+        dram_latency_factor = self._dram_latency_factor
+        total_energy_j = 0.0
+
+        for _ in range(n_ticks):
+            now += dt
+
+            # 1. Timer interrupts land per package; device interrupts
+            #    from the previous tick are drained and serviced now.
+            irq_deliver_timer(timer_tick(dt))
+            irq_counts, vector_irq_counts = irq_drain()
+
+            # 2./3. Schedule threads, run the packages, and accumulate
+            #    the file-I/O / TLB / network quantities in the same
+            #    package-order pass; each accumulator sums in package
+            #    order, exactly as the per-quantity generator
+            #    expressions did.
+            loads = scheduler_tick(threads, now, dt)
+            latency = bus.latency_cycles * dram_latency_factor
+            file_read = 0.0
+            file_write = 0.0
+            tlb_miss_total = 0.0
+            weighted_hit = 0.0
+            net_rx = 0.0
+            net_tx = 0.0
+            sync_requested = False
+            for i in range_n:
+                load = loads[i]
+                if load.activities:
+                    pt = package_tick_funcs[i](
+                        load, smt_yield, latency, base_latency, irq_counts[i], dt
+                    )
+                else:
+                    # Inlined CpuPackage.tick idle branch (same
+                    # arithmetic; the idle-tick cache sits behind
+                    # _finish_idle_tick).
+                    cycles_i = package_cycles[i]
+                    interrupt_busy = irq_counts[i] * package_isc[i] / cycles_i
+                    if interrupt_busy > 0.5:
+                        interrupt_busy = 0.5
+                    pt = package_idle_funcs[i](cycles_i, interrupt_busy)
+                package_ticks[i] = pt
+                raw_traffic[i] = pt.traffic
+                file_read += pt.file_read_bytes
+                file_write += pt.file_write_bytes
+                tlb_miss_total += pt.traffic.tlb_misses
+                weighted_hit += pt.read_hit_ratio * pt.file_read_bytes
+                net_rx += pt.net_rx_bps
+                net_tx += pt.net_tx_bps
+                if pt.sync_requested:
+                    sync_requested = True
+            fault_read = tlb_read_bytes(tlb_miss_total)
+            total_read = file_read + fault_read
+            if total_read > 0:
+                hit_ratio = weighted_hit / total_read  # faults always miss
+            else:
+                hit_ratio = 1.0
+            if sync_requested:
+                pagecache_request_sync()
+            disk_request = pagecache_tick(
+                file_write / dt, total_read / dt, hit_ratio, dt, write_capacity
+            )
+
+            # 4. Disk service and the DMA it performs; the NIC moves
+            #    its packets the same way (device DMA + coalesced
+            #    interrupts).
+            disk_submit(
+                disk_request.read_bytes,
+                disk_request.write_bytes,
+                False,
+                disk_request.write_sequential,
+            )
+            disk_tick = disk_do_tick(dt)
+            dma_tick = dma_do_tick(
+                disk_tick.served_read_bytes,
+                disk_tick.served_write_bytes,
+                background_dma_bytes,
+            )
+            if dma_tick.interrupts:
+                irq_deliver_device(vector_disk, dma_tick.interrupts)
+            nic_tick = nic_do_tick(net_rx, net_tx, dt)
+            if nic_tick.dma.interrupts:
+                irq_deliver_device(vector_network, nic_tick.dma.interrupts)
+
+            # 5. Bus arbitration; scale package traffic by what was
+            #    granted (raw_traffic was filled in the package pass).
+            total_dma_snoops = dma_tick.bus_snoops + nic_tick.dma.bus_snoops
+            bus_tick = bus_do_tick(raw_traffic, total_dma_snoops, dt)
+            demand_ratio = bus_tick.demand_ratio
+            prefetch_ratio = bus_tick.prefetch_ratio
+            if demand_ratio == 1.0 and prefetch_ratio == 1.0:
+                granted = raw_traffic  # scaled() is the identity
+            else:
+                granted = [
+                    t.scaled(demand_ratio, prefetch_ratio) for t in raw_traffic
+                ]
+
+            # 6. DRAM sees granted CPU traffic plus northbridge DMA.
+            #    Fused pass over granted traffic; ``own_tx`` doubles as
+            #    the per-package bus-transaction shares counted below.
+            #    The ground-truth CPU power pass (step 7) rides along:
+            #    it has no dependency on this pass's totals, and every
+            #    accumulator still sums in package order.
+            cpu_reads = 0.0
+            cpu_writes = 0.0
+            traffic_weight = 0.0
+            stream_weighted = 0.0
+            uncacheable_cpu = 0.0
+            prefetch_total = 0.0
+            cpu_power = 0.0
+            halted_total = 0.0
+            cycles_total = 0.0
+            for i in range_n:
+                t = granted[i]
+                writebacks = t.writebacks
+                uncacheable = t.uncacheable_accesses
+                prefetch = t.prefetch_requests
+                cpu_reads += t.demand_load_misses + t.pagewalk_reads + prefetch
+                cpu_writes += writebacks
+                # demand_transactions inlined (same left-assoc order).
+                tx = (
+                    t.demand_load_misses
+                    + writebacks
+                    + t.pagewalk_reads
+                    + uncacheable
+                    + prefetch
+                )
+                own_tx[i] = tx
+                traffic_weight += tx
+                stream_weighted += t.streamability * tx
+                uncacheable_cpu += uncacheable
+                prefetch_total += prefetch
+                pt = package_ticks[i]
+                cpu_power += package_power_funcs[i](pt)
+                halted_total += pt.halted_cycles
+                cycles_total += pt.cycles
+            if traffic_weight > 0:
+                blended_stream = stream_weighted / traffic_weight
+            else:
+                blended_stream = 0.5
+            n_running = 0
+            for load in loads:
+                n_running += len(load.activities)
+            dma_active = dma_tick.io_bytes > 0 or nic_tick.dma.io_bytes > 0
+            stream_count = n_running + (1.0 if dma_active else 0.0)
+            if stream_count < 1.0:
+                stream_count = 1.0
+            dram_tick = dram_do_tick(
+                cpu_reads,
+                cpu_writes,
+                blended_stream,
+                dma_tick.dram_reads + nic_tick.dma.dram_reads,
+                dma_tick.dram_writes + nic_tick.dma.dram_writes,
+                stream_count,
                 dt,
             )
-            for package, load in zip(self.packages, loads)
-        ]
+            dram_latency_factor = dram_tick.latency_factor
 
-        # 3. File I/O through the page cache, plus TLB major faults.
-        file_read = sum(pt.file_read_bytes for pt in package_ticks)
-        file_write = sum(pt.file_write_bytes for pt in package_ticks)
-        fault_read = self.tlb_policy.disk_read_bytes(
-            sum(pt.traffic.tlb_misses for pt in package_ticks)
-        )
-        total_read = file_read + fault_read
-        if total_read > 0:
-            weighted_hit = sum(
-                pt.read_hit_ratio * pt.file_read_bytes for pt in package_ticks
+            # 7. Ground-truth power (CPU part accumulated above).
+            uncacheable_total = (
+                uncacheable_cpu
+                + dma_tick.uncacheable_accesses
+                + nic_tick.dma.uncacheable_accesses
             )
-            hit_ratio = weighted_hit / total_read  # faults always miss
-        else:
-            hit_ratio = 1.0
-        if any(pt.sync_requested for pt in package_ticks):
-            self.pagecache.request_sync()
-        disk_request = self.pagecache.tick(
-            write_bps=file_write / dt,
-            read_bps=total_read / dt,
-            read_hit_ratio=hit_ratio,
-            dt_s=dt,
-            disk_write_capacity_bps=self.disk.write_capacity_bps(),
-        )
+            system_activity = 1.0 - halted_total / cycles_total
+            chipset_power = chipset_do_tick(
+                bus_tick.utilization, uncacheable_total / dt, system_activity, dt
+            )
+            io_bytes = dma_tick.io_bytes + nic_tick.dma.io_bytes
+            io_transactions = dma_tick.io_transactions + nic_tick.dma.io_transactions
+            io_tick = io_do_tick(io_bytes, io_transactions, uncacheable_total, dt)
+            memory_power = dram_tick.power_w
+            io_power = io_tick.power_w
+            disk_power = disk_tick.power_w
+            power_dict = {
+                sub_cpu: cpu_power,
+                sub_chipset: chipset_power,
+                sub_memory: memory_power,
+                sub_io: io_power,
+                sub_disk: disk_power,
+            }
+            e_cpu += cpu_power * dt
+            e_chipset += chipset_power * dt
+            e_memory += memory_power * dt
+            e_io += io_power * dt
+            e_disk += disk_power * dt
+            e_time += dt
+            total_energy_j += (
+                cpu_power + chipset_power + memory_power + io_power + disk_power
+            ) * dt
 
-        # 4. Disk service and the DMA it performs; the NIC moves its
-        #    packets the same way (device DMA + coalesced interrupts).
-        self.disk.submit(
-            disk_request.read_bytes,
-            disk_request.write_bytes,
-            write_sequential=disk_request.write_sequential,
-        )
-        disk_tick = self.disk.tick(dt)
-        dma_tick = self.dma.tick(
-            device_to_memory_bytes=disk_tick.served_read_bytes,
-            memory_to_device_bytes=disk_tick.served_write_bytes,
-            background_bytes=self.workload.background_dma_bps * dt,
-        )
-        if dma_tick.interrupts:
-            self.irq.deliver_device(Vector.DISK, dma_tick.interrupts)
-        nic_tick = self.nic.tick(
-            rx_bps=sum(pt.net_rx_bps for pt in package_ticks),
-            tx_bps=sum(pt.net_tx_bps for pt in package_ticks),
-            dt_s=dt,
-        )
-        if nic_tick.dma.interrupts:
-            self.irq.deliver_device(Vector.NETWORK, nic_tick.dma.interrupts)
+            # 8. Per-process accounting (OS-virtualised counters).
+            for pt in package_ticks:
+                for stat in pt.thread_stats:
+                    record = process_stats.setdefault(
+                        stat.thread_id, ProcessStats(thread_id=stat.thread_id)
+                    )
+                    record.runtime_s += stat.runtime_s
+                    record.executed_uops += stat.executed_uops
+                    record.fetched_uops += stat.fetched_uops
+                    record.bus_transactions += stat.bus_demand_tx * demand_ratio
 
-        # 5. Bus arbitration; scale package traffic by what was granted.
-        raw_traffic = [pt.traffic for pt in package_ticks]
-        total_dma_snoops = dma_tick.bus_snoops + nic_tick.dma.bus_snoops
-        bus_tick = self.bus.tick(raw_traffic, total_dma_snoops, dt)
-        granted = [
-            t.scaled(bus_tick.demand_ratio, bus_tick.prefetch_ratio)
-            for t in raw_traffic
-        ]
-
-        # 6. DRAM sees granted CPU traffic plus northbridge DMA.
-        cpu_reads = sum(
-            t.demand_load_misses + t.pagewalk_reads + t.prefetch_requests
-            for t in granted
-        )
-        cpu_writes = sum(t.writebacks for t in granted)
-        traffic_weight = sum(
-            t.demand_transactions + t.prefetch_requests for t in granted
-        )
-        if traffic_weight > 0:
-            blended_stream = (
-                sum(
-                    t.streamability * (t.demand_transactions + t.prefetch_requests)
-                    for t in granted
+            # 9. Counters: per-package events.  ``traffic_weight`` is
+            #    the sum of ``own_tx`` in the same order, so it carries
+            #    the cross-package coherence total.
+            if fast:
+                driver_uncacheable = (
+                    dma_tick.uncacheable_accesses
+                    + nic_tick.dma.uncacheable_accesses
+                ) / n
+                snoops = bus_tick.granted_dma_snoops
+                disk_irqs = vector_irq_counts[vector_disk]
+                net_irqs = vector_irq_counts[vector_network]
+                for i in range(n):
+                    pt = package_ticks[i]
+                    t = granted[i]
+                    tx = own_tx[i]
+                    r_cycles[i] += pt.cycles
+                    r_halted[i] += pt.halted_cycles
+                    r_fetched[i] += pt.fetched_uops
+                    r_l3[i] += t.demand_load_misses
+                    r_tlb[i] += t.tlb_misses
+                    r_unc[i] += t.uncacheable_accesses + driver_uncacheable
+                    # Every package snoops the shared bus: its
+                    # DMA/Other event counts all DMA snoops plus
+                    # coherence from other packages.
+                    other_coherence = (
+                        traffic_weight - tx
+                    ) * _CROSS_COHERENCE_FRACTION
+                    r_dma[i] += snoops + other_coherence
+                    r_bus[i] += tx + snoops + other_coherence
+                    r_irq[i] += irq_counts[i]
+                    r_disk_irq[i] += disk_irqs[i]
+                    r_net_irq[i] += net_irqs[i]
+                # Subsystem-local events (column 0 carries system-wide
+                # totals).
+                r_dram_reads[0] += dram_tick.reads
+                r_dram_writes[0] += dram_tick.writes
+                r_dram_act[0] += dram_tick.activations
+                r_dram_time[0] += dram_tick.active_fraction * dt
+                r_prefetch[0] += prefetch_total
+                r_writeback[0] += cpu_writes
+                r_io_bytes[0] += io_bytes
+                r_io_tx[0] += io_transactions
+                r_seek[0] += disk_tick.seek_time_s
+                r_xfer[0] += disk_tick.transfer_time_s
+                served = disk_tick.served_bytes
+                r_disk_bytes[0] += served
+                r_sectors[0] += served / 512.0
+                r_ctx[0] += float(scheduler.context_switches)
+            else:
+                self._count_events(
+                    package_ticks, granted, bus_tick, dma_tick, nic_tick,
+                    disk_tick, dram_tick, irq_counts, vector_irq_counts,
                 )
-                / traffic_weight
-            )
-        else:
-            blended_stream = 0.5
-        n_running = sum(load.n_running for load in loads)
-        dma_active = dma_tick.io_bytes > 0 or nic_tick.dma.io_bytes > 0
-        stream_count = n_running + (1.0 if dma_active else 0.0)
-        dram_tick = self.dram.tick(
-            cpu_reads=cpu_reads,
-            cpu_writes=cpu_writes,
-            cpu_streamability=blended_stream,
-            dma_reads=dma_tick.dram_reads + nic_tick.dma.dram_reads,
-            dma_writes=dma_tick.dram_writes + nic_tick.dma.dram_writes,
-            stream_count=max(1.0, stream_count),
-            dt_s=dt,
-        )
-        self._dram_latency_factor = dram_tick.latency_factor
 
-        # 7. Ground-truth power for this tick.
-        cpu_power = sum(
-            package.power(pt) for package, pt in zip(self.packages, package_ticks)
-        )
-        uncacheable_total = (
-            sum(t.uncacheable_accesses for t in granted)
-            + dma_tick.uncacheable_accesses
-            + nic_tick.dma.uncacheable_accesses
-        )
-        system_activity = 1.0 - (
-            sum(pt.halted_cycles for pt in package_ticks)
-            / sum(pt.cycles for pt in package_ticks)
-        )
-        chipset_power = self.chipset.tick(
-            bus_tick.utilization, uncacheable_total / dt, system_activity, dt
-        )
-        io_tick = self.io.tick(
-            dma_tick.io_bytes + nic_tick.dma.io_bytes,
-            dma_tick.io_transactions + nic_tick.dma.io_transactions,
-            uncacheable_total,
-            dt,
-        )
-        breakdown = PowerBreakdown(
+            # 10. Instrumentation: DAQ integrates power; the sampler
+            #    may close a window (emitting the sync pulse to the
+            #    DAQ).
+            daq_record(power_dict, now, dt)
+            pulse = maybe_sample(now)
+            if pulse is not None:
+                daq_close(pulse)
+
+        self.now_s = now
+        self._dram_latency_factor = dram_latency_factor
+        energy_j[sub_cpu] = e_cpu
+        energy_j[sub_chipset] = e_chipset
+        energy_j[sub_memory] = e_memory
+        energy_j[sub_io] = e_io
+        energy_j[sub_disk] = e_disk
+        energy_account._time_s = e_time
+        self._last_breakdown = PowerBreakdown(
             cpu_w=cpu_power,
             chipset_w=chipset_power,
-            memory_w=dram_tick.power_w,
-            io_w=io_tick.power_w,
-            disk_w=disk_tick.power_w,
+            memory_w=memory_power,
+            io_w=io_power,
+            disk_w=disk_power,
         )
-        self.energy.record(breakdown, dt)
-
-        # 8. Per-process accounting (OS-virtualised counters).
-        for pt in package_ticks:
-            for stat in pt.thread_stats:
-                record = self.process_stats.setdefault(
-                    stat.thread_id, ProcessStats(thread_id=stat.thread_id)
-                )
-                record.runtime_s += stat.runtime_s
-                record.executed_uops += stat.executed_uops
-                record.fetched_uops += stat.fetched_uops
-                record.bus_transactions += stat.bus_demand_tx * bus_tick.demand_ratio
-
-        # 9. Counters: per-package events.
-        self._count_events(
-            package_ticks, granted, bus_tick, dma_tick, nic_tick, disk_tick,
-            dram_tick, irq_counts, vector_irq_counts,
-        )
-
-        # 10. Instrumentation: DAQ integrates power; the sampler may
-        #    close a window (emitting the sync pulse to the DAQ).
-        self.daq.record_tick(breakdown.as_dict(), self.now_s, dt)
-        pulse = self.sampler.maybe_sample(self.now_s)
-        if pulse is not None:
-            self.daq.close_window(pulse)
-        return breakdown
+        return total_energy_j
 
     def _count_events(
         self,
@@ -391,8 +629,7 @@ class Server:
                 f"{duration_s}s"
             )
         n_ticks = int(round(duration_s / self.config.tick_s))
-        for _ in range(n_ticks):
-            self.tick()
+        self.run_ticks(n_ticks)
         counters = self.sampler.finish()
         power = self.daq.finish()
         counters, power = align_windows(counters, power)

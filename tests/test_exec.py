@@ -1,0 +1,261 @@
+"""Tests for the execution engine: parallel sweeps and the run cache.
+
+The engine's contract is strict: a parallel sweep must be
+**bit-identical** to the serial one (every run's RNG streams derive
+only from the base seed and the workload name), and a cache hit must
+return exactly the run that was stored — no warmup re-dropping, no
+float drift through the JSON round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentContext
+from repro.core.events import Subsystem
+from repro.exec import RunCache, SweepSpec, run_key, run_spec, sweep, sweep_specs
+from repro.simulator.config import SystemConfig, fast_config
+from repro.simulator.system import Server
+from repro.workloads.registry import get_workload
+
+DURATION_S = 20.0
+
+
+def _assert_runs_identical(a, b) -> None:
+    assert a.workload == b.workload
+    assert np.array_equal(a.counters.timestamps, b.counters.timestamps)
+    assert np.array_equal(a.counters.durations, b.counters.durations)
+    assert set(a.counters.events) == set(b.counters.events)
+    for event in a.counters.events:
+        assert np.array_equal(a.counters.per_cpu(event), b.counters.per_cpu(event))
+    for subsystem in a.power.subsystems:
+        assert np.array_equal(a.power.power(subsystem), b.power.power(subsystem))
+
+
+class TestSweepDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        """n_workers=4 must reproduce n_workers=1 exactly."""
+        names = ["idle", "gcc", "DiskLoad"]
+        config = fast_config()
+        serial = sweep(names, config=config, seed=7, duration_s=DURATION_S, n_workers=1)
+        parallel = sweep(
+            names, config=config, seed=7, duration_s=DURATION_S, n_workers=4
+        )
+        assert list(serial) == names == list(parallel)
+        for name in names:
+            _assert_runs_identical(serial[name], parallel[name])
+
+    def test_run_spec_matches_simulate_workload(self):
+        from repro.simulator.system import simulate_workload
+
+        spec = SweepSpec(
+            workload="idle", seed=3, duration_s=DURATION_S, config=fast_config()
+        )
+        direct = simulate_workload(
+            get_workload("idle"), duration_s=DURATION_S, seed=3, config=fast_config()
+        )
+        _assert_runs_identical(run_spec(spec), direct)
+
+    def test_warmup_applied_in_worker(self):
+        config = fast_config()
+        raw = run_spec(
+            SweepSpec(workload="idle", seed=3, duration_s=DURATION_S, config=config)
+        )
+        warm = run_spec(
+            SweepSpec(
+                workload="idle",
+                seed=3,
+                duration_s=DURATION_S,
+                config=config,
+                warmup_windows=3,
+            )
+        )
+        assert warm.n_samples == raw.n_samples - 3
+        _assert_runs_identical(warm, raw.drop_warmup(3))
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4, reason="needs >=4 CPUs for a speedup to exist"
+    )
+    def test_parallel_sweep_is_faster(self):
+        import time
+
+        names = ["idle", "gcc", "mcf", "DiskLoad"]
+        config = fast_config()
+        t0 = time.perf_counter()
+        sweep(names, config=config, seed=11, duration_s=DURATION_S, n_workers=1)
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sweep(names, config=config, seed=11, duration_s=DURATION_S, n_workers=4)
+        parallel_s = time.perf_counter() - t0
+        # Lenient bound: pool startup and pickling eat into the ideal 4x.
+        assert parallel_s < serial_s / 1.3
+
+
+class TestRunKey:
+    def test_key_is_stable(self):
+        config = fast_config()
+        assert run_key("gcc", 7, 20.0, config) == run_key("gcc", 7, 20.0, config)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workload": "mcf"},
+            {"seed": 8},
+            {"duration_s": 21.0},
+            {"pstate": 1},
+            {"warmup_windows": 2},
+        ],
+    )
+    def test_key_changes_with_any_parameter(self, kwargs):
+        base = dict(
+            workload="gcc",
+            seed=7,
+            duration_s=20.0,
+            config=fast_config(),
+            pstate=0,
+            warmup_windows=0,
+        )
+        changed = {**base, **kwargs}
+        assert run_key(**base) != run_key(**changed)
+
+    def test_key_sees_deep_config_changes(self):
+        """A retuned nested power constant must change the key."""
+        from dataclasses import replace
+
+        base = fast_config()
+        retuned = replace(base, cpu=replace(base.cpu, uop_power_w=9.99))
+        assert run_key("gcc", 7, 20.0, base) != run_key("gcc", 7, 20.0, retuned)
+        # Tick length too (the old filename scheme's only config field).
+        assert run_key("gcc", 7, 20.0, base) != run_key(
+            "gcc", 7, 20.0, SystemConfig(tick_s=1.0e-3)
+        )
+
+
+class TestRunCache:
+    def test_round_trip_returns_identical_run(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        spec = SweepSpec(
+            workload="idle", seed=5, duration_s=DURATION_S, config=fast_config()
+        )
+        run = run_spec(spec)
+        cache.store(spec.key(), run)
+        loaded = cache.load(spec.key())
+        assert loaded is not None
+        _assert_runs_identical(run, loaded)
+
+    def test_disabled_cache_is_inert(self):
+        cache = RunCache(None)
+        assert not cache.enabled
+        assert cache.load("deadbeef") is None
+        assert cache.store("deadbeef", None) is None  # run unused when root is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        key = "0" * 64
+        os.makedirs(cache.root, exist_ok=True)
+        with open(cache.path_for(key), "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert cache.load(key) is None
+        assert cache.stats.misses == 1
+
+    def test_stats_and_index(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        spec = SweepSpec(
+            workload="idle", seed=5, duration_s=DURATION_S, config=fast_config()
+        )
+        result = sweep_specs([spec], n_workers=1, cache=cache)
+        assert result.simulated == [0]
+        again = sweep_specs([spec], n_workers=1, cache=cache)
+        assert again.simulated == []
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+        assert "1 hit(s)" in cache.stats.describe()
+        index = cache.index()
+        assert list(index.values())[0]["workload"] == "idle"
+        # No torn temp files left behind.
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_atomic_store_replaces_corrupt_entry(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        spec = SweepSpec(
+            workload="idle", seed=5, duration_s=DURATION_S, config=fast_config()
+        )
+        run = run_spec(spec)
+        os.makedirs(cache.root, exist_ok=True)
+        with open(cache.path_for(spec.key()), "w", encoding="utf-8") as handle:
+            handle.write("{torn")
+        assert cache.load(spec.key()) is None
+        cache.store(spec.key(), run)
+        loaded = cache.load(spec.key())
+        assert loaded is not None
+        with open(cache.path_for(spec.key()), encoding="utf-8") as handle:
+            json.load(handle)  # valid JSON now
+
+
+class TestExperimentContextCache:
+    def test_disk_cache_round_trip_is_idempotent(self, tmp_path):
+        """A cached run must load exactly as stored — the former
+        implementation stored the raw run and re-dropped warmup on
+        every load, so the stored and returned traces disagreed."""
+        kwargs = dict(
+            config=fast_config(),
+            seed=9,
+            duration_s=DURATION_S,
+            warmup_windows=3,
+            cache_dir=str(tmp_path),
+        )
+        first = ExperimentContext(**kwargs).run("idle")
+        second_context = ExperimentContext(**kwargs)
+        second = second_context.run("idle")
+        assert second_context.cache.stats.hits == 1
+        _assert_runs_identical(first, second)
+        # The stored trace already lacks its warmup windows.
+        fresh = ExperimentContext(**{**kwargs, "cache_dir": None}).run("idle")
+        assert first.n_samples == fresh.n_samples
+        _assert_runs_identical(first, fresh)
+
+    def test_runs_parallel_matches_run_serial(self, tmp_path):
+        names = ("idle", "gcc")
+        kwargs = dict(
+            config=fast_config(), seed=9, duration_s=DURATION_S, warmup_windows=3
+        )
+        serial_context = ExperimentContext(**kwargs, n_workers=1)
+        parallel_context = ExperimentContext(**kwargs, n_workers=2)
+        serial = {name: serial_context.run(name) for name in names}
+        parallel = parallel_context.runs(names)
+        for name in names:
+            _assert_runs_identical(serial[name], parallel[name])
+
+
+class TestBatchedTickEquivalence:
+    def test_run_ticks_matches_single_tick_loop(self):
+        """The batched hot path must be bit-identical to tick-by-tick."""
+        config = fast_config()
+        batched = Server(config, get_workload("SPECjbb"), seed=3)
+        stepped = Server(config, get_workload("SPECjbb"), seed=3)
+        energy_batched = batched.run_ticks(300)
+        energy_stepped = 0.0
+        for _ in range(300):
+            breakdown = stepped.tick()
+            energy_stepped += breakdown.total_w * config.tick_s
+        assert energy_batched == energy_stepped
+        assert batched.counters._rows == stepped.counters._rows
+        for subsystem in Subsystem:
+            assert (
+                batched.energy._energy_j[subsystem]
+                == stepped.energy._energy_j[subsystem]
+            )
+        a, b = batched._last_breakdown, stepped._last_breakdown
+        assert (a.cpu_w, a.chipset_w, a.memory_w, a.io_w, a.disk_w) == (
+            b.cpu_w,
+            b.chipset_w,
+            b.memory_w,
+            b.io_w,
+            b.disk_w,
+        )
