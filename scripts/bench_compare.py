@@ -32,6 +32,7 @@ BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_baseline.json")
 
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
+from repro import obs  # noqa: E402
 from repro.core.estimator import SystemPowerEstimator  # noqa: E402
 from repro.core.training import ModelTrainer  # noqa: E402
 from repro.exec import sweep  # noqa: E402
@@ -104,8 +105,22 @@ def measure() -> "dict[str, dict]":
 
 
 def compare(measured: "dict[str, dict]", baseline: "dict[str, dict]", tolerance: float) -> int:
+    provenance = baseline.get("_provenance")
+    if provenance:
+        print(
+            "baseline recorded {} on {} @ {} (python {})".format(
+                provenance.get("date", "?"),
+                provenance.get("host", "?"),
+                provenance.get("git_sha", "?"),
+                provenance.get("python", "?"),
+            )
+        )
+    else:
+        print("baseline has no provenance record (re-record with --update)")
     failures = 0
     for name, entry in sorted(baseline.items()):
+        if name.startswith("_"):
+            continue
         if name not in measured:
             print(f"MISSING {name}: metric not measured")
             failures += 1
@@ -139,14 +154,31 @@ def main(argv: "list[str] | None" = None) -> int:
         help="allowed fractional regression before failing (default 0.20)",
     )
     parser.add_argument("--baseline", default=BASELINE_PATH)
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="collect telemetry during the measurement and dump "
+        "metrics.prom/metrics.json/trace.jsonl into DIR (CI uploads "
+        "the trace as a build artifact)",
+    )
     args = parser.parse_args(argv)
 
+    if args.telemetry:
+        obs.enable()
     print("measuring...", flush=True)
     measured = measure()
+    if args.telemetry:
+        paths = obs.dump(args.telemetry)
+        print(f"telemetry artifacts: {', '.join(sorted(paths.values()))}")
 
     if args.update:
+        # The provenance stanza (git sha, date, host — repro.obs's
+        # registry-export header) records what later comparisons are
+        # comparing against; compare() skips underscore-prefixed keys.
+        document = {"_provenance": obs.provenance(), **measured}
         with open(args.baseline, "w", encoding="utf-8") as handle:
-            json.dump(measured, handle, indent=2, sort_keys=True)
+            json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.baseline}")
         for name, entry in sorted(measured.items()):

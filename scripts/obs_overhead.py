@@ -1,0 +1,122 @@
+"""Telemetry overhead gate: enabled-mode tick loop must stay within 5%.
+
+Measures ``Server.run_ticks`` throughput with telemetry disabled and
+enabled as back-to-back pairs and reports the **median paired ratio**:
+shared machines throttle and drift on multi-second scales (absolute
+throughput can swing 40% over one run), but within a ~0.5 s pair both
+modes see the same machine, so the ratio distribution stays tight.
+Fails (exit 1) when the median enabled/disabled slowdown exceeds
+``--tolerance`` (default 5%, ``OBS_OVERHEAD_TOLERANCE`` overrides).
+The instrumentation only fires at batch boundaries, so the measured
+overhead is expected to sit in the noise; this gate keeps it that way
+as hooks accumulate.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_overhead.py
+    PYTHONPATH=src python scripts/obs_overhead.py --telemetry-dir out/
+
+``--telemetry-dir`` additionally dumps the enabled run's
+``metrics.prom``/``metrics.json``/``trace.jsonl`` (CI uploads the
+trace as a build artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro import obs  # noqa: E402
+from repro.simulator.config import fast_config  # noqa: E402
+from repro.simulator.system import Server  # noqa: E402
+from repro.workloads.registry import get_workload  # noqa: E402
+
+#: Ticks per timed batch (matches scripts/bench_compare.py).
+_BATCH = 100
+
+
+def _timed_round(server: Server, budget_s: float) -> float:
+    """Per-batch wall time over one ``budget_s`` measurement window."""
+    calls = 0
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < budget_s:
+        server.run_ticks(_BATCH)
+        calls += 1
+    return (time.perf_counter() - t0) / calls
+
+
+def _paired_overhead(server_off, server_on, rounds: int = 20, budget_s: float = 0.25):
+    """Median enabled/disabled slowdown over back-to-back round pairs.
+
+    Returns ``(overhead, off_ticks_per_s, on_ticks_per_s)`` where the
+    throughputs are the best observed round of each mode (headline
+    numbers only; the gate decision uses the median paired ratio).
+    """
+    ratios = []
+    best_off = best_on = float("inf")
+    for _ in range(rounds):
+        obs.disable()
+        off = _timed_round(server_off, budget_s)
+        obs.enable()
+        on = _timed_round(server_on, budget_s)
+        ratios.append(on / off)
+        best_off = min(best_off, off)
+        best_on = min(best_on, on)
+    ratios.sort()
+    mid = len(ratios) // 2
+    median = ratios[mid] if len(ratios) % 2 else (ratios[mid - 1] + ratios[mid]) / 2.0
+    return median - 1.0, _BATCH / best_off, _BATCH / best_on
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("OBS_OVERHEAD_TOLERANCE", "0.05")),
+        help="allowed fractional slowdown with telemetry on (default 0.05)",
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="also dump the enabled run's telemetry artifacts here",
+    )
+    args = parser.parse_args(argv)
+
+    workload = get_workload("SPECjbb")
+    config = fast_config()
+
+    obs.disable()
+    obs.reset()
+    server_off = Server(config, workload, seed=3)
+    server_off.run_ticks(200)  # warm caches
+    server_on = Server(config, workload, seed=3)
+    server_on.run_ticks(200)
+    overhead, disabled, enabled = _paired_overhead(server_off, server_on)
+
+    if args.telemetry_dir:
+        paths = obs.dump(args.telemetry_dir)
+        print(f"telemetry artifacts: {', '.join(sorted(paths.values()))}")
+    obs.disable()
+    obs.reset()
+
+    print(f"telemetry off: {disabled:12.1f} ticks/s (best round)")
+    print(f"telemetry on:  {enabled:12.1f} ticks/s (best round)")
+    print(
+        f"overhead: {overhead * 100.0:+.2f}% median paired "
+        f"(gate: {args.tolerance * 100.0:.0f}%)"
+    )
+    if overhead > args.tolerance:
+        print("FAIL: enabled-mode telemetry overhead exceeds the gate")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

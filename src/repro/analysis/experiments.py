@@ -14,11 +14,13 @@ what, which model fails where — is the reproduction target.
 
 from __future__ import annotations
 
+import functools
 import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.events import Event, SUBSYSTEMS, Subsystem
 from repro.core.suite import TrickleDownSuite
 from repro.core.training import L3_MEMORY_RECIPE, ModelTrainer, PAPER_RECIPE
@@ -84,6 +86,22 @@ PAPER_TABLE4: "dict[str, tuple[float, ...]]" = {
     "mgrid": (0.360, 4.51, 11.4, 0.365, 0.546),
     "wupwise": (7.34, 5.21, 15.9, 0.588, 0.420),
 }
+
+def _traced(span_name: str):
+    """Wrap an experiment entry point in a telemetry span."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with obs.span(span_name):
+                result = fn(*args, **kwargs)
+            obs.inc("experiments_total", 1.0, {"experiment": span_name})
+            return result
+
+        return wrapper
+
+    return decorate
+
 
 #: Paper figure-level error quotes (Section 4.2).
 PAPER_FIGURE_ERRORS = {
@@ -265,6 +283,7 @@ def _power_table(
     return TableResult(title=title, headers=headers, rows=rows, paper_rows=paper_rows)
 
 
+@_traced("experiment.table1")
 def table1_average_power(context: ExperimentContext) -> TableResult:
     """Table 1: subsystem average power (Watts) per workload."""
     return _power_table(
@@ -272,6 +291,7 @@ def table1_average_power(context: ExperimentContext) -> TableResult:
     )
 
 
+@_traced("experiment.table2")
 def table2_power_stddev(context: ExperimentContext) -> TableResult:
     """Table 2: subsystem power standard deviation (Watts)."""
     return _power_table(
@@ -304,6 +324,7 @@ def _error_table(
     return TableResult(title=title, headers=headers, rows=rows, paper_rows=paper_rows)
 
 
+@_traced("experiment.table3")
 def table3_integer_errors(context: ExperimentContext) -> TableResult:
     """Table 3: model error (%) on the integer/commercial/synthetic set."""
     return _error_table(
@@ -314,6 +335,7 @@ def table3_integer_errors(context: ExperimentContext) -> TableResult:
     )
 
 
+@_traced("experiment.table4")
 def table4_fp_errors(context: ExperimentContext) -> TableResult:
     """Table 4: model error (%) on the floating-point set."""
     return _error_table(
@@ -348,6 +370,7 @@ def _model_figure(
     )
 
 
+@_traced("experiment.fig2")
 def figure2_cpu_model(context: ExperimentContext) -> FigureResult:
     """Figure 2: four-CPU power, measured vs modeled, gcc staggered."""
     return _model_figure(
@@ -360,6 +383,7 @@ def figure2_cpu_model(context: ExperimentContext) -> FigureResult:
     )
 
 
+@_traced("experiment.fig3")
 def figure3_memory_l3(context: ExperimentContext) -> FigureResult:
     """Figure 3: memory power via the L3-miss model on mesa (works)."""
     return _model_figure(
@@ -372,6 +396,7 @@ def figure3_memory_l3(context: ExperimentContext) -> FigureResult:
     )
 
 
+@_traced("experiment.fig4")
 def figure4_prefetch_bus(context: ExperimentContext) -> SeriesResult:
     """Figure 4: prefetch vs non-prefetch bus transactions under mcf.
 
@@ -404,6 +429,7 @@ def figure4_prefetch_bus(context: ExperimentContext) -> SeriesResult:
     )
 
 
+@_traced("experiment.fig5")
 def figure5_memory_bus(context: ExperimentContext) -> FigureResult:
     """Figure 5: memory power via bus transactions on mcf (fixed)."""
     return _model_figure(
@@ -416,6 +442,7 @@ def figure5_memory_bus(context: ExperimentContext) -> FigureResult:
     )
 
 
+@_traced("experiment.fig6")
 def figure6_disk_model(context: ExperimentContext) -> FigureResult:
     """Figure 6: disk power via DMA+interrupt model on DiskLoad."""
     return _model_figure(
@@ -428,6 +455,7 @@ def figure6_disk_model(context: ExperimentContext) -> FigureResult:
     )
 
 
+@_traced("experiment.fig7")
 def figure7_io_model(context: ExperimentContext) -> FigureResult:
     """Figure 7: I/O power via the interrupt model on DiskLoad."""
     return _model_figure(

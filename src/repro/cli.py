@@ -11,17 +11,24 @@ Commands::
     repro-power export <workload> -o trace.csv   # trace to CSV
     repro-power select <subsystem>               # greedy event selection
     repro-power billing                          # per-process energy bill
+    repro-power obs [DIR]                        # last run's telemetry
 
 Common options: ``--seed``, ``--duration`` (seconds per workload),
 ``--tick-ms`` (simulation resolution), ``--cache-dir`` (run cache),
-``--workers`` (parallel sweep processes).
+``--workers`` (parallel sweep processes), ``--telemetry DIR`` (dump
+``metrics.prom``/``metrics.json``/``trace.jsonl`` after the command;
+``repro-power obs`` pretty-prints them).  ``REPRO_LOG_LEVEL`` controls
+log verbosity.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
+from repro import obs
 from repro.analysis import experiments as ex
 from repro.analysis.plots import ascii_chart, residual_summary
 from repro.analysis.tables import format_table, format_trace_summary, sparkline
@@ -78,12 +85,20 @@ def _print_figure(result: "ex.FigureResult") -> None:
         print(f"  (paper quotes ~{result.paper_error_pct:g}% for this figure)")
 
 
+#: Where ``--telemetry`` dumps (and ``obs`` reads) when no directory is
+#: given explicitly.
+DEFAULT_TELEMETRY_DIR = ".repro-telemetry"
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-power",
         description="Reproduce Bircher & John (ISPASS 2007) tables and figures.",
     )
-    parser.add_argument("command", help="table1..table4, fig1..fig7, equations, report, run, list")
+    parser.add_argument(
+        "command",
+        help="table1..table4, fig1..fig7, equations, report, run, list, obs",
+    )
     parser.add_argument("workload", nargs="?", help="workload name (for 'run')")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--duration", type=float, default=300.0)
@@ -96,9 +111,39 @@ def main(argv: "list[str] | None" = None) -> int:
         help="worker processes for multi-workload sweeps "
         "(default: REPRO_SWEEP_WORKERS or the CPU count)",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        nargs="?",
+        const=DEFAULT_TELEMETRY_DIR,
+        default=None,
+        help="collect telemetry and dump metrics.prom/metrics.json/"
+        f"trace.jsonl into DIR (default {DEFAULT_TELEMETRY_DIR}) "
+        "after the command",
+    )
     parser.add_argument("-o", "--output", default=None, help="write report here")
     args = parser.parse_args(argv)
+    obs.log.configure()
 
+    if args.command == "obs":
+        return _print_telemetry(
+            args.telemetry or args.workload or DEFAULT_TELEMETRY_DIR,
+            args.cache_dir,
+        )
+    if args.telemetry:
+        obs.enable()
+    try:
+        return _dispatch(args, parser)
+    finally:
+        if args.telemetry:
+            paths = obs.dump(args.telemetry)
+            print(
+                f"telemetry: wrote {', '.join(sorted(paths))} to "
+                f"{args.telemetry}"
+            )
+
+
+def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     command = args.command
     if command == "list":
         for name in PAPER_WORKLOADS:
@@ -229,6 +274,101 @@ def main(argv: "list[str] | None" = None) -> int:
         return 0
     parser.error(f"unknown command {command!r}")
     return 2
+
+
+def _print_telemetry(directory: str, cache_dir: "str | None") -> int:
+    """Pretty-print the telemetry a previous ``--telemetry`` run dumped."""
+    metrics_path = os.path.join(directory, obs.METRICS_JSON)
+    trace_path = os.path.join(directory, obs.TRACE_JSONL)
+    if not os.path.exists(metrics_path):
+        print(
+            f"no telemetry at {directory!r} (expected {obs.METRICS_JSON}); "
+            "run any command with --telemetry first"
+        )
+        return 1
+    with open(metrics_path, encoding="utf-8") as handle:
+        data = json.load(handle)
+
+    provenance = data.get("provenance", {})
+    if provenance:
+        print(
+            "telemetry recorded {} on {} @ {}".format(
+                provenance.get("date", "?"),
+                provenance.get("host", "?"),
+                provenance.get("git_sha", "?"),
+            )
+        )
+        print()
+
+    def label_str(labels: dict) -> str:
+        if not labels:
+            return ""
+        return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+    counters = data.get("counters", [])
+    gauges = data.get("gauges", [])
+    if counters:
+        rows = [
+            [e["name"] + label_str(e.get("labels", {})), e["value"]]
+            for e in counters
+        ]
+        print(format_table("Counters", ("metric", "value"), rows, precision=0))
+        print()
+    if gauges:
+        rows = [
+            [e["name"] + label_str(e.get("labels", {})), e["value"]]
+            for e in gauges
+        ]
+        print(format_table("Gauges", ("metric", "value"), rows, precision=3))
+        print()
+    histograms = data.get("histograms", [])
+    if histograms:
+        rows = []
+        for e in histograms:
+            count = e["count"]
+            mean = e["sum"] / count if count else 0.0
+            rows.append(
+                [e["name"] + label_str(e.get("labels", {})), count, mean, e["sum"]]
+            )
+        print(
+            format_table(
+                "Histograms", ("metric", "count", "mean", "sum"), rows, precision=4
+            )
+        )
+        print()
+
+    if os.path.exists(trace_path):
+        events = obs.read_jsonl(trace_path)
+        if events:
+            slowest = sorted(events, key=lambda e: e["dur_s"], reverse=True)[:10]
+            rows = [
+                [
+                    event["name"],
+                    event.get("attrs", {}).get("workload", ""),
+                    event["dur_s"],
+                ]
+                for event in slowest
+            ]
+            print(
+                format_table(
+                    f"Slowest spans ({len(events)} event(s) total)",
+                    ("span", "workload", "seconds"),
+                    rows,
+                    precision=4,
+                )
+            )
+            print()
+
+    from repro.exec import RunCache
+
+    cache = RunCache(cache_dir or os.environ.get("REPRO_CACHE_DIR"))
+    if cache.enabled:
+        lifetime = cache.lifetime_stats()
+        print(
+            f"run cache at {cache.root}: lifetime {lifetime.describe()}, "
+            f"hit ratio {lifetime.hit_ratio:.1%}"
+        )
+    return 0
 
 
 if __name__ == "__main__":

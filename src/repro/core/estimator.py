@@ -11,9 +11,11 @@ manager) would hold — see ``examples/datacenter_power_cap.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import monotonic as _monotonic
 
 import numpy as np
 
+from repro import obs
 from repro.core.events import Event, Subsystem
 from repro.core.suite import TrickleDownSuite
 from repro.core.traces import CounterTrace
@@ -60,6 +62,7 @@ class SystemPowerEstimator:
             duration_s: window length in seconds.
             timestamp_s: window end time; defaults to a running count.
         """
+        obs_t0 = _monotonic() if obs.enabled() else None
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
         if timestamp_s is None:
@@ -83,11 +86,17 @@ class SystemPowerEstimator:
             total_w=float(sum(per_subsystem.values())),
         )
         self._history.append(estimate)
+        if obs_t0 is not None:
+            reg = obs.registry()
+            reg.inc("estimator_samples_total")
+            reg.observe("estimator_latency_seconds", _monotonic() - obs_t0)
         return estimate
 
     def estimate_trace(self, trace: CounterTrace) -> "list[PowerEstimate]":
         """Batch estimation over a full counter trace."""
-        predictions = self.suite.predict_all(trace)
+        with obs.span("estimator.estimate_trace", n_samples=len(trace.timestamps)):
+            predictions = self.suite.predict_all(trace)
+        obs.inc("estimator_samples_total", float(len(trace.timestamps)))
         estimates = []
         for i, timestamp in enumerate(trace.timestamps):
             per_subsystem = {s: float(series[i]) for s, series in predictions.items()}

@@ -23,7 +23,9 @@ which works on mesa and fails on mcf — is provided as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import monotonic as _monotonic
 
+from repro import obs
 from repro.core.events import Subsystem
 from repro.core.features import FeatureSet
 from repro.core.models import ConstantModel, PolynomialModel, SubsystemPowerModel
@@ -155,5 +157,24 @@ class ModelTrainer:
                     f"{spec.train_workload!r} for the {spec.subsystem} model; "
                     f"got runs for: {', '.join(sorted(runs)) or 'none'}"
                 ) from None
-            models[spec.subsystem] = self.train_one(spec, run)
+            with obs.span(
+                "train.fit",
+                subsystem=spec.subsystem.value,
+                workload=spec.train_workload,
+                form=spec.form,
+            ):
+                t0 = _monotonic()
+                models[spec.subsystem] = self.train_one(spec, run)
+                if obs.enabled():
+                    reg = obs.registry()
+                    reg.observe(
+                        "model_fit_seconds",
+                        _monotonic() - t0,
+                        {"subsystem": spec.subsystem.value},
+                    )
+                    reg.inc(
+                        "models_trained_total",
+                        1.0,
+                        {"subsystem": spec.subsystem.value},
+                    )
         return TrickleDownSuite(models, recipe_name=self.recipe.name)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass, field
@@ -29,8 +30,14 @@ from dataclasses import dataclass, field
 from repro.core.traces import MeasuredRun
 from repro.simulator.config import SystemConfig
 
+logger = logging.getLogger(__name__)
+
 #: Bump when the on-disk run format (not the run content) changes.
 _SCHEMA_VERSION = 1
+
+#: Reserved index key holding lifetime hit/miss/write totals.  Run keys
+#: are sha256 hex digests, so this name can never collide with one.
+_STATS_KEY = "__stats__"
 
 
 def run_key(
@@ -73,6 +80,10 @@ class CacheStats:
     def requests(self) -> int:
         return self.hits + self.misses
 
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
     def describe(self) -> str:
         return (
             f"{self.hits} hit(s), {self.misses} miss(es), "
@@ -92,6 +103,9 @@ class RunCache:
 
     root: "str | None"
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Portion of ``stats`` already folded into the on-disk lifetime
+    #: totals (see :meth:`persist_stats`).
+    _flushed: CacheStats = field(default_factory=CacheStats, repr=False)
 
     @classmethod
     def from_env(cls, default: "str | None" = None) -> "RunCache":
@@ -115,9 +129,16 @@ class RunCache:
             return None
         try:
             run = MeasuredRun.load(path)
-        except (OSError, ValueError, KeyError):
+        except (OSError, ValueError, KeyError) as exc:
             # A torn or foreign file: treat as a miss; the subsequent
             # store will atomically replace it.
+            logger.warning(
+                "run cache entry %s is corrupt (%s: %s); treating as a "
+                "miss, the next store heals it",
+                path,
+                type(exc).__name__,
+                exc,
+            )
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -157,31 +178,104 @@ class RunCache:
 
         Purely informational: lookups never consult the index, so a
         lost race between concurrent writers costs nothing but an index
-        line.
+        line.  Riding along with the entry, the instance's unflushed
+        hit/miss/write deltas are folded into the lifetime totals (the
+        index is being rewritten anyway).
         """
         try:
-            index = self.index()
+            index = self._raw_index()
             index[key] = {
                 "workload": run.workload,
                 "n_samples": run.n_samples,
                 "duration_s": run.duration_s,
                 "base_seed": run.metadata.get("base_seed"),
             }
-            fd, tmp_path = tempfile.mkstemp(
-                prefix=".index-", suffix=".tmp", dir=self.root
-            )
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(index, handle, indent=2, sort_keys=True)
-            os.replace(tmp_path, self._index_path())
-        except OSError:
-            pass
+            self._fold_stats_into(index)
+            self._write_index(index)
+        except OSError as exc:
+            logger.warning("run cache index update failed: %s", exc)
 
-    def index(self) -> dict:
-        """The key -> run-parameters mapping (empty when absent)."""
+    def _write_index(self, index: dict) -> None:
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".index-", suffix=".tmp", dir=self.root
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(index, handle, indent=2, sort_keys=True)
+        os.replace(tmp_path, self._index_path())
+
+    def _raw_index(self) -> dict:
         if not self.root:
             return {}
         try:
             with open(self._index_path(), encoding="utf-8") as handle:
                 return json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             return {}
+        except (OSError, ValueError) as exc:
+            logger.warning(
+                "run cache index at %s is unreadable (%s); starting a "
+                "fresh one",
+                self._index_path(),
+                exc,
+            )
+            return {}
+
+    def index(self) -> dict:
+        """The key -> run-parameters mapping (empty when absent)."""
+        index = self._raw_index()
+        index.pop(_STATS_KEY, None)
+        return index
+
+    # -- lifetime statistics --------------------------------------------
+
+    def _fold_stats_into(self, index: dict) -> None:
+        """Add this instance's unflushed deltas to ``index``'s totals."""
+        stored = index.get(_STATS_KEY) or {}
+        index[_STATS_KEY] = {
+            "hits": int(stored.get("hits", 0)) + self.stats.hits - self._flushed.hits,
+            "misses": int(stored.get("misses", 0))
+            + self.stats.misses
+            - self._flushed.misses,
+            "writes": int(stored.get("writes", 0))
+            + self.stats.writes
+            - self._flushed.writes,
+        }
+        self._flushed = dataclasses.replace(self.stats)
+
+    def persist_stats(self) -> None:
+        """Fold unflushed hit/miss/write deltas into the on-disk totals.
+
+        Per-instance counters die with the process (a sweep worker, a
+        one-shot CLI invocation); persisting them into ``index.json``
+        lets ``repro-power obs`` report lifetime cache effectiveness.
+        Best effort: a lost read-modify-write race with a concurrent
+        process under-counts, it never corrupts.
+        """
+        if not self.root:
+            return
+        if (
+            self.stats.hits == self._flushed.hits
+            and self.stats.misses == self._flushed.misses
+            and self.stats.writes == self._flushed.writes
+        ):
+            return
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            index = self._raw_index()
+            self._fold_stats_into(index)
+            self._write_index(index)
+        except OSError as exc:
+            logger.warning("run cache stats persistence failed: %s", exc)
+
+    def lifetime_stats(self) -> CacheStats:
+        """Stored totals plus this instance's unflushed activity."""
+        stored = self._raw_index().get(_STATS_KEY) or {}
+        return CacheStats(
+            hits=int(stored.get("hits", 0)) + self.stats.hits - self._flushed.hits,
+            misses=int(stored.get("misses", 0))
+            + self.stats.misses
+            - self._flushed.misses,
+            writes=int(stored.get("writes", 0))
+            + self.stats.writes
+            - self._flushed.writes,
+        )

@@ -16,13 +16,22 @@ already-simulated runs across processes.
 
 from __future__ import annotations
 
+import dataclasses
+import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.traces import MeasuredRun
 from repro.exec.cache import RunCache, run_key
 from repro.simulator.config import SystemConfig
+
+logger = logging.getLogger(__name__)
+
+#: Bucket edges for the worker queue-wait histogram (seconds).
+_QUEUE_WAIT_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0)
 
 
 @dataclass(frozen=True)
@@ -77,6 +86,44 @@ def run_spec(spec: SweepSpec) -> MeasuredRun:
     return run
 
 
+def _run_spec_traced(spec: SweepSpec) -> MeasuredRun:
+    """``run_spec`` wrapped in a per-spec span (telemetry on)."""
+    with obs.span(
+        "sweep.run_spec",
+        workload=spec.workload,
+        seed=spec.seed,
+        duration_s=spec.duration_s,
+    ) as sp:
+        run = run_spec(spec)
+        if sp is not None:
+            sp.set("n_samples", run.n_samples)
+    return run
+
+
+def _pool_run(task: "tuple[SweepSpec, bool, float]"):
+    """Pool-side task: one spec, optionally with telemetry.
+
+    Returns ``(run, snapshot_or_None)``.  With telemetry on, the worker
+    starts from a clean registry/trace (a forked worker inherits the
+    parent's pre-fork telemetry, which must not be double-counted),
+    records the queue wait (Linux ``CLOCK_MONOTONIC`` is system-wide,
+    so the parent's submit stamp is comparable) and ships its snapshot
+    back over the existing result-return path.
+    """
+    spec, telemetry, submitted_monotonic = task
+    if not telemetry:
+        return run_spec(spec), None
+    obs.enable()
+    obs.reset()
+    obs.observe(
+        "sweep_queue_wait_seconds",
+        time.monotonic() - submitted_monotonic,
+        buckets=_QUEUE_WAIT_BUCKETS,
+    )
+    run = _run_spec_traced(spec)
+    return run, obs.snapshot()
+
+
 def default_workers() -> int:
     """Worker count when the caller does not choose one.
 
@@ -117,12 +164,27 @@ def sweep_specs(
     specs = list(specs)
     if n_workers is None:
         n_workers = default_workers()
+    with obs.span("sweep.sweep_specs", n_specs=len(specs)) as sweep_span:
+        result = _sweep_specs(specs, n_workers, cache)
+        if sweep_span is not None:
+            sweep_span.set("n_simulated", len(result.simulated))
+            sweep_span.set("n_workers", result.n_workers)
+    return result
+
+
+def _sweep_specs(
+    specs: "list[SweepSpec]",
+    n_workers: int,
+    cache: "RunCache | None",
+) -> SweepResult:
     runs: "list[MeasuredRun | None]" = [None] * len(specs)
+    caching = cache is not None and cache.enabled
+    stats_before = dataclasses.replace(cache.stats) if caching else None
 
     pending: "list[int]" = []
     hits = misses = 0
     for i, spec in enumerate(specs):
-        if cache is not None and cache.enabled:
+        if caching:
             cached = cache.load(spec.key())
             if cached is not None:
                 runs[i] = cached
@@ -131,20 +193,42 @@ def sweep_specs(
             misses += 1
         pending.append(i)
 
+    telemetry = obs.enabled()
     effective_workers = min(n_workers, len(pending)) if pending else 0
     if effective_workers > 1:
+        logger.debug(
+            "sweeping %d spec(s) over %d worker(s) (%d cache hit(s))",
+            len(pending),
+            effective_workers,
+            hits,
+        )
+        submitted = time.monotonic()
+        tasks = [(specs[i], telemetry, submitted) for i in pending]
         with ProcessPoolExecutor(max_workers=effective_workers) as pool:
-            for i, run in zip(pending, pool.map(run_spec, [specs[i] for i in pending])):
+            for i, (run, snap) in zip(pending, pool.map(_pool_run, tasks)):
                 runs[i] = run
+                if snap is not None:
+                    # Merged in spec order, so right-biased gauge merge
+                    # reproduces the serial last-write-wins value.
+                    obs.merge_snapshot(snap)
     else:
         for i in pending:
-            runs[i] = run_spec(specs[i])
+            runs[i] = _run_spec_traced(specs[i]) if telemetry else run_spec(specs[i])
 
-    if cache is not None and cache.enabled:
+    if caching:
         for i in pending:
             run = runs[i]
             assert run is not None
             cache.store(specs[i].key(), run)
+        # Funnel this sweep's cache activity into the registry and the
+        # on-disk lifetime totals (loads and stores both happen in this
+        # process, so the deltas are worker-count independent).
+        if telemetry and stats_before is not None:
+            reg = obs.registry()
+            reg.inc("run_cache_hits_total", cache.stats.hits - stats_before.hits)
+            reg.inc("run_cache_misses_total", cache.stats.misses - stats_before.misses)
+            reg.inc("run_cache_writes_total", cache.stats.writes - stats_before.writes)
+        cache.persist_stats()
 
     assert all(run is not None for run in runs)
     return SweepResult(

@@ -1,0 +1,77 @@
+"""Logging configuration for the ``repro`` package.
+
+Modules own their loggers the standard way::
+
+    import logging
+    logger = logging.getLogger(__name__)
+
+and stay silent until someone configures handlers.  :func:`configure`
+is that someone: it attaches one stream handler to the ``repro``
+package logger, honouring the ``REPRO_LOG_LEVEL`` environment variable
+(``DEBUG``/``INFO``/``WARNING``/``ERROR``/``CRITICAL`` or a numeric
+level; default ``WARNING``).  The CLI calls it on startup; library
+users can call it themselves or configure ``logging`` however they
+like — :func:`configure` never touches the root logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+#: Environment variable that selects the level (name or number).
+LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_configured = False
+
+
+def level_from_env(default: int = logging.WARNING) -> int:
+    """The level named by ``$REPRO_LOG_LEVEL`` (or ``default``)."""
+    raw = os.environ.get(LEVEL_ENV_VAR, "").strip()
+    if not raw:
+        return default
+    if raw.isdigit():
+        return int(raw)
+    level = logging.getLevelName(raw.upper())
+    if isinstance(level, int):
+        return level
+    logging.getLogger(__name__).warning(
+        "ignoring unknown %s=%r", LEVEL_ENV_VAR, raw
+    )
+    return default
+
+
+def configure(level: "int | str | None" = None, force: bool = False) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger (idempotent).
+
+    Args:
+        level: explicit level; default comes from ``REPRO_LOG_LEVEL``.
+        force: reconfigure even if :func:`configure` already ran (used
+            to re-read the environment, e.g. in tests).
+    """
+    global _configured
+    logger = logging.getLogger("repro")
+    if _configured and not force:
+        if level is not None:
+            logger.setLevel(level)
+        return logger
+    for handler in [h for h in logger.handlers if getattr(h, "_repro_obs", False)]:
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level if level is not None else level_from_env())
+    # Propagation stays on: test harnesses and applications that attach
+    # root handlers (pytest's caplog, systemd journald shims) still see
+    # repro records.  The root logger has no handlers by default, so
+    # nothing double-prints in a plain CLI session.
+    _configured = True
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Alias for :func:`logging.getLogger` (kept for discoverability)."""
+    return logging.getLogger(name)

@@ -1,0 +1,271 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+:class:`MetricsRegistry` is the single store a process accumulates
+telemetry into.  It is deliberately dependency-free and boring:
+
+* **counters** only ever go up (`inc`),
+* **gauges** hold the last value written (`gauge`),
+* **histograms** have *fixed* bucket upper edges chosen at first
+  observation (`observe`); Prometheus ``le`` semantics, i.e. a value
+  equal to an edge lands in that edge's bucket.
+
+Registries are mergeable: counters and histogram cells add, gauges are
+right-biased (the merged-in registry wins).  All three rules are
+associative, so aggregating worker snapshots in any grouping yields the
+same totals — the property the parallel sweep engine relies on when it
+funnels per-worker registries back to the parent.
+
+Exposition comes in two flavours: :meth:`MetricsRegistry.to_prometheus`
+(text format an exporter endpoint or ``promtool`` can ingest) and
+:meth:`MetricsRegistry.to_json` (the ``metrics.json`` the CLI dumps and
+``repro-power obs`` pretty-prints).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default histogram edges, tuned for sub-second code timings (seconds).
+DEFAULT_BUCKETS: "tuple[float, ...]" = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+#: A metric key: (name, ((label, value), ...)) with labels sorted.
+MetricKey = "tuple[str, tuple[tuple[str, str], ...]]"
+
+
+def metric_key(name: str, labels: "dict[str, object] | None" = None) -> MetricKey:
+    """Canonical hashable key for a named, labelled metric."""
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+class Histogram:
+    """A fixed-bucket histogram (Prometheus ``le`` semantics).
+
+    ``buckets`` are ascending upper edges; an implicit ``+Inf`` bucket
+    catches everything above the last edge.  ``counts[i]`` is the number
+    of observations with ``value <= buckets[i]`` (exclusive of lower
+    buckets); ``counts[-1]`` is the ``+Inf`` cell.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: "tuple[float, ...]" = DEFAULT_BUCKETS) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError(f"bucket edges must strictly ascend: {edges}")
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        hist = cls(tuple(data["buckets"]))
+        counts = list(data["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError("histogram snapshot has mismatched cell count")
+        hist.counts = [int(c) for c in counts]
+        hist.sum = float(data["sum"])
+        hist.count = int(data["count"])
+        return hist
+
+
+def _labels_dict(key: MetricKey) -> "dict[str, str]":
+    return dict(key[1])
+
+
+def _prom_labels(key: MetricKey, extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    items = key[1] + extra
+    if not items:
+        return ""
+    rendered = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in items
+    )
+    return "{" + rendered + "}"
+
+
+class MetricsRegistry:
+    """All counters, gauges and histograms of one process."""
+
+    def __init__(self) -> None:
+        self.counters: "dict[MetricKey, float]" = {}
+        self.gauges: "dict[MetricKey, float]" = {}
+        self.histograms: "dict[MetricKey, Histogram]" = {}
+
+    # -- recording -----------------------------------------------------
+
+    def inc(
+        self,
+        name: str,
+        value: float = 1.0,
+        labels: "dict[str, object] | None" = None,
+    ) -> None:
+        """Add ``value`` (>= 0) to a counter."""
+        if value < 0:
+            raise ValueError(f"counter {name!r} cannot decrease (got {value})")
+        key = metric_key(name, labels)
+        self.counters[key] = self.counters.get(key, 0.0) + float(value)
+
+    def gauge(
+        self,
+        name: str,
+        value: float,
+        labels: "dict[str, object] | None" = None,
+    ) -> None:
+        """Set a gauge to ``value`` (last write wins)."""
+        self.gauges[metric_key(name, labels)] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: "dict[str, object] | None" = None,
+        buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
+    ) -> None:
+        """Record one observation into a fixed-bucket histogram.
+
+        ``buckets`` applies on first use of the (name, labels) pair;
+        later observations must agree (merging enforces it too).
+        """
+        key = metric_key(name, labels)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram(buckets)
+        hist.observe(value)
+
+    # -- merging / snapshots -------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (associative).
+
+        Counters and histograms add; gauges take ``other``'s value on
+        key collisions (right-biased), matching "the later write wins"
+        when snapshots are merged in execution order.
+        """
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0.0) + value
+        self.gauges.update(other.gauges)
+        for key, hist in other.histograms.items():
+            mine = self.histograms.get(key)
+            if mine is None:
+                self.histograms[key] = Histogram.from_dict(hist.to_dict())
+            else:
+                mine.merge(hist)
+
+    def snapshot(self) -> dict:
+        """A picklable/JSON-safe deep copy of every metric."""
+        return {
+            "counters": [
+                {"name": k[0], "labels": _labels_dict(k), "value": v}
+                for k, v in sorted(self.counters.items())
+            ],
+            "gauges": [
+                {"name": k[0], "labels": _labels_dict(k), "value": v}
+                for k, v in sorted(self.gauges.items())
+            ],
+            "histograms": [
+                {"name": k[0], "labels": _labels_dict(k), **h.to_dict()}
+                for k, h in sorted(self.histograms.items())
+            ],
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge_snapshot(snapshot)
+        return registry
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry."""
+        for entry in snapshot.get("counters", ()):
+            self.inc(entry["name"], entry["value"], entry.get("labels"))
+        for entry in snapshot.get("gauges", ()):
+            self.gauge(entry["name"], entry["value"], entry.get("labels"))
+        for entry in snapshot.get("histograms", ()):
+            key = metric_key(entry["name"], entry.get("labels"))
+            incoming = Histogram.from_dict(entry)
+            mine = self.histograms.get(key)
+            if mine is None:
+                self.histograms[key] = incoming
+            else:
+                mine.merge(incoming)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    # -- exposition ----------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every metric."""
+        lines: "list[str]" = []
+        seen_types: "set[str]" = set()
+
+        def type_line(name: str, kind: str) -> None:
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for key, value in sorted(self.counters.items()):
+            type_line(key[0], "counter")
+            lines.append(f"{key[0]}{_prom_labels(key)} {value:g}")
+        for key, value in sorted(self.gauges.items()):
+            type_line(key[0], "gauge")
+            lines.append(f"{key[0]}{_prom_labels(key)} {value:g}")
+        for key, hist in sorted(self.histograms.items()):
+            name = key[0]
+            type_line(name, "histogram")
+            cumulative = 0
+            for edge, cell in zip(hist.buckets, hist.counts):
+                cumulative += cell
+                labels = _prom_labels(key, (("le", f"{edge:g}"),))
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+            labels = _prom_labels(key, (("le", "+Inf"),))
+            lines.append(f"{name}_bucket{labels} {hist.count}")
+            lines.append(f"{name}_sum{_prom_labels(key)} {hist.sum:g}")
+            lines.append(f"{name}_count{_prom_labels(key)} {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict:
+        """JSON-ready exposition (same shape as :meth:`snapshot`)."""
+        return self.snapshot()

@@ -1,0 +1,123 @@
+"""Lightweight span tracing: nested, monotonic-clock, JSONL output.
+
+A span measures one region of code::
+
+    with obs.span("sweep.run_spec", workload="gcc") as sp:
+        ...
+        sp.set("n_samples", run.n_samples)
+
+Spans nest naturally through a per-tracer stack: a span opened while
+another is active records the outer span's id as its ``parent``.  Each
+finished span becomes one JSON object; :meth:`Tracer.write_jsonl` emits
+them one per line in *completion* order (children before their parent,
+the order a streaming consumer can re-tree without buffering).
+
+Durations come from ``time.monotonic()``; the wall-clock ``ts`` field
+is informational only.  Span ids embed the pid so worker-process spans
+merged into the parent tracer can never collide.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+
+
+class SpanHandle:
+    """The live side of a span: attributes can be added while open."""
+
+    __slots__ = ("id", "name", "parent", "attrs", "_start_monotonic", "_ts")
+
+    def __init__(self, span_id: str, name: str, parent: "str | None", attrs: dict):
+        self.id = span_id
+        self.name = name
+        self.parent = parent
+        self.attrs = attrs
+        self._start_monotonic = time.monotonic()
+        self._ts = time.time()
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute to the span while it is open."""
+        self.attrs[str(key)] = value
+
+
+class Tracer:
+    """Collects finished spans (and point events) for one process."""
+
+    def __init__(self) -> None:
+        self.events: "list[dict]" = []
+        self._stack: "list[SpanHandle]" = []
+        self._next_id = 0
+
+    def _new_id(self) -> str:
+        self._next_id += 1
+        return f"{os.getpid()}-{self._next_id}"
+
+    @property
+    def current_span_id(self) -> "str | None":
+        return self._stack[-1].id if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a span; closing it appends one event to the log."""
+        handle = SpanHandle(
+            self._new_id(), str(name), self.current_span_id,
+            {str(k): v for k, v in attrs.items()},
+        )
+        self._stack.append(handle)
+        try:
+            yield handle
+        finally:
+            popped = self._stack.pop()
+            assert popped is handle, "span stack corrupted"
+            self.events.append(
+                {
+                    "name": handle.name,
+                    "id": handle.id,
+                    "parent": handle.parent,
+                    "ts": handle._ts,
+                    "dur_s": time.monotonic() - handle._start_monotonic,
+                    "attrs": handle.attrs,
+                }
+            )
+
+    def event(self, name: str, **attrs) -> None:
+        """A zero-duration point event under the current span."""
+        self.events.append(
+            {
+                "name": str(name),
+                "id": self._new_id(),
+                "parent": self.current_span_id,
+                "ts": time.time(),
+                "dur_s": 0.0,
+                "attrs": {str(k): v for k, v in attrs.items()},
+            }
+        )
+
+    def extend(self, events: "list[dict]") -> None:
+        """Append already-finished events (e.g. from a worker process)."""
+        self.events.extend(events)
+
+    def reset(self) -> None:
+        self.events.clear()
+        self._stack.clear()
+
+    def write_jsonl(self, path: str) -> None:
+        """One JSON object per line, in completion order."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True, default=str))
+                handle.write("\n")
+
+
+def read_jsonl(path: str) -> "list[dict]":
+    """Load a trace file written by :meth:`Tracer.write_jsonl`."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

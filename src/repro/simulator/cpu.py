@@ -75,6 +75,11 @@ class CpuPackage:
         self.cache = CacheHierarchy(cache)
         self._pstate_index = 0
         self._interrupt_service_cycles = cpu.interrupt_service_cycles
+        #: Idle-tick cache effectiveness (read by the telemetry hooks):
+        #: total idle finishes vs. cache rebuilds.  Survives pstate
+        #: switches, which reset the cache itself.
+        self.idle_ticks = 0
+        self.idle_tick_builds = 0
         self._refresh_pstate()
 
     def _refresh_pstate(self) -> None:
@@ -303,10 +308,12 @@ class CpuPackage:
         power are cached and shared.  Consumers never mutate ticks.
         """
         key = (cycles, occupancy)
+        self.idle_ticks += 1
         if self._idle_tick_key == key:
             tick = self._idle_tick
             assert tick is not None
             return tick
+        self.idle_tick_builds += 1
         tick = PackageTick(
             cycles=cycles,
             halted_cycles=cycles * (1.0 - occupancy),

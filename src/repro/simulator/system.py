@@ -17,6 +17,10 @@ spec for a given duration and returns a
 
 from __future__ import annotations
 
+import logging
+from time import monotonic as _monotonic
+
+from repro import obs
 from repro.core.events import Event, Subsystem, SUBSYSTEMS
 from repro.core.traces import MeasuredRun
 from repro.counters.perfctr import CounterBank
@@ -44,9 +48,14 @@ from repro.simulator.rng import RngStreams
 from repro.simulator.tlb import TlbPolicy
 from repro.workloads.base import WorkloadSpec
 
+logger = logging.getLogger(__name__)
+
 #: Coherence traffic between processors as a fraction of a package's own
 #: bus transactions (the paper notes it is very small for its workloads).
 _CROSS_COHERENCE_FRACTION = 0.01
+
+#: Bucket edges for the run_ticks batch-size histogram (ticks).
+_BATCH_BUCKETS = (1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0)
 
 
 class Server:
@@ -147,6 +156,11 @@ class Server:
         """
         if n_ticks <= 0:
             return 0.0
+        # Profiling hooks fire once per *batch*, never per tick, so the
+        # disabled path costs a single bool read and the enabled path
+        # stays inside the 5% gate scripts/obs_overhead.py enforces.
+        obs_on = obs.enabled()
+        obs_t0 = _monotonic() if obs_on else 0.0
         cfg = self.config
         dt = cfg.tick_s
         workload = self.workload
@@ -525,7 +539,38 @@ class Server:
             io_w=io_power,
             disk_w=disk_power,
         )
+        if obs_on:
+            self._record_telemetry(n_ticks, _monotonic() - obs_t0)
         return total_energy_j
+
+    def _record_telemetry(self, n_ticks: int, elapsed_s: float) -> None:
+        """Batch-boundary profiling hook for :meth:`run_ticks`.
+
+        Deterministic metrics (tick counts, batch sizes, per-subsystem
+        energy) are labelled by workload so a parallel sweep's merged
+        registry equals the serial one; wall-clock metrics (batch
+        seconds, ticks/s) are inherently machine- and load-dependent.
+        """
+        reg = obs.registry()
+        labels = {"workload": self.workload.name}
+        reg.inc("sim_ticks_total", float(n_ticks), labels)
+        reg.observe("sim_batch_ticks", float(n_ticks), labels, buckets=_BATCH_BUCKETS)
+        reg.observe("sim_run_ticks_seconds", elapsed_s, labels)
+        if elapsed_s > 0:
+            reg.gauge("sim_ticks_per_second", n_ticks / elapsed_s, labels)
+        reg.gauge("sim_time_seconds", self.now_s, labels)
+        for subsystem in SUBSYSTEMS:
+            reg.gauge(
+                "sim_energy_joules",
+                self.energy._energy_j[subsystem],
+                {"workload": self.workload.name, "subsystem": subsystem.value},
+            )
+        idle_ticks = sum(p.idle_ticks for p in self.packages)
+        if idle_ticks:
+            rebuilds = sum(p.idle_tick_builds for p in self.packages)
+            reg.gauge(
+                "sim_idle_cache_hit_ratio", 1.0 - rebuilds / idle_ticks, labels
+            )
 
     def _count_events(
         self,

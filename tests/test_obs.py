@@ -1,0 +1,314 @@
+"""Tests for ``repro.obs``: metrics, tracing, and the telemetry paths.
+
+The contracts under test: registry merging is associative (so worker
+snapshots can be folded in any grouping), histograms honour Prometheus
+``le`` bucket semantics, spans nest and land in the JSONL log in
+completion order, the disabled path records nothing at all, and a
+parallel sweep's aggregated registry equals the serial run's over every
+deterministic metric.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+
+import pytest
+
+from repro import obs
+from repro.exec import RunCache, SweepSpec, sweep_specs
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.simulator.config import fast_config
+from repro.simulator.system import Server
+from repro.workloads.registry import get_workload
+
+DURATION_S = 20.0
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Telemetry is process-global; every test starts and ends clean."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _specs(names, **overrides):
+    kwargs = dict(seed=5, duration_s=DURATION_S, config=fast_config())
+    kwargs.update(overrides)
+    return [SweepSpec(workload=name, **kwargs) for name in names]
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        reg = MetricsRegistry()
+        reg.inc("requests_total")
+        reg.inc("requests_total", 2.0)
+        reg.inc("requests_total", 1.0, {"route": "a"})
+        reg.gauge("depth", 4.0)
+        reg.gauge("depth", 7.0)  # last write wins
+        reg.observe("latency_seconds", 0.02)
+        assert reg.counters[("requests_total", ())] == 3.0
+        assert reg.counters[("requests_total", (("route", "a"),))] == 1.0
+        assert reg.gauges[("depth", ())] == 7.0
+        assert reg.histograms[("latency_seconds", ())].count == 1
+
+    def test_counters_cannot_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("requests_total", -1.0)
+
+    def test_histogram_bucket_edges_are_le_inclusive(self):
+        hist = Histogram((1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 1.01, 5.0, 9.99, 10.0, 11.0, 1000.0):
+            hist.observe(value)
+        # value <= edge lands in that edge's bucket (Prometheus ``le``).
+        assert hist.counts == [2, 2, 2, 2]
+        assert hist.count == 8
+        assert hist.sum == pytest.approx(0.5 + 1.0 + 1.01 + 5.0 + 9.99 + 10.0 + 11.0 + 1000.0)
+
+    def test_histogram_edges_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_mismatched_bucket_merge_rejected(self):
+        a, b = Histogram((1.0,)), Histogram((2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def _sample_registry(self, counter, gauge, hist_value):
+        reg = MetricsRegistry()
+        reg.inc("c_total", counter)
+        reg.inc("c_total", counter, {"k": "v"})
+        reg.gauge("g", gauge)
+        reg.observe("h_seconds", hist_value, buckets=(0.1, 1.0, 10.0))
+        return reg
+
+    def test_merge_is_associative(self):
+        """(a + b) + c == a + (b + c) for every metric kind."""
+        parts = [
+            self._sample_registry(1.0, 10.0, 0.05),
+            self._sample_registry(2.0, 20.0, 0.5),
+            self._sample_registry(4.0, 30.0, 5.0),
+        ]
+        snaps = [p.snapshot() for p in parts]
+
+        left = MetricsRegistry.from_snapshot(snaps[0])
+        left.merge_snapshot(snaps[1])
+        left.merge_snapshot(snaps[2])
+
+        bc = MetricsRegistry.from_snapshot(snaps[1])
+        bc.merge_snapshot(snaps[2])
+        right = MetricsRegistry.from_snapshot(snaps[0])
+        right.merge(bc)
+
+        assert left.snapshot() == right.snapshot()
+        assert left.counters[("c_total", ())] == 7.0
+        assert left.gauges[("g", ())] == 30.0  # right-biased
+        assert left.histograms[("h_seconds", ())].count == 3
+
+    def test_snapshot_round_trip(self):
+        reg = self._sample_registry(3.0, 9.0, 0.2)
+        clone = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert clone.snapshot() == reg.snapshot()
+
+    def test_prometheus_exposition(self):
+        reg = self._sample_registry(2.0, 5.0, 0.5)
+        text = reg.to_prometheus()
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{k="v"} 2' in text
+        assert "# TYPE g gauge" in text
+        assert "# TYPE h_seconds histogram" in text
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_count 1" in text
+
+
+class TestTracing:
+    def test_span_nesting_and_ordering_in_jsonl(self, tmp_path):
+        obs.enable()
+        with obs.span("outer", kind="test") as outer:
+            with obs.span("inner") as inner:
+                inner.set("detail", 42)
+            assert outer is not None
+        paths = obs.dump(str(tmp_path))
+        lines = [
+            json.loads(line)
+            for line in open(paths[obs.TRACE_JSONL], encoding="utf-8")
+            if line.strip()
+        ]
+        assert [event["name"] for event in lines] == ["inner", "outer"]
+        inner_event, outer_event = lines
+        assert inner_event["parent"] == outer_event["id"]
+        assert outer_event["parent"] is None
+        assert inner_event["attrs"] == {"detail": 42}
+        assert outer_event["attrs"] == {"kind": "test"}
+        assert 0.0 <= inner_event["dur_s"] <= outer_event["dur_s"]
+
+    def test_disabled_span_is_noop(self):
+        with obs.span("ignored") as handle:
+            assert handle is None
+        assert obs.tracer().events == []
+
+
+class TestDisabledPath:
+    def test_disabled_run_produces_zero_events(self, tmp_path):
+        """With telemetry off, simulation/sweep/cache record nothing."""
+        server = Server(fast_config(), get_workload("idle"), seed=3)
+        server.run_ticks(50)
+        cache = RunCache(str(tmp_path))
+        sweep_specs(_specs(["idle"]), n_workers=1, cache=cache)
+        assert obs.registry().empty
+        assert obs.tracer().events == []
+
+
+class TestSweepAggregation:
+    @staticmethod
+    def _deterministic(snapshot):
+        """The machine-independent subset of a registry snapshot.
+
+        Wall-clock metrics (span durations, ticks/s, queue waits) vary
+        run to run; everything else must agree between serial and
+        parallel execution.
+        """
+        deterministic_names = (
+            "sim_ticks_total",
+            "sim_batch_ticks",
+            "sim_energy_joules",
+            "sim_time_seconds",
+            "sim_idle_cache_hit_ratio",
+            "run_cache_hits_total",
+            "run_cache_misses_total",
+            "run_cache_writes_total",
+        )
+        return {
+            kind: [e for e in entries if e["name"] in deterministic_names]
+            for kind, entries in snapshot.items()
+        }
+
+    def test_parallel_aggregation_equals_serial(self):
+        names = ["idle", "gcc"]
+        obs.enable()
+        sweep_specs(_specs(names), n_workers=1)
+        serial = self._deterministic(obs.registry().snapshot())
+        assert serial["counters"], "serial sweep recorded no tick counters"
+
+        obs.reset()
+        sweep_specs(_specs(names), n_workers=2)
+        parallel = self._deterministic(obs.registry().snapshot())
+
+        assert parallel == serial
+
+    def test_parallel_aggregation_includes_worker_spans(self):
+        obs.enable()
+        sweep_specs(_specs(["idle", "gcc"]), n_workers=2)
+        by_name = {}
+        for event in obs.tracer().events:
+            by_name.setdefault(event["name"], []).append(event)
+        assert len(by_name["sweep.run_spec"]) == 2
+        assert len(by_name["sweep.sweep_specs"]) == 1
+        workloads = {e["attrs"]["workload"] for e in by_name["sweep.run_spec"]}
+        assert workloads == {"idle", "gcc"}
+
+    def test_cache_counters_funnelled_into_registry(self, tmp_path):
+        obs.enable()
+        cache = RunCache(str(tmp_path))
+        specs = _specs(["idle"])
+        sweep_specs(specs, n_workers=1, cache=cache)
+        sweep_specs(specs, n_workers=1, cache=cache)
+        counters = obs.registry().counters
+        assert counters[("run_cache_hits_total", ())] == 1.0
+        assert counters[("run_cache_misses_total", ())] == 1.0
+        assert counters[("run_cache_writes_total", ())] == 1.0
+
+
+class TestCacheLifetimeStats:
+    def test_stats_survive_instance_death(self, tmp_path):
+        """Satellite bugfix: per-instance stats persist via the index."""
+        specs = _specs(["idle"])
+        first = RunCache(str(tmp_path))
+        sweep_specs(specs, n_workers=1, cache=first)  # miss + write
+        second = RunCache(str(tmp_path))
+        sweep_specs(specs, n_workers=1, cache=second)  # hit
+        # A brand-new instance (simulating a later process) sees the
+        # whole history even though both earlier instances are gone.
+        fresh = RunCache(str(tmp_path))
+        lifetime = fresh.lifetime_stats()
+        assert (lifetime.hits, lifetime.misses, lifetime.writes) == (1, 1, 1)
+        assert lifetime.hit_ratio == pytest.approx(0.5)
+        # The stats entry does not leak into the human-readable index.
+        assert all(len(key) == 64 for key in fresh.index())
+
+    def test_unflushed_activity_counts_immediately(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        assert cache.load("0" * 64) is None  # unflushed miss
+        lifetime = cache.lifetime_stats()
+        assert lifetime.misses == 1
+        cache.persist_stats()
+        cache.persist_stats()  # idempotent: no double counting
+        assert RunCache(str(tmp_path)).lifetime_stats().misses == 1
+
+    def test_corrupt_entry_heal_logs_warning(self, tmp_path, caplog):
+        """Satellite: the silent corrupt-entry path now warns."""
+        cache = RunCache(str(tmp_path))
+        key = "0" * 64
+        os.makedirs(cache.root, exist_ok=True)
+        with open(cache.path_for(key), "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        with caplog.at_level(logging.WARNING, logger="repro.exec.cache"):
+            assert cache.load(key) is None
+        assert any("corrupt" in rec.message for rec in caplog.records)
+
+
+class TestCliTelemetry:
+    def test_telemetry_flag_dumps_all_three_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "tel")
+        code = main(
+            [
+                "run",
+                "idle",
+                "--duration",
+                "20",
+                "--tick-ms",
+                "50",
+                "--telemetry",
+                out,
+            ]
+        )
+        assert code == 0
+        for name in (obs.METRICS_PROM, obs.METRICS_JSON, obs.TRACE_JSONL):
+            assert os.path.exists(os.path.join(out, name)), name
+        with open(os.path.join(out, obs.METRICS_JSON), encoding="utf-8") as fh:
+            data = json.load(fh)
+        assert "provenance" in data
+        assert any(
+            entry["name"] == "sim_ticks_total" for entry in data["counters"]
+        )
+        prom = open(os.path.join(out, obs.METRICS_PROM), encoding="utf-8").read()
+        assert "# TYPE sim_ticks_total counter" in prom
+
+    def test_obs_command_pretty_prints(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "tel")
+        main(["run", "idle", "--duration", "20", "--tick-ms", "50", "--telemetry", out])
+        capsys.readouterr()
+        code = main(["obs", out])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "sim_ticks_total" in printed
+        assert "Slowest spans" in printed
+
+    def test_obs_command_without_telemetry_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["obs", str(tmp_path / "nothing-here")])
+        assert code == 1
+        assert "no telemetry" in capsys.readouterr().out
