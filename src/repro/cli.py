@@ -12,6 +12,7 @@ Commands::
     repro-power select <subsystem>               # greedy event selection
     repro-power billing                          # per-process energy bill
     repro-power obs [DIR]                        # last run's telemetry
+    repro-power monitor --workload gcc           # live run + HTTP endpoint
 
 Common options: ``--seed``, ``--duration`` (seconds per workload),
 ``--tick-ms`` (simulation resolution), ``--cache-dir`` (run cache),
@@ -19,6 +20,14 @@ Common options: ``--seed``, ``--duration`` (seconds per workload),
 ``metrics.prom``/``metrics.json``/``trace.jsonl`` after the command;
 ``repro-power obs`` pretty-prints them).  ``REPRO_LOG_LEVEL`` controls
 log verbosity.
+
+``monitor`` runs a workload (or, with ``--nodes N``, a power-managed
+cluster) with the live observability endpoint up: ``/metrics`` serves
+Prometheus text while the run progresses, ``/alerts`` the drift
+monitor's state, and a summary line is printed every ``--refresh``
+simulated seconds.  ``--perturb FACTOR`` deliberately mis-calibrates
+the estimator to demonstrate drift alerts; ``--restore-at T`` swaps the
+calibrated suite back mid-run so the alerts resolve.
 """
 
 from __future__ import annotations
@@ -97,7 +106,8 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "command",
-        help="table1..table4, fig1..fig7, equations, report, run, list, obs",
+        help="table1..table4, fig1..fig7, equations, report, run, list, "
+        "obs, monitor",
     )
     parser.add_argument("workload", nargs="?", help="workload name (for 'run')")
     parser.add_argument("--seed", type=int, default=7)
@@ -122,6 +132,61 @@ def main(argv: "list[str] | None" = None) -> int:
         "after the command",
     )
     parser.add_argument("-o", "--output", default=None, help="write report here")
+    monitor = parser.add_argument_group("monitor options")
+    monitor.add_argument(
+        "--workload",
+        dest="workload_opt",
+        default=None,
+        help="workload for 'monitor' (alternative to the positional)",
+    )
+    monitor.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port for the observability endpoint (0 = ephemeral)",
+    )
+    monitor.add_argument(
+        "--refresh",
+        type=float,
+        default=5.0,
+        help="simulated seconds between summary lines (default 5)",
+    )
+    monitor.add_argument(
+        "--window",
+        type=float,
+        default=5.0,
+        help="windowed-telemetry aggregation width in seconds (default 5)",
+    )
+    monitor.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        help="drift SLO in percent (default: the paper's 9%% bound)",
+    )
+    monitor.add_argument(
+        "--perturb",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="scale the estimator's coefficients by FACTOR "
+        "(deliberate mis-calibration; demonstrates drift alerts)",
+    )
+    monitor.add_argument(
+        "--restore-at",
+        type=float,
+        default=None,
+        dest="restore_at",
+        metavar="SECONDS",
+        help="swap the calibrated suite back at this simulated time "
+        "(with --perturb; alerts then resolve)",
+    )
+    monitor.add_argument(
+        "--nodes",
+        type=int,
+        default=0,
+        help="monitor a power-managed cluster of N nodes instead of "
+        "a single workload run",
+    )
     args = parser.parse_args(argv)
     obs.log.configure()
 
@@ -154,6 +219,8 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return 0
 
     context = _context(args)
+    if command == "monitor":
+        return _cmd_monitor(args, parser, context)
     tables = {
         "table1": ex.table1_average_power,
         "table2": ex.table2_power_stddev,
@@ -274,6 +341,229 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return 0
     parser.error(f"unknown command {command!r}")
     return 2
+
+
+def _cmd_monitor(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    context: "ex.ExperimentContext",
+) -> int:
+    """``repro-power monitor``: live run with the HTTP endpoint up."""
+    from repro.obs import drift as drift_mod
+    from repro.obs.http import ObservabilityServer
+
+    name = args.workload_opt or args.workload
+    if args.nodes <= 0 and not name:
+        parser.error("'monitor' needs a workload (positional or --workload)")
+    if args.nodes < 0:
+        parser.error("--nodes must be positive")
+
+    obs.enable()
+    slo = drift_mod.DEFAULT_SLO_PCT if args.slo is None else args.slo
+    drift = drift_mod.DriftMonitor(slo_pct=slo)
+    endpoint = ObservabilityServer(drift=drift, port=args.port)
+    endpoint.phase = "training"
+    endpoint.start()
+    print(
+        f"monitor: endpoint at {endpoint.url()} "
+        f"(routes: {' '.join(ObservabilityServer.ROUTES)})"
+    )
+    print("monitor: training trickle-down suite ...")
+    suite = context.paper_suite()
+    active = suite if args.perturb is None else suite.scaled(args.perturb)
+    if args.perturb is not None:
+        note = (
+            f", restoring calibration at t={args.restore_at:g}s"
+            if args.restore_at is not None
+            else ""
+        )
+        print(
+            f"monitor: estimator coefficients scaled x{args.perturb:g}{note}"
+        )
+    try:
+        endpoint.phase = "running"
+        if args.nodes > 0:
+            code = _monitor_cluster(args, context, endpoint, drift, suite, active, name)
+        else:
+            code = _monitor_server(args, context, endpoint, drift, suite, active, name)
+        endpoint.phase = "done"
+    finally:
+        if args.telemetry:
+            os.makedirs(args.telemetry, exist_ok=True)
+            alerts_path = os.path.join(args.telemetry, "alerts.json")
+            with open(alerts_path, "w", encoding="utf-8") as handle:
+                json.dump(drift.to_json(), handle, indent=2, sort_keys=True)
+            print(f"monitor: wrote alert log to {alerts_path}")
+        endpoint.stop()
+    return code
+
+
+def _report_alerts(drift, seen: int) -> int:
+    """Print drift transitions recorded since index ``seen``."""
+    history = drift.history()
+    for alert in history[seen:]:
+        print(
+            f"monitor: ALERT {alert.state:>8}  {alert.subsystem:8} "
+            f"ewma err {alert.error_pct:5.1f}% "
+            f"(threshold {alert.threshold_pct:.1f}%)  t={alert.timestamp_s:.1f}s"
+        )
+    return len(history)
+
+
+def _monitor_server(
+    args: argparse.Namespace,
+    context: "ex.ExperimentContext",
+    endpoint,
+    drift,
+    suite,
+    active,
+    name: str,
+) -> int:
+    from time import perf_counter
+
+    from repro.core.estimator import SystemPowerEstimator
+    from repro.obs.live import LiveMonitor
+    from repro.simulator.system import Server
+
+    spec = get_workload(name)
+    server = Server(context.config, spec, seed=context.seed)
+    monitor = LiveMonitor(
+        SystemPowerEstimator(active), drift=drift, window_s=args.window
+    )
+    endpoint.windows = monitor.windows
+    server.attach_monitor(monitor)
+
+    ticks_per_s = max(1, int(round(1.0 / context.config.tick_s)))
+    duration = max(1, int(round(args.duration)))
+    restored = args.perturb is None or args.restore_at is None
+    seen_alerts = 0
+    next_report = args.refresh
+    wall_start = perf_counter()
+    print(f"monitor: running {name} for {duration}s of simulated time ...")
+    for second in range(1, duration + 1):
+        server.run_ticks(ticks_per_s)
+        if not restored and server.now_s >= args.restore_at:
+            monitor.set_suite(suite)
+            restored = True
+            print(f"monitor: t={server.now_s:6.1f}s  calibrated suite restored")
+        seen_alerts = _report_alerts(drift, seen_alerts)
+        if second >= next_report:
+            _print_live_summary(
+                server.now_s,
+                monitor.last,
+                drift,
+                second * ticks_per_s,
+                perf_counter() - wall_start,
+            )
+            next_report += args.refresh
+    server.detach_monitor()
+    print(
+        f"monitor: done — {monitor.n_windows} sampler window(s), "
+        f"{len(drift.history())} alert transition(s), "
+        f"firing now: {', '.join(drift.firing) or 'none'}"
+    )
+    return 0
+
+
+def _print_live_summary(
+    now_s: float, sample, drift, ticks_done: int, wall_s: float
+) -> None:
+    if sample is None:
+        print(f"monitor: t={now_s:6.1f}s  (no sampler window closed yet)")
+        return
+    per_subsystem = "  ".join(
+        f"{subsystem[:4]} {sample.estimated_w.get(subsystem, 0.0):5.1f}W"
+        for subsystem in sorted(sample.true_w)
+    )
+    firing = ",".join(drift.firing) or "-"
+    ticks_per_s = ticks_done / wall_s if wall_s > 0 else 0.0
+    print(
+        f"monitor: t={now_s:6.1f}s  true {sample.total_true_w:6.1f}W  "
+        f"est {sample.total_estimated_w:6.1f}W  "
+        f"err {sample.total_error_pct:4.1f}%  [{per_subsystem}]  "
+        f"alerts: {firing}  {ticks_per_s:,.0f} ticks/s"
+    )
+
+
+def _monitor_cluster(
+    args: argparse.Namespace,
+    context: "ex.ExperimentContext",
+    endpoint,
+    drift,
+    suite,
+    active,
+    name: "str | None",
+) -> int:
+    from repro.cluster import (
+        Cluster,
+        PowerAwareManager,
+        diurnal_demand,
+    )
+    from repro.obs.live import ClusterObserver
+
+    duration = max(1, int(round(args.duration)))
+    service = name or "SPECjbb"
+    cluster = Cluster(
+        n_nodes=args.nodes,
+        config=context.config,
+        seed=context.seed,
+        service_workload=service,
+    )
+    peak = max(1, int(cluster.capacity * 0.85))
+    trough = max(1, cluster.capacity // 8)
+    demand = diurnal_demand(
+        duration,
+        peak,
+        trough,
+        period_s=max(duration / 2.0, 60.0),
+        seed=context.seed,
+    )
+    observer = ClusterObserver(suite=active, drift=drift, window_s=args.window)
+    endpoint.windows = observer.windows
+    manager = PowerAwareManager()
+    restored = args.perturb is None or args.restore_at is None
+    seen_alerts = 0
+    next_report = args.refresh
+    print(
+        f"monitor: cluster of {args.nodes} node(s) serving {service}, "
+        f"demand {trough}..{peak} threads over {duration}s ..."
+    )
+    total_energy_j = 0.0
+    dropped = 0
+    for t, threads in enumerate(demand):
+        slice_trace = cluster.run(
+            [threads], manager, observer=observer, start_s=float(t)
+        )
+        total_energy_j += slice_trace.energy_j
+        dropped += slice_trace.dropped_thread_seconds
+        now = float(t + 1)
+        if not restored and now >= args.restore_at:
+            observer.set_suite(suite)
+            restored = True
+            print(f"monitor: t={now:6.1f}s  calibrated suite restored")
+        seen_alerts = _report_alerts(drift, seen_alerts)
+        if now >= next_report:
+            firing = ",".join(drift.firing) or "-"
+            error = (
+                f"{observer.last.total_error_pct:4.1f}%"
+                if observer.last is not None
+                else "  n/a"
+            )
+            print(
+                f"monitor: t={now:6.1f}s  demand {slice_trace.demand[-1]:3d}  "
+                f"served {slice_trace.served[-1]:3d}  "
+                f"nodes on {slice_trace.nodes_on[-1]}/{args.nodes}  "
+                f"power {slice_trace.power_w[-1]:7.1f}W  est err {error}  "
+                f"alerts: {firing}"
+            )
+            next_report += args.refresh
+    print(
+        f"monitor: done — energy {total_energy_j / 3600.0:.2f} Wh, "
+        f"dropped {dropped} thread-second(s), "
+        f"{len(drift.history())} alert transition(s), "
+        f"firing now: {', '.join(drift.firing) or 'none'}"
+    )
+    return 0
 
 
 def _print_telemetry(directory: str, cache_dir: "str | None") -> int:

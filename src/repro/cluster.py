@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import obs
 from repro.simulator.config import SystemConfig, fast_config
 from repro.simulator.system import Server
 from repro.workloads.registry import get_workload
@@ -72,6 +73,16 @@ class ClusterNode:
         self.assigned_threads = 0
 
     @property
+    def server(self) -> Server:
+        """The node's simulated server (counter bank, energy account).
+
+        External control loops read the counter bank through this —
+        the node's own sampler is disabled precisely so one reader
+        owns the clear-on-read counters.
+        """
+        return self._server
+
+    @property
     def capacity(self) -> int:
         return len(self._all_threads)
 
@@ -91,11 +102,15 @@ class ClusterNode:
             )
         self.powered = False
         self._boot_remaining_s = 0.0
+        obs.event("cluster.power_down", node=self.node_id)
 
     def power_up(self) -> None:
         if not self.powered:
             self.powered = True
             self._boot_remaining_s = self.boot_time_s
+            obs.event(
+                "cluster.power_up", node=self.node_id, boot_time_s=self.boot_time_s
+            )
 
     def set_load(self, n_threads: int) -> None:
         if n_threads < 0 or n_threads > self.capacity:
@@ -126,10 +141,16 @@ class ClusterTrace:
     served: "list[int]" = field(default_factory=list)
     power_w: "list[float]" = field(default_factory=list)
     nodes_on: "list[int]" = field(default_factory=list)
+    #: Per-node power each second: ``node_power_w[i][t]`` (Watts).
+    node_power_w: "list[list[float]]" = field(default_factory=list)
 
     @property
     def energy_j(self) -> float:
         return float(sum(self.power_w))
+
+    def node_energy_j(self, node_id: int) -> float:
+        """One node's integrated energy over the run (Joules)."""
+        return float(sum(self.node_power_w[node_id]))
 
     @property
     def dropped_thread_seconds(self) -> int:
@@ -171,6 +192,7 @@ class PowerAwareManager:
         if headroom_threads < 0:
             raise ValueError("headroom must be non-negative")
         self.headroom = headroom_threads
+        self._last_target: "int | None" = None
 
     def place(self, cluster: "Cluster", demand: int) -> None:
         per_node = cluster.nodes[0].capacity
@@ -178,6 +200,15 @@ class PowerAwareManager:
         nodes_needed = min(
             len(cluster.nodes), max(1, math.ceil(target_capacity / per_node))
         )
+        if nodes_needed != self._last_target:
+            obs.event(
+                "cluster.placement",
+                nodes_needed=nodes_needed,
+                previous=self._last_target,
+                demand=demand,
+                headroom=self.headroom,
+            )
+            self._last_target = nodes_needed
 
         # Keep a stable prefix of nodes hot (consolidation).
         for node in cluster.nodes[:nodes_needed]:
@@ -229,19 +260,60 @@ class Cluster:
     def capacity(self) -> int:
         return sum(node.capacity for node in self.nodes)
 
-    def run(self, demand_trace: "list[int]", manager) -> ClusterTrace:
-        """Serve a per-second demand trace under the given manager."""
+    def run(
+        self,
+        demand_trace: "list[int]",
+        manager,
+        observer=None,
+        start_s: float = 0.0,
+    ) -> ClusterTrace:
+        """Serve a per-second demand trace under the given manager.
+
+        ``observer`` (e.g. :class:`repro.obs.live.ClusterObserver`) is
+        called once per second with
+        ``on_second(cluster, t_s, demand, served, node_powers)`` —
+        the hook live monitoring, per-node estimation and drift
+        detection plug into.  With telemetry enabled, per-node and
+        cluster-level gauges are published every second regardless of
+        the observer.  ``start_s`` offsets the observer's clock so a
+        driving loop can feed the trace in slices (node state carries
+        over between calls anyway).
+        """
         trace = ClusterTrace()
-        for demand in demand_trace:
+        trace.node_power_w = [[] for _ in self.nodes]
+        node_energy = [0.0] * len(self.nodes)
+        for t, demand in enumerate(demand_trace):
             demand = min(demand, self.capacity)
             manager.place(self, demand)
-            power = sum(node.tick_second() for node in self.nodes)
-            trace.demand.append(demand)
-            trace.served.append(
-                sum(node.assigned_threads for node in self.nodes if node.available)
+            node_powers = [node.tick_second() for node in self.nodes]
+            power = sum(node_powers)
+            served = sum(
+                node.assigned_threads for node in self.nodes if node.available
             )
+            nodes_on = sum(node.powered for node in self.nodes)
+            trace.demand.append(demand)
+            trace.served.append(served)
             trace.power_w.append(power)
-            trace.nodes_on.append(sum(node.powered for node in self.nodes))
+            trace.nodes_on.append(nodes_on)
+            for i, node_power in enumerate(node_powers):
+                trace.node_power_w[i].append(node_power)
+                node_energy[i] += node_power  # 1 s windows: W == J/s
+            if obs.enabled():
+                registry = obs.registry()
+                registry.gauge("cluster_power_watts", power)
+                registry.gauge("cluster_nodes_on", nodes_on)
+                registry.gauge("cluster_demand_threads", demand)
+                registry.gauge("cluster_served_threads", served)
+                for node, node_power, energy in zip(
+                    self.nodes, node_powers, node_energy
+                ):
+                    labels = {"node": node.node_id}
+                    registry.gauge("cluster_node_power_watts", node_power, labels)
+                    registry.gauge("cluster_node_energy_joules", energy, labels)
+            if observer is not None:
+                observer.on_second(
+                    self, start_s + float(t + 1), demand, served, node_powers
+                )
         return trace
 
 

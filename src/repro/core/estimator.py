@@ -10,6 +10,7 @@ manager) would hold — see ``examples/datacenter_power_cap.py``.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from time import monotonic as _monotonic
 
@@ -36,12 +37,34 @@ class PowerEstimate:
         return f"t={self.timestamp_s:.1f}s total={self.total_w:.1f}W ({parts})"
 
 
-class SystemPowerEstimator:
-    """Streaming estimator over a fitted trickle-down suite."""
+#: Default estimate-history bound.  A long-running daemon estimating
+#: once per second keeps a little over an hour of history; older
+#: estimates fall off the front instead of growing memory forever.
+DEFAULT_MAX_HISTORY = 4096
 
-    def __init__(self, suite: TrickleDownSuite) -> None:
+
+class SystemPowerEstimator:
+    """Streaming estimator over a fitted trickle-down suite.
+
+    ``max_history`` bounds the retained :class:`PowerEstimate` history
+    (a deque; the oldest estimates are evicted first).  Pass ``None``
+    for the old unbounded behaviour — only sensible for short batch
+    sessions that read the full history afterwards.
+    """
+
+    def __init__(
+        self,
+        suite: TrickleDownSuite,
+        max_history: "int | None" = DEFAULT_MAX_HISTORY,
+    ) -> None:
+        if max_history is not None and max_history < 1:
+            raise ValueError("max_history must be >= 1 (or None for unbounded)")
         self.suite = suite
-        self._history: "list[PowerEstimate]" = []
+        self._history: "deque[PowerEstimate]" = deque(maxlen=max_history)
+
+    @property
+    def max_history(self) -> "int | None":
+        return self._history.maxlen
 
     @property
     def history(self) -> "tuple[PowerEstimate, ...]":

@@ -55,6 +55,40 @@ class TrickleDownSuite:
         """Complete-system power estimate per sample (Watts)."""
         return np.sum(list(self.predict_all(trace).values()), axis=0)
 
+    def scaled(
+        self,
+        factor: float,
+        subsystems: "tuple[Subsystem, ...] | None" = None,
+    ) -> "TrickleDownSuite":
+        """A copy with every coefficient of the chosen models scaled.
+
+        A deliberately mis-calibrated suite: scaling all coefficients
+        by ``factor`` scales each model's prediction by ``factor``,
+        i.e. a uniform ``(factor - 1) * 100`` % error against the
+        machine it was fitted on.  Used to inject drift for testing the
+        online monitor (``repro-power monitor --perturb``) without
+        touching the stored calibration.
+        """
+        if not np.isfinite(factor):
+            raise ValueError("scale factor must be finite")
+        chosen = set(self.subsystems if subsystems is None else subsystems)
+        models = {}
+        for subsystem, model in self.models.items():
+            data = model.to_dict()
+            if subsystem in chosen:
+                if data.get("kind") == "constant":
+                    data["value"] = data["value"] * factor
+                elif data.get("kind") == "polynomial":
+                    data["coefficients"] = [
+                        c * factor for c in data["coefficients"]
+                    ]
+                else:  # pragma: no cover - future model kinds
+                    raise ValueError(
+                        f"cannot scale model kind {data.get('kind')!r}"
+                    )
+            models[subsystem] = SubsystemPowerModel.from_dict(data)
+        return TrickleDownSuite(models, recipe_name=f"{self.recipe_name}*{factor:g}")
+
     def describe(self) -> str:
         """All model equations, paper style."""
         lines = [f"Trickle-down suite (recipe: {self.recipe_name})"]

@@ -55,6 +55,20 @@ class CounterSampler:
     def n_samples(self) -> int:
         return len(self._samples)
 
+    def last_window(
+        self,
+    ) -> "tuple[float, float, dict[Event, np.ndarray]] | None":
+        """The most recently closed window, or None before the first.
+
+        Returns ``(timestamp_s, duration_s, counts)`` — the same data
+        the window contributed to :meth:`finish` — so a live monitor
+        can estimate power from the window a sampling pulse just
+        closed without waiting for the run to end.
+        """
+        if not self._samples:
+            return None
+        return self._timestamps[-1], self._durations[-1], self._samples[-1]
+
     def maybe_sample(self, now_s: float) -> float | None:
         """Close the window if the deadline passed; return pulse time.
 

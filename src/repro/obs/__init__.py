@@ -11,6 +11,17 @@ of that measurement* measurable too.  Three dependency-free pieces:
 * :mod:`repro.obs.log` — stdlib ``logging`` wiring with a
   ``REPRO_LOG_LEVEL`` environment switch.
 
+On top of those, the **live layer** (imported on first attribute
+access, so the batch paths pay nothing for it):
+
+* :mod:`repro.obs.live` — :class:`~repro.obs.live.WindowedRegistry`
+  sliding-window aggregation and the :class:`~repro.obs.live.LiveMonitor`
+  / :class:`~repro.obs.live.ClusterObserver` streaming hooks;
+* :mod:`repro.obs.drift` — the EWMA residual drift monitor with the
+  paper's 9 % average-error bound as its default SLO;
+* :mod:`repro.obs.http` — a background-thread HTTP exposition server
+  (``/metrics``, ``/metrics.json``, ``/alerts``, ``/healthz``).
+
 Telemetry is **opt-in and off by default**.  Instrumented call sites
 guard on :func:`enabled` (or call the no-op-when-disabled helpers
 below), so the disabled path costs one module-level bool read — the
@@ -50,11 +61,15 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "disable",
+    "drift",
     "dump",
     "enable",
     "enabled",
+    "event",
     "gauge",
+    "http",
     "inc",
+    "live",
     "log",
     "merge_snapshot",
     "metric_key",
@@ -126,6 +141,12 @@ def span(name: str, **attrs):
     return _tracer.span(name, **attrs)
 
 
+def event(name: str, **attrs) -> None:
+    """A zero-duration trace event, or a no-op when disabled."""
+    if _enabled:
+        _tracer.event(name, **attrs)
+
+
 def inc(name: str, value: float = 1.0, labels: "dict | None" = None) -> None:
     if _enabled:
         _registry.inc(name, value, labels)
@@ -151,7 +172,7 @@ def observe(
 
 def snapshot() -> dict:
     """Picklable copy of this process's metrics and trace events."""
-    return {"metrics": _registry.snapshot(), "trace": list(_tracer.events)}
+    return {"metrics": _registry.snapshot(), "trace": _tracer.events_copy()}
 
 
 def merge_snapshot(snap: dict) -> None:
@@ -217,3 +238,16 @@ def dump(directory: str) -> "dict[str, str]":
         handle.write("\n")
     _tracer.write_jsonl(paths[TRACE_JSONL])
     return paths
+
+
+def __getattr__(name: str):
+    # The live layer (windowed aggregation, drift monitoring, the HTTP
+    # exposition server) loads lazily so importing ``repro.obs`` stays
+    # as cheap as the batch telemetry alone.
+    if name in ("live", "drift", "http"):
+        import importlib
+
+        module = importlib.import_module(f"repro.obs.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

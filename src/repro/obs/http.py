@@ -1,0 +1,198 @@
+"""HTTP exposition of live telemetry (off by default, opt-in).
+
+:class:`ObservabilityServer` wraps ``http.server`` in a daemon thread
+and serves the process's live observability state:
+
+========== ============================================================
+route      payload
+========== ============================================================
+/metrics   Prometheus text exposition of the metrics registry
+/metrics.json  the same metrics as JSON (the ``metrics.json`` shape)
+/alerts    drift-monitor state: SLO, firing streams, transition history
+/windows   the windowed registry's recent windows (when attached)
+/healthz   liveness: status, phase, uptime, available routes
+========== ============================================================
+
+Nothing is served unless :meth:`ObservabilityServer.start` is called
+explicitly — merely importing this module (or enabling telemetry) opens
+no sockets.  Scrapes read shared state through the registry's and
+windowed registry's own locks, which is why
+:class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.tracing.Tracer` are thread-safe.
+
+    server = ObservabilityServer(port=0)  # 0 = ephemeral port
+    port = server.start()
+    ...
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+logger = logging.getLogger(__name__)
+
+#: Prometheus text exposition content type.
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObservabilityServer:
+    """Serves live metrics, alerts and health from a background thread.
+
+    Args:
+        registry: metrics registry to expose (default: the process
+            registry, ``obs.registry()``).
+        drift: a :class:`~repro.obs.drift.DriftMonitor` for ``/alerts``
+            (optional; the route reports an empty document without it).
+        windows: a :class:`~repro.obs.live.WindowedRegistry` for
+            ``/windows`` (optional).
+        host: bind address (default loopback only).
+        port: TCP port; 0 picks an ephemeral one, :meth:`start` returns
+            the bound port.
+    """
+
+    ROUTES = ("/metrics", "/metrics.json", "/alerts", "/windows", "/healthz")
+
+    def __init__(
+        self,
+        registry=None,
+        drift=None,
+        windows=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if registry is None:
+            from repro import obs
+
+            registry = obs.registry()
+        self.registry = registry
+        self.drift = drift
+        self.windows = windows
+        self.host = host
+        self.port = int(port)
+        #: Free-form lifecycle marker surfaced on ``/healthz`` (the CLI
+        #: sets "training" / "running" / "done").
+        self.phase = "idle"
+        self._httpd: "ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._started_monotonic = 0.0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            return self.port
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._started_monotonic = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("observability endpoint listening on %s", self.url())
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ObservabilityServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def url(self, path: str = "") -> str:
+        """The server's base URL, optionally with a route appended."""
+        return f"http://{self.host}:{self.port}{path}"
+
+    @property
+    def uptime_s(self) -> float:
+        if self._httpd is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    # -- route payloads ------------------------------------------------
+
+    def payload(self, path: str) -> "tuple[int, str, str]":
+        """(status, content-type, body) for one route."""
+        if path in ("/metrics", "/metrics/"):
+            return 200, _PROM_CONTENT_TYPE, self.registry.to_prometheus()
+        if path == "/metrics.json":
+            return 200, "application/json", _json_body(self.registry.to_json())
+        if path == "/alerts":
+            document = self.drift.to_json() if self.drift is not None else {
+                "slo_pct": None,
+                "firing": [],
+                "streams": {},
+                "history": [],
+            }
+            return 200, "application/json", _json_body(document)
+        if path == "/windows":
+            document = (
+                self.windows.to_json() if self.windows is not None else {"windows": []}
+            )
+            return 200, "application/json", _json_body(document)
+        if path in ("/healthz", "/", ""):
+            return 200, "application/json", _json_body(
+                {
+                    "status": "ok",
+                    "phase": self.phase,
+                    "uptime_s": round(self.uptime_s, 3),
+                    "routes": list(self.ROUTES),
+                }
+            )
+        return 404, "application/json", _json_body(
+            {"error": f"unknown route {path!r}", "routes": list(self.ROUTES)}
+        )
+
+
+def _json_body(document: dict) -> str:
+    return json.dumps(document, indent=2, sort_keys=True, default=str) + "\n"
+
+
+def _make_handler(server: ObservabilityServer):
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            path = self.path.split("?", 1)[0]
+            try:
+                status, content_type, body = server.payload(path)
+            except Exception:  # pragma: no cover - defensive
+                logger.exception("observability route %s failed", path)
+                status, content_type, body = (
+                    500,
+                    "application/json",
+                    _json_body({"error": "internal error"}),
+                )
+            encoded = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(encoded)))
+            self.end_headers()
+            self.wfile.write(encoded)
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            logger.debug("http: " + format, *args)
+
+    return Handler

@@ -1,0 +1,550 @@
+"""Streaming observability: sliding windows and live run monitors.
+
+The PR-2 telemetry is batch-shaped — one registry accumulated over a
+run, dumped at the end.  A long-running service built on the estimator
+needs the *live* view: what is the power, the model error, the
+throughput **right now**?  This module provides the three pieces:
+
+* :class:`WindowedRegistry` — folds successive
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshots into
+  fixed-width time windows and answers rate / mean / quantile queries
+  over the last N windows (counters and histogram cells are
+  differenced between snapshots, gauges keep their last value per
+  window);
+* :class:`LiveMonitor` — attaches to a
+  :class:`~repro.simulator.system.Server` and, at every counter-sampler
+  window boundary inside ``run_ticks``, compares the trickle-down
+  estimate against the simulator's ground-truth power, publishes
+  ``live_*`` gauges, and feeds the per-subsystem residuals to a
+  :class:`~repro.obs.drift.DriftMonitor`;
+* :class:`ClusterObserver` — the same loop for
+  :class:`~repro.cluster.Cluster` runs, reading each powered node's
+  counter bank once per second (the control-loop-owns-the-counters
+  pattern the sampler's ``disable()`` exists for).
+
+Everything here is stdlib-only and clocked by the caller (simulation
+time), so a fixed-seed run produces identical windows, residuals and
+alerts.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro import obs
+from repro.obs.drift import DriftMonitor
+from repro.obs.metrics import Histogram, MetricsRegistry, metric_key
+
+#: Default aggregation window width (seconds of the caller's clock).
+DEFAULT_WINDOW_S = 5.0
+
+#: Default number of windows retained (with 5 s windows: 10 minutes).
+DEFAULT_MAX_WINDOWS = 120
+
+#: Bucket edges for live total-power histograms (Watts).
+POWER_BUCKETS = (50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0)
+
+
+class _Window:
+    """One fixed-width window of metric deltas and last gauge values."""
+
+    __slots__ = ("start_s", "end_s", "counters", "gauges", "histograms")
+
+    def __init__(self, start_s: float, end_s: float) -> None:
+        self.start_s = start_s
+        self.end_s = end_s
+        self.counters: "dict[tuple, float]" = {}
+        self.gauges: "dict[tuple, float]" = {}
+        self.histograms: "dict[tuple, Histogram]" = {}
+
+    def to_dict(self) -> dict:
+        def label_str(key) -> str:
+            if not key[1]:
+                return key[0]
+            inner = ",".join(f"{k}={v}" for k, v in key[1])
+            return f"{key[0]}{{{inner}}}"
+
+        return {
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "counters": {label_str(k): v for k, v in sorted(self.counters.items())},
+            "gauges": {label_str(k): v for k, v in sorted(self.gauges.items())},
+            "histograms": {
+                label_str(k): h.to_dict() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class WindowedRegistry:
+    """Folds registry snapshots into fixed-width time windows.
+
+    Successive :meth:`ingest` calls difference the cumulative metrics
+    (counters, histogram cells) against the previous snapshot and add
+    the delta to the window containing ``now_s``; gauges record their
+    last value per window.  Windows are aligned to multiples of
+    ``window_s`` and at most ``max_windows`` are retained (older ones
+    fall off the sliding edge).
+
+    The clock is the **caller's**: the live monitors pass simulation
+    time, so windows are deterministic for a fixed seed.  All methods
+    are thread-safe — the HTTP exposition thread may query while the
+    simulation thread ingests.
+    """
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        max_windows: int = DEFAULT_MAX_WINDOWS,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if max_windows < 1:
+            raise ValueError("max_windows must be >= 1")
+        self.window_s = float(window_s)
+        self.max_windows = int(max_windows)
+        self._windows: "deque[_Window]" = deque(maxlen=max_windows)
+        self._prev_counters: "dict[tuple, float]" = {}
+        self._prev_hist: "dict[tuple, tuple]" = {}
+        self._lock = threading.RLock()
+
+    # -- ingestion -----------------------------------------------------
+
+    def _window_for(self, now_s: float) -> _Window:
+        start = math.floor(now_s / self.window_s) * self.window_s
+        if self._windows:
+            last = self._windows[-1]
+            if start <= last.start_s:
+                return last  # same window (or a non-monotonic clock)
+        window = _Window(start, start + self.window_s)
+        self._windows.append(window)
+        return window
+
+    def ingest(self, now_s: float, registry: "MetricsRegistry | dict") -> None:
+        """Fold one registry snapshot into the window containing ``now_s``.
+
+        ``registry`` may be a live :class:`MetricsRegistry` (a
+        consistent snapshot is taken under its lock) or an
+        already-taken :meth:`MetricsRegistry.snapshot` dict.  A metric
+        whose cumulative value went *down* since the previous ingest is
+        treated as reset and its full current value becomes the delta.
+        """
+        snap = registry.snapshot() if isinstance(registry, MetricsRegistry) else registry
+        with self._lock:
+            window = self._window_for(float(now_s))
+            for entry in snap.get("counters", ()):
+                key = metric_key(entry["name"], entry.get("labels"))
+                value = float(entry["value"])
+                previous = self._prev_counters.get(key, 0.0)
+                if value < previous:
+                    previous = 0.0
+                self._prev_counters[key] = value
+                delta = value - previous
+                if delta:
+                    window.counters[key] = window.counters.get(key, 0.0) + delta
+            for entry in snap.get("gauges", ()):
+                key = metric_key(entry["name"], entry.get("labels"))
+                window.gauges[key] = float(entry["value"])
+            for entry in snap.get("histograms", ()):
+                key = metric_key(entry["name"], entry.get("labels"))
+                self._ingest_histogram(window, key, entry)
+
+    def _ingest_histogram(self, window: _Window, key: tuple, entry: dict) -> None:
+        counts = [int(c) for c in entry["counts"]]
+        total = int(entry["count"])
+        value_sum = float(entry["sum"])
+        buckets = tuple(float(b) for b in entry["buckets"])
+        prev = self._prev_hist.get(key)
+        if prev is not None and prev[0] == buckets and prev[2] <= total:
+            prev_counts, prev_sum, prev_count = prev[1], prev[3], prev[2]
+        else:  # first sight, reset, or re-bucketed: whole value is new
+            prev_counts, prev_sum, prev_count = [0] * len(counts), 0.0, 0
+        self._prev_hist[key] = (buckets, counts, total, value_sum)
+        if total == prev_count:
+            return
+        delta = Histogram(buckets)
+        delta.counts = [c - p for c, p in zip(counts, prev_counts)]
+        delta.sum = value_sum - prev_sum
+        delta.count = total - prev_count
+        mine = window.histograms.get(key)
+        if mine is None:
+            window.histograms[key] = delta
+        else:
+            mine.merge(delta)
+
+    # -- queries -------------------------------------------------------
+
+    def _selected(self, last: "int | None") -> "list[_Window]":
+        windows = list(self._windows)
+        if last is not None:
+            windows = windows[-last:]
+        return windows
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._windows)
+
+    @property
+    def span_s(self) -> float:
+        """Total time covered by the retained windows."""
+        with self._lock:
+            return len(self._windows) * self.window_s
+
+    def rate(
+        self,
+        name: str,
+        labels: "dict | None" = None,
+        last: "int | None" = None,
+    ) -> float:
+        """Counter increase per second over the last ``last`` windows.
+
+        The newest window is usually still filling, so the rate is a
+        slight underestimate until it closes.  Returns 0.0 with no
+        windows.
+        """
+        key = metric_key(name, labels)
+        with self._lock:
+            windows = self._selected(last)
+            if not windows:
+                return 0.0
+            total = sum(w.counters.get(key, 0.0) for w in windows)
+            return total / (len(windows) * self.window_s)
+
+    def mean(
+        self,
+        name: str,
+        labels: "dict | None" = None,
+        last: "int | None" = None,
+    ) -> float:
+        """Mean over the selected windows (NaN when absent).
+
+        Gauges average their per-window values; histograms merge and
+        return the merged mean; counters average their per-window
+        deltas.
+        """
+        key = metric_key(name, labels)
+        with self._lock:
+            windows = self._selected(last)
+            gauge_values = [w.gauges[key] for w in windows if key in w.gauges]
+            if gauge_values:
+                return sum(gauge_values) / len(gauge_values)
+            hists = [w.histograms[key] for w in windows if key in w.histograms]
+            if hists:
+                total = sum(h.sum for h in hists)
+                count = sum(h.count for h in hists)
+                return total / count if count else float("nan")
+            deltas = [w.counters[key] for w in windows if key in w.counters]
+            if deltas:
+                return sum(deltas) / len(deltas)
+            return float("nan")
+
+    def quantile(
+        self,
+        name: str,
+        q: float,
+        labels: "dict | None" = None,
+        last: "int | None" = None,
+    ) -> float:
+        """Histogram quantile over the merged selected windows."""
+        key = metric_key(name, labels)
+        with self._lock:
+            merged: "Histogram | None" = None
+            for window in self._selected(last):
+                hist = window.histograms.get(key)
+                if hist is None:
+                    continue
+                if merged is None:
+                    merged = Histogram(hist.buckets)
+                merged.merge(hist)
+            if merged is None:
+                return float("nan")
+            return merged.quantile(q)
+
+    def latest(self, name: str, labels: "dict | None" = None) -> float:
+        """Most recent gauge value across windows (NaN when absent)."""
+        key = metric_key(name, labels)
+        with self._lock:
+            for window in reversed(self._windows):
+                if key in window.gauges:
+                    return window.gauges[key]
+            return float("nan")
+
+    def series(
+        self,
+        name: str,
+        labels: "dict | None" = None,
+        last: "int | None" = None,
+    ) -> "list[tuple[float, float]]":
+        """Per-window ``(start_s, value)`` pairs for one metric.
+
+        Counters yield their window delta, gauges their last value,
+        histograms their window mean; windows without the metric are
+        skipped.
+        """
+        key = metric_key(name, labels)
+        out: "list[tuple[float, float]]" = []
+        with self._lock:
+            for window in self._selected(last):
+                if key in window.counters:
+                    out.append((window.start_s, window.counters[key]))
+                elif key in window.gauges:
+                    out.append((window.start_s, window.gauges[key]))
+                elif key in window.histograms:
+                    out.append((window.start_s, window.histograms[key].mean))
+        return out
+
+    def to_json(self, last: "int | None" = 12) -> dict:
+        """JSON-ready view of the last ``last`` windows (newest last)."""
+        with self._lock:
+            return {
+                "window_s": self.window_s,
+                "max_windows": self.max_windows,
+                "n_windows": len(self._windows),
+                "windows": [w.to_dict() for w in self._selected(last)],
+            }
+
+
+# -- live run monitoring ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class LiveSample:
+    """One sampler window's live comparison, as rendered by the CLI."""
+
+    timestamp_s: float
+    duration_s: float
+    true_w: "dict[str, float]"
+    estimated_w: "dict[str, float]"
+    error_pct: "dict[str, float]"
+
+    @property
+    def total_true_w(self) -> float:
+        return sum(self.true_w.values())
+
+    @property
+    def total_estimated_w(self) -> float:
+        return sum(self.estimated_w.values())
+
+    @property
+    def total_error_pct(self) -> float:
+        true = self.total_true_w
+        if true == 0.0:
+            return float("nan")
+        return abs(self.total_estimated_w - true) / abs(true) * 100.0
+
+
+class LiveMonitor:
+    """Streams estimator-vs-ground-truth residuals out of a Server run.
+
+    Attach to a :class:`~repro.simulator.system.Server` via
+    :meth:`~repro.simulator.system.Server.attach_monitor`; every time
+    the counter sampler closes a window inside ``run_ticks`` the
+    monitor:
+
+    1. estimates per-subsystem power from the window's counter sample
+       (through the supplied :class:`SystemPowerEstimator`),
+    2. derives the window's true mean power from the energy account,
+    3. publishes ``live_power_watts`` / ``live_error_pct`` gauges,
+    4. feeds the residuals to the :class:`DriftMonitor`, and
+    5. folds the global registry into the :class:`WindowedRegistry`.
+
+    The monitor only reads simulator state — it never touches RNG
+    streams or counters — so an attached run stays bit-identical to an
+    unmonitored one.
+    """
+
+    def __init__(
+        self,
+        estimator,
+        drift: "DriftMonitor | None" = None,
+        windows: "WindowedRegistry | None" = None,
+        window_s: float = DEFAULT_WINDOW_S,
+    ) -> None:
+        self.estimator = estimator
+        self.drift = drift if drift is not None else DriftMonitor()
+        self.windows = (
+            windows if windows is not None else WindowedRegistry(window_s=window_s)
+        )
+        self.n_windows = 0
+        self.last: "LiveSample | None" = None
+        self._last_energy: "dict | None" = None
+
+    def set_suite(self, suite) -> None:
+        """Swap the estimator's model suite (e.g. after recalibration)."""
+        self.estimator.suite = suite
+
+    def on_attach(self, server) -> None:
+        """Prime the energy baseline when the server adopts the monitor."""
+        self._last_energy = dict(server.energy._energy_j)
+
+    def on_window(self, server, pulse_s: float) -> "list":
+        """Sampler-window callback from ``Server.run_ticks``.
+
+        Returns the drift transitions (usually empty) this window
+        produced.
+        """
+        window = server.sampler.last_window()
+        if window is None:
+            return []
+        _, duration_s, counts = window
+        if duration_s <= 0:
+            return []
+        energy = server.energy._energy_j
+        previous = self._last_energy or {s: 0.0 for s in energy}
+        true_w = {
+            s.value: (energy[s] - previous.get(s, 0.0)) / duration_s for s in energy
+        }
+        self._last_energy = dict(energy)
+
+        estimate = self.estimator.estimate(
+            counts, duration_s=duration_s, timestamp_s=pulse_s
+        )
+        estimated_w = {s.value: w for s, w in estimate.subsystem_w.items()}
+        error_pct = {
+            name: abs(estimated_w[name] - true) / max(abs(true), 1.0e-9) * 100.0
+            for name, true in true_w.items()
+            if name in estimated_w
+        }
+        sample = LiveSample(
+            timestamp_s=float(pulse_s),
+            duration_s=float(duration_s),
+            true_w=true_w,
+            estimated_w=estimated_w,
+            error_pct=error_pct,
+        )
+        self._publish(sample)
+        transitions = self.drift.observe(pulse_s, estimated_w, true_w)
+        self.windows.ingest(pulse_s, obs.registry())
+        self.n_windows += 1
+        self.last = sample
+        return transitions
+
+    @staticmethod
+    def _publish(sample: LiveSample) -> None:
+        for name, watts in sample.true_w.items():
+            obs.gauge(
+                "live_power_watts", watts, {"subsystem": name, "source": "true"}
+            )
+        for name, watts in sample.estimated_w.items():
+            obs.gauge(
+                "live_power_watts", watts, {"subsystem": name, "source": "estimated"}
+            )
+        for name, pct in sample.error_pct.items():
+            obs.gauge("live_error_pct", pct, {"subsystem": name})
+        obs.gauge(
+            "live_power_watts",
+            sample.total_true_w,
+            {"subsystem": "total", "source": "true"},
+        )
+        obs.gauge(
+            "live_power_watts",
+            sample.total_estimated_w,
+            {"subsystem": "total", "source": "estimated"},
+        )
+        obs.gauge("live_error_pct", sample.total_error_pct, {"subsystem": "total"})
+        obs.observe(
+            "live_total_power_watts", sample.total_true_w, buckets=POWER_BUCKETS
+        )
+        obs.inc("live_windows_total")
+
+
+class ClusterObserver:
+    """Per-second live telemetry for :meth:`repro.cluster.Cluster.run`.
+
+    With a fitted ``suite``, every powered-up node's counter bank is
+    read (and cleared) once per second — the external-control-loop
+    pattern ``CounterSampler.disable()`` exists for — estimated, and
+    compared against the node's true per-subsystem energy deltas; the
+    aggregate residuals stream into the :class:`DriftMonitor`.  Without
+    a suite the observer still windows the cluster gauges.
+    """
+
+    def __init__(
+        self,
+        suite=None,
+        drift: "DriftMonitor | None" = None,
+        windows: "WindowedRegistry | None" = None,
+        window_s: float = DEFAULT_WINDOW_S,
+    ) -> None:
+        self.estimator = None
+        if suite is not None:
+            from repro.core.estimator import SystemPowerEstimator
+
+            self.estimator = SystemPowerEstimator(suite, max_history=8)
+        self.drift = drift if drift is not None else DriftMonitor()
+        self.windows = (
+            windows if windows is not None else WindowedRegistry(window_s=window_s)
+        )
+        self.n_seconds = 0
+        self.last: "LiveSample | None" = None
+        self._node_energy: "dict[int, dict]" = {}
+
+    def set_suite(self, suite) -> None:
+        if self.estimator is None:
+            from repro.core.estimator import SystemPowerEstimator
+
+            self.estimator = SystemPowerEstimator(suite, max_history=8)
+        else:
+            self.estimator.suite = suite
+
+    def on_second(
+        self,
+        cluster,
+        t_s: float,
+        demand: int,
+        served: int,
+        node_powers: "list[float]",
+    ) -> "list":
+        """Per-second callback from ``Cluster.run``; returns transitions."""
+        transitions: "list" = []
+        if self.estimator is not None:
+            true_w: "dict[str, float]" = {}
+            estimated_w: "dict[str, float]" = {}
+            compared = 0
+            for node in cluster.nodes:
+                if not node.available:
+                    self._node_energy.pop(node.node_id, None)
+                    continue
+                energy = node.server.energy._energy_j
+                previous = self._node_energy.get(node.node_id)
+                self._node_energy[node.node_id] = dict(energy)
+                counts = node.server.counters.read_and_clear()
+                if previous is None:
+                    continue  # first full second on this node
+                estimate = self.estimator.estimate(
+                    counts, duration_s=1.0, timestamp_s=t_s
+                )
+                for subsystem, watts in estimate.subsystem_w.items():
+                    name = subsystem.value
+                    estimated_w[name] = estimated_w.get(name, 0.0) + watts
+                for subsystem, joules in energy.items():
+                    name = subsystem.value
+                    true_w[name] = (
+                        true_w.get(name, 0.0) + joules - previous[subsystem]
+                    )
+                compared += 1
+            if compared:
+                sample = LiveSample(
+                    timestamp_s=float(t_s),
+                    duration_s=1.0,
+                    true_w=true_w,
+                    estimated_w=estimated_w,
+                    error_pct={
+                        name: abs(estimated_w[name] - true)
+                        / max(abs(true), 1.0e-9)
+                        * 100.0
+                        for name, true in true_w.items()
+                        if name in estimated_w
+                    },
+                )
+                self.last = sample
+                obs.gauge(
+                    "cluster_estimated_power_watts", sample.total_estimated_w
+                )
+                obs.gauge("cluster_estimation_error_pct", sample.total_error_pct)
+                transitions = self.drift.observe(t_s, estimated_w, true_w)
+        self.windows.ingest(t_s, obs.registry())
+        self.n_seconds += 1
+        return transitions

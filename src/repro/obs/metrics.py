@@ -19,10 +19,17 @@ Exposition comes in two flavours: :meth:`MetricsRegistry.to_prometheus`
 (text format an exporter endpoint or ``promtool`` can ingest) and
 :meth:`MetricsRegistry.to_json` (the ``metrics.json`` the CLI dumps and
 ``repro-power obs`` pretty-prints).
+
+Registries are **thread-safe**: every mutation and every read-out holds
+one per-registry ``RLock``, so the live HTTP exposition server
+(:mod:`repro.obs.http`) can scrape while the simulation thread records.
+The lock is only ever reached when telemetry is enabled — the disabled
+hot path stays a lone module-level boolean check in :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 
 #: Default histogram edges, tuned for sub-second code timings (seconds).
@@ -84,6 +91,37 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation.
+
+        Observations inside a bucket are assumed uniformly distributed
+        between its bounds (``histogram_quantile`` semantics): the
+        returned value interpolates linearly between the bucket's lower
+        and upper edge.  The first bucket's lower bound is 0 when its
+        upper edge is positive (non-negative data), else the edge
+        itself.  Quantiles landing in the ``+Inf`` bucket clamp to the
+        last finite edge.  Returns NaN for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        cumulative = 0
+        for i, cell in enumerate(self.counts[:-1]):
+            previous = cumulative
+            cumulative += cell
+            if cell and cumulative >= target:
+                if i:
+                    lower = self.buckets[i - 1]
+                elif self.buckets[0] > 0.0:
+                    lower = 0.0
+                else:
+                    lower = self.buckets[0]
+                upper = self.buckets[i]
+                return lower + (upper - lower) * (target - previous) / cell
+        return self.buckets[-1]
+
     def to_dict(self) -> dict:
         return {
             "buckets": list(self.buckets),
@@ -120,12 +158,20 @@ def _prom_labels(key: MetricKey, extra: "tuple[tuple[str, str], ...]" = ()) -> s
 
 
 class MetricsRegistry:
-    """All counters, gauges and histograms of one process."""
+    """All counters, gauges and histograms of one process.
+
+    Every public method holds the registry's ``RLock``, so concurrent
+    recording (simulation thread) and exposition (HTTP scrape thread)
+    interleave safely.  Direct access to the ``counters`` / ``gauges`` /
+    ``histograms`` dicts is lock-free and only safe from the recording
+    thread or while no other thread mutates.
+    """
 
     def __init__(self) -> None:
         self.counters: "dict[MetricKey, float]" = {}
         self.gauges: "dict[MetricKey, float]" = {}
         self.histograms: "dict[MetricKey, Histogram]" = {}
+        self._lock = threading.RLock()
 
     # -- recording -----------------------------------------------------
 
@@ -139,7 +185,8 @@ class MetricsRegistry:
         if value < 0:
             raise ValueError(f"counter {name!r} cannot decrease (got {value})")
         key = metric_key(name, labels)
-        self.counters[key] = self.counters.get(key, 0.0) + float(value)
+        with self._lock:
+            self.counters[key] = self.counters.get(key, 0.0) + float(value)
 
     def gauge(
         self,
@@ -148,7 +195,8 @@ class MetricsRegistry:
         labels: "dict[str, object] | None" = None,
     ) -> None:
         """Set a gauge to ``value`` (last write wins)."""
-        self.gauges[metric_key(name, labels)] = float(value)
+        with self._lock:
+            self.gauges[metric_key(name, labels)] = float(value)
 
     def observe(
         self,
@@ -163,10 +211,11 @@ class MetricsRegistry:
         later observations must agree (merging enforces it too).
         """
         key = metric_key(name, labels)
-        hist = self.histograms.get(key)
-        if hist is None:
-            hist = self.histograms[key] = Histogram(buckets)
-        hist.observe(value)
+        with self._lock:
+            hist = self.histograms.get(key)
+            if hist is None:
+                hist = self.histograms[key] = Histogram(buckets)
+            hist.observe(value)
 
     # -- merging / snapshots -------------------------------------------
 
@@ -175,34 +224,29 @@ class MetricsRegistry:
 
         Counters and histograms add; gauges take ``other``'s value on
         key collisions (right-biased), matching "the later write wins"
-        when snapshots are merged in execution order.
+        when snapshots are merged in execution order.  Each side's lock
+        is taken in turn (never both at once), so two registries merging
+        into each other concurrently cannot deadlock.
         """
-        for key, value in other.counters.items():
-            self.counters[key] = self.counters.get(key, 0.0) + value
-        self.gauges.update(other.gauges)
-        for key, hist in other.histograms.items():
-            mine = self.histograms.get(key)
-            if mine is None:
-                self.histograms[key] = Histogram.from_dict(hist.to_dict())
-            else:
-                mine.merge(hist)
+        self.merge_snapshot(other.snapshot())
 
     def snapshot(self) -> dict:
         """A picklable/JSON-safe deep copy of every metric."""
-        return {
-            "counters": [
-                {"name": k[0], "labels": _labels_dict(k), "value": v}
-                for k, v in sorted(self.counters.items())
-            ],
-            "gauges": [
-                {"name": k[0], "labels": _labels_dict(k), "value": v}
-                for k, v in sorted(self.gauges.items())
-            ],
-            "histograms": [
-                {"name": k[0], "labels": _labels_dict(k), **h.to_dict()}
-                for k, h in sorted(self.histograms.items())
-            ],
-        }
+        with self._lock:
+            return {
+                "counters": [
+                    {"name": k[0], "labels": _labels_dict(k), "value": v}
+                    for k, v in sorted(self.counters.items())
+                ],
+                "gauges": [
+                    {"name": k[0], "labels": _labels_dict(k), "value": v}
+                    for k, v in sorted(self.gauges.items())
+                ],
+                "histograms": [
+                    {"name": k[0], "labels": _labels_dict(k), **h.to_dict()}
+                    for k, h in sorted(self.histograms.items())
+                ],
+            }
 
     @classmethod
     def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
@@ -212,27 +256,40 @@ class MetricsRegistry:
 
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold a :meth:`snapshot` dict into this registry."""
-        for entry in snapshot.get("counters", ()):
-            self.inc(entry["name"], entry["value"], entry.get("labels"))
-        for entry in snapshot.get("gauges", ()):
-            self.gauge(entry["name"], entry["value"], entry.get("labels"))
-        for entry in snapshot.get("histograms", ()):
-            key = metric_key(entry["name"], entry.get("labels"))
-            incoming = Histogram.from_dict(entry)
-            mine = self.histograms.get(key)
-            if mine is None:
-                self.histograms[key] = incoming
-            else:
-                mine.merge(incoming)
+        with self._lock:
+            for entry in snapshot.get("counters", ()):
+                self.inc(entry["name"], entry["value"], entry.get("labels"))
+            for entry in snapshot.get("gauges", ()):
+                self.gauge(entry["name"], entry["value"], entry.get("labels"))
+            for entry in snapshot.get("histograms", ()):
+                key = metric_key(entry["name"], entry.get("labels"))
+                incoming = Histogram.from_dict(entry)
+                mine = self.histograms.get(key)
+                if mine is None:
+                    self.histograms[key] = incoming
+                else:
+                    mine.merge(incoming)
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
 
     @property
     def empty(self) -> bool:
-        return not (self.counters or self.gauges or self.histograms)
+        with self._lock:
+            return not (self.counters or self.gauges or self.histograms)
+
+    def __getstate__(self) -> dict:
+        return self.snapshot()
+
+    def __setstate__(self, state: dict) -> None:
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+        self._lock = threading.RLock()
+        self.merge_snapshot(state)
 
     # -- exposition ----------------------------------------------------
 
@@ -246,24 +303,25 @@ class MetricsRegistry:
                 seen_types.add(name)
                 lines.append(f"# TYPE {name} {kind}")
 
-        for key, value in sorted(self.counters.items()):
-            type_line(key[0], "counter")
-            lines.append(f"{key[0]}{_prom_labels(key)} {value:g}")
-        for key, value in sorted(self.gauges.items()):
-            type_line(key[0], "gauge")
-            lines.append(f"{key[0]}{_prom_labels(key)} {value:g}")
-        for key, hist in sorted(self.histograms.items()):
-            name = key[0]
-            type_line(name, "histogram")
-            cumulative = 0
-            for edge, cell in zip(hist.buckets, hist.counts):
-                cumulative += cell
-                labels = _prom_labels(key, (("le", f"{edge:g}"),))
-                lines.append(f"{name}_bucket{labels} {cumulative}")
-            labels = _prom_labels(key, (("le", "+Inf"),))
-            lines.append(f"{name}_bucket{labels} {hist.count}")
-            lines.append(f"{name}_sum{_prom_labels(key)} {hist.sum:g}")
-            lines.append(f"{name}_count{_prom_labels(key)} {hist.count}")
+        with self._lock:
+            for key, value in sorted(self.counters.items()):
+                type_line(key[0], "counter")
+                lines.append(f"{key[0]}{_prom_labels(key)} {value:g}")
+            for key, value in sorted(self.gauges.items()):
+                type_line(key[0], "gauge")
+                lines.append(f"{key[0]}{_prom_labels(key)} {value:g}")
+            for key, hist in sorted(self.histograms.items()):
+                name = key[0]
+                type_line(name, "histogram")
+                cumulative = 0
+                for edge, cell in zip(hist.buckets, hist.counts):
+                    cumulative += cell
+                    labels = _prom_labels(key, (("le", f"{edge:g}"),))
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _prom_labels(key, (("le", "+Inf"),))
+                lines.append(f"{name}_bucket{labels} {hist.count}")
+                lines.append(f"{name}_sum{_prom_labels(key)} {hist.sum:g}")
+                lines.append(f"{name}_count{_prom_labels(key)} {hist.count}")
         return "\n".join(lines) + ("\n" if lines else "")
 
     def to_json(self) -> dict:

@@ -15,12 +15,19 @@ the order a streaming consumer can re-tree without buffering).
 Durations come from ``time.monotonic()``; the wall-clock ``ts`` field
 is informational only.  Span ids embed the pid so worker-process spans
 merged into the parent tracer can never collide.
+
+The tracer is **thread-safe**: the finished-event log and the id
+counter are guarded by a lock, and the open-span stack is thread-local,
+so spans nest per thread and a span opened on one thread never becomes
+the parent of a span on another.  The live HTTP exposition server reads
+the log through :meth:`Tracer.events_copy` while recording continues.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 
@@ -48,16 +55,26 @@ class Tracer:
 
     def __init__(self) -> None:
         self.events: "list[dict]" = []
-        self._stack: "list[SpanHandle]" = []
+        self._local = threading.local()
+        self._lock = threading.RLock()
         self._next_id = 0
 
+    @property
+    def _stack(self) -> "list[SpanHandle]":
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     def _new_id(self) -> str:
-        self._next_id += 1
-        return f"{os.getpid()}-{self._next_id}"
+        with self._lock:
+            self._next_id += 1
+            return f"{os.getpid()}-{self._next_id}"
 
     @property
     def current_span_id(self) -> "str | None":
-        return self._stack[-1].id if self._stack else None
+        stack = self._stack
+        return stack[-1].id if stack else None
 
     @contextmanager
     def span(self, name: str, **attrs):
@@ -66,48 +83,58 @@ class Tracer:
             self._new_id(), str(name), self.current_span_id,
             {str(k): v for k, v in attrs.items()},
         )
-        self._stack.append(handle)
+        stack = self._stack
+        stack.append(handle)
         try:
             yield handle
         finally:
-            popped = self._stack.pop()
+            popped = stack.pop()
             assert popped is handle, "span stack corrupted"
-            self.events.append(
-                {
-                    "name": handle.name,
-                    "id": handle.id,
-                    "parent": handle.parent,
-                    "ts": handle._ts,
-                    "dur_s": time.monotonic() - handle._start_monotonic,
-                    "attrs": handle.attrs,
-                }
-            )
+            event = {
+                "name": handle.name,
+                "id": handle.id,
+                "parent": handle.parent,
+                "ts": handle._ts,
+                "dur_s": time.monotonic() - handle._start_monotonic,
+                "attrs": handle.attrs,
+            }
+            with self._lock:
+                self.events.append(event)
 
     def event(self, name: str, **attrs) -> None:
         """A zero-duration point event under the current span."""
-        self.events.append(
-            {
-                "name": str(name),
-                "id": self._new_id(),
-                "parent": self.current_span_id,
-                "ts": time.time(),
-                "dur_s": 0.0,
-                "attrs": {str(k): v for k, v in attrs.items()},
-            }
-        )
+        event = {
+            "name": str(name),
+            "id": self._new_id(),
+            "parent": self.current_span_id,
+            "ts": time.time(),
+            "dur_s": 0.0,
+            "attrs": {str(k): v for k, v in attrs.items()},
+        }
+        with self._lock:
+            self.events.append(event)
 
     def extend(self, events: "list[dict]") -> None:
         """Append already-finished events (e.g. from a worker process)."""
-        self.events.extend(events)
+        with self._lock:
+            self.events.extend(events)
+
+    def events_copy(self) -> "list[dict]":
+        """A consistent shallow copy of the finished-event log."""
+        with self._lock:
+            return list(self.events)
 
     def reset(self) -> None:
-        self.events.clear()
+        """Drop finished events and this thread's open-span stack."""
+        with self._lock:
+            self.events.clear()
         self._stack.clear()
 
     def write_jsonl(self, path: str) -> None:
         """One JSON object per line, in completion order."""
+        events = self.events_copy()
         with open(path, "w", encoding="utf-8") as handle:
-            for event in self.events:
+            for event in events:
                 handle.write(json.dumps(event, sort_keys=True, default=str))
                 handle.write("\n")
 

@@ -126,6 +126,28 @@ class Server:
         #: Power breakdown of the most recent tick (None before the
         #: first tick).
         self._last_breakdown: "PowerBreakdown | None" = None
+        #: Optional live monitor (see :class:`repro.obs.live.LiveMonitor`);
+        #: notified once per closed sampler window, never per tick.
+        self._monitor = None
+
+    # -- live monitoring ----------------------------------------------
+
+    def attach_monitor(self, monitor) -> None:
+        """Attach a live monitor notified at sampler window boundaries.
+
+        ``monitor`` needs an ``on_window(server, pulse_s)`` method; an
+        ``on_attach(server)`` hook, when present, is called now so the
+        monitor can prime its baselines (e.g. the energy account).  The
+        monitor only *reads* simulator state, so an attached run stays
+        bit-identical to an unmonitored one.
+        """
+        self._monitor = monitor
+        on_attach = getattr(monitor, "on_attach", None)
+        if on_attach is not None:
+            on_attach(self)
+
+    def detach_monitor(self) -> None:
+        self._monitor = None
 
     # -- one tick ------------------------------------------------------
 
@@ -228,6 +250,7 @@ class Server:
         daq_record = self.daq.record_tick
         daq_close = self.daq.close_window
         maybe_sample = self.sampler.maybe_sample
+        live_monitor = self._monitor
         vector_disk = Vector.DISK
         vector_network = Vector.NETWORK
 
@@ -523,6 +546,18 @@ class Server:
             pulse = maybe_sample(now)
             if pulse is not None:
                 daq_close(pulse)
+                if live_monitor is not None:
+                    # Window-rate (~1 Hz), not tick-rate: the energy
+                    # accumulators must be visible to the monitor, so
+                    # flush the batch-local state first.
+                    self.now_s = now
+                    energy_j[sub_cpu] = e_cpu
+                    energy_j[sub_chipset] = e_chipset
+                    energy_j[sub_memory] = e_memory
+                    energy_j[sub_io] = e_io
+                    energy_j[sub_disk] = e_disk
+                    energy_account._time_s = e_time
+                    live_monitor.on_window(self, pulse)
 
         self.now_s = now
         self._dram_latency_factor = dram_latency_factor

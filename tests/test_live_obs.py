@@ -1,0 +1,641 @@
+"""Tests for the live observability layer (PR: streaming drift monitor).
+
+Covers the four tentpole pieces and their satellites: histogram
+quantiles (vs numpy), thread-safe metrics/tracing under concurrent
+recording and scraping, the windowed delta aggregator, the EWMA drift
+monitor's fire/resolve hysteresis and determinism, the
+``LiveMonitor``/``ClusterObserver`` integration with the simulator
+(including bit-identity of monitored runs), the HTTP exposition server
+scraped mid-run, the estimator's bounded history, and the
+``repro-power monitor`` CLI end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.estimator import SystemPowerEstimator
+from repro.core.events import Subsystem
+from repro.obs.drift import DEFAULT_SLO_PCT, DriftMonitor
+from repro.obs.http import ObservabilityServer
+from repro.obs.live import LiveMonitor, WindowedRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.simulator.config import fast_config
+from repro.simulator.system import Server
+from repro.workloads.registry import get_workload
+from tests.conftest import TEST_SEED
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Telemetry is process-global; every test starts and ends clean."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestHistogramQuantile:
+    def test_matches_numpy_within_one_bucket_width(self, rng):
+        edges = tuple(float(e) for e in range(1, 11))  # width-1 buckets
+        values = rng.uniform(0.0, 10.0, size=500)
+        hist = Histogram(edges)
+        for value in values:
+            hist.observe(value)
+        for q in (0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            estimate = hist.quantile(q)
+            exact = float(np.percentile(values, q * 100.0))
+            assert abs(estimate - exact) <= 1.0 + 1e-9, (q, estimate, exact)
+
+    def test_exact_at_bucket_edges(self):
+        hist = Histogram((1.0, 2.0, 3.0, 4.0))
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        # With one observation per bucket, the q = k/4 quantile
+        # interpolates exactly onto the k-th edge.
+        for k, edge in enumerate((1.0, 2.0, 3.0, 4.0), start=1):
+            assert hist.quantile(k / 4.0) == pytest.approx(edge)
+
+    def test_overflow_bucket_clamps_to_last_edge(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.quantile(1.0) == 2.0
+
+    def test_empty_is_nan_and_bad_q_rejected(self):
+        hist = Histogram((1.0,))
+        assert math.isnan(hist.quantile(0.5))
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+
+class TestThreadSafety:
+    N_THREADS = 8
+    N_OPS = 2000
+
+    def test_registry_concurrent_recording_is_lossless(self):
+        reg = MetricsRegistry()
+        stop_scraping = threading.Event()
+
+        def record():
+            for i in range(self.N_OPS):
+                reg.inc("hammer_total")
+                reg.gauge("hammer_gauge", float(i))
+                reg.observe("hammer_seconds", 0.01, buckets=(0.1, 1.0))
+
+        def scrape():
+            while not stop_scraping.is_set():
+                reg.to_prometheus()
+                reg.snapshot()
+
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        workers = [threading.Thread(target=record) for _ in range(self.N_THREADS)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        stop_scraping.set()
+        scraper.join()
+
+        expected = float(self.N_THREADS * self.N_OPS)
+        assert reg.counters[("hammer_total", ())] == expected
+        assert reg.histograms[("hammer_seconds", ())].count == expected
+
+    def test_registry_survives_pickle(self):
+        import pickle
+
+        reg = MetricsRegistry()
+        reg.inc("c_total", 2.0)
+        reg.observe("h_seconds", 0.5, buckets=(1.0,))
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.snapshot() == reg.snapshot()
+        clone.inc("c_total")  # the revived lock still works
+
+    def test_tracer_concurrent_spans_keep_per_thread_nesting(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        n_spans = 50
+
+        def trace(thread_id: int):
+            for _ in range(n_spans):
+                with tracer.span(f"outer-{thread_id}"):
+                    with tracer.span(f"inner-{thread_id}"):
+                        pass
+
+        workers = [
+            threading.Thread(target=trace, args=(i,)) for i in range(self.N_THREADS)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        events = tracer.events_copy()
+        assert len(events) == self.N_THREADS * n_spans * 2
+        ids = {e["id"] for e in events}
+        assert len(ids) == len(events)  # no id ever handed out twice
+        for i in range(self.N_THREADS):
+            outer_ids = {e["id"] for e in events if e["name"] == f"outer-{i}"}
+            inners = [e for e in events if e["name"] == f"inner-{i}"]
+            assert len(inners) == n_spans
+            # Nesting never crosses threads: every inner span's parent
+            # is an outer span of the *same* thread.
+            assert all(e["parent"] in outer_ids for e in inners)
+
+
+class TestEstimatorHistoryBound:
+    def _sample(self, run, index=0):
+        return {
+            event: run.counters.per_cpu(event)[index]
+            for event in run.counters.events
+        }
+
+    def test_history_is_bounded(self, paper_suite, idle_run):
+        estimator = SystemPowerEstimator(paper_suite, max_history=16)
+        sample = self._sample(idle_run)
+        for _ in range(50):
+            estimator.estimate(sample)
+        assert estimator.max_history == 16
+        assert len(estimator.history) == 16
+        # The *newest* estimates are the retained ones.
+        times = [e.timestamp_s for e in estimator.history]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(50.0)
+
+    def test_unbounded_opt_in(self, paper_suite, idle_run):
+        estimator = SystemPowerEstimator(paper_suite, max_history=None)
+        assert estimator.max_history is None
+        sample = self._sample(idle_run)
+        n = 2 * 4096 // 16  # cheap but > any accidental default bound
+        for _ in range(n):
+            estimator.estimate(sample)
+        assert len(estimator.history) == n
+
+    def test_invalid_bound_rejected(self, paper_suite):
+        with pytest.raises(ValueError):
+            SystemPowerEstimator(paper_suite, max_history=0)
+
+
+class TestSuiteScaled:
+    def test_predictions_scale_uniformly(self, paper_suite, idle_run):
+        scaled = paper_suite.scaled(1.5)
+        base = paper_suite.predict_total(idle_run.counters)
+        assert np.allclose(scaled.predict_total(idle_run.counters), base * 1.5)
+        assert scaled.recipe_name.endswith("*1.5")
+
+    def test_subset_scaling_leaves_others_alone(self, paper_suite, idle_run):
+        scaled = paper_suite.scaled(2.0, subsystems=(Subsystem.CPU,))
+        assert np.allclose(
+            scaled.predict(Subsystem.CPU, idle_run.counters),
+            paper_suite.predict(Subsystem.CPU, idle_run.counters) * 2.0,
+        )
+        assert np.allclose(
+            scaled.predict(Subsystem.DISK, idle_run.counters),
+            paper_suite.predict(Subsystem.DISK, idle_run.counters),
+        )
+
+    def test_non_finite_factor_rejected(self, paper_suite):
+        with pytest.raises(ValueError):
+            paper_suite.scaled(float("nan"))
+
+
+class TestWindowedRegistry:
+    def _registry_at(self, counter: float, gauge: float) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("ticks_total", counter)
+        reg.gauge("power_watts", gauge)
+        return reg
+
+    def test_counter_deltas_and_rate(self):
+        windows = WindowedRegistry(window_s=5.0)
+        reg = MetricsRegistry()
+        for t, total in ((1.0, 10.0), (6.0, 30.0), (11.0, 60.0)):
+            reg.reset()
+            reg.inc("ticks_total", total)
+            windows.ingest(t, reg)
+        assert len(windows) == 3
+        series = windows.series("ticks_total")
+        assert series == [(0.0, 10.0), (5.0, 20.0), (10.0, 30.0)]
+        assert windows.rate("ticks_total") == pytest.approx(60.0 / 15.0)
+        assert windows.rate("ticks_total", last=1) == pytest.approx(30.0 / 5.0)
+
+    def test_counter_reset_counts_full_value(self):
+        windows = WindowedRegistry(window_s=1.0)
+        windows.ingest(0.5, self._registry_at(100.0, 0.0))
+        # The process restarted: the cumulative value went *down*.
+        windows.ingest(1.5, self._registry_at(40.0, 0.0))
+        assert windows.series("ticks_total") == [(0.0, 100.0), (1.0, 40.0)]
+
+    def test_gauges_last_write_and_latest(self):
+        windows = WindowedRegistry(window_s=10.0)
+        windows.ingest(1.0, self._registry_at(0.0, 100.0))
+        windows.ingest(2.0, self._registry_at(0.0, 150.0))  # same window
+        windows.ingest(12.0, self._registry_at(0.0, 120.0))
+        assert windows.series("power_watts") == [(0.0, 150.0), (10.0, 120.0)]
+        assert windows.latest("power_watts") == 120.0
+        assert windows.mean("power_watts") == pytest.approx(135.0)
+
+    def test_histogram_deltas_merge_and_quantile(self):
+        windows = WindowedRegistry(window_s=5.0)
+        reg = MetricsRegistry()
+        reg.observe("latency", 0.5, buckets=(1.0, 2.0))
+        windows.ingest(1.0, reg)
+        reg.observe("latency", 1.5, buckets=(1.0, 2.0))
+        reg.observe("latency", 1.5, buckets=(1.0, 2.0))
+        windows.ingest(6.0, reg)
+        # First window got 1 observation, second the 2 new ones only.
+        assert windows.series("latency") == [(0.0, 0.5), (5.0, 1.5)]
+        assert windows.mean("latency") == pytest.approx((0.5 + 3.0) / 3)
+        assert 1.0 <= windows.quantile("latency", 0.9) <= 2.0
+
+    def test_sliding_edge_drops_oldest(self):
+        windows = WindowedRegistry(window_s=1.0, max_windows=3)
+        reg = MetricsRegistry()
+        for t in range(6):
+            reg.reset()
+            reg.gauge("power_watts", float(t))
+            windows.ingest(float(t) + 0.5, reg)
+        assert len(windows) == 3
+        assert windows.span_s == 3.0
+        assert [start for start, _ in windows.series("power_watts")] == [
+            3.0,
+            4.0,
+            5.0,
+        ]
+
+    def test_to_json_shape(self):
+        windows = WindowedRegistry(window_s=2.0)
+        windows.ingest(1.0, self._registry_at(5.0, 42.0))
+        document = windows.to_json()
+        json.dumps(document)  # must be serialisable as-is
+        assert document["window_s"] == 2.0
+        assert document["n_windows"] == 1
+        window = document["windows"][0]
+        assert window["counters"] == {"ticks_total": 5.0}
+        assert window["gauges"] == {"power_watts": 42.0}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedRegistry(window_s=0.0)
+        with pytest.raises(ValueError):
+            WindowedRegistry(max_windows=0)
+
+
+class TestDriftMonitor:
+    WATTS = {"cpu": 100.0}
+
+    def _feed(self, monitor, error_pct, n, t0=0.0):
+        """n windows with a constant relative error; returns transitions."""
+        out = []
+        estimated = {"cpu": 100.0 * (1.0 + error_pct / 100.0)}
+        for i in range(n):
+            out += monitor.observe(t0 + i + 1.0, estimated, self.WATTS)
+        return out
+
+    def test_healthy_stream_never_fires(self):
+        monitor = DriftMonitor()
+        assert self._feed(monitor, 4.0, 20) == []
+        assert monitor.firing == ()
+        assert monitor.error_pct("cpu") == pytest.approx(4.0)
+
+    def test_fires_only_after_min_windows(self):
+        monitor = DriftMonitor(min_windows=3)
+        transitions = self._feed(monitor, 50.0, 3)
+        assert [t.state for t in transitions] == ["firing", "firing"]
+        assert {t.subsystem for t in transitions} == {"cpu", "total"}
+        assert transitions[0].timestamp_s == 3.0
+        assert transitions[0].threshold_pct == DEFAULT_SLO_PCT
+
+    def test_resolves_with_hysteresis(self):
+        monitor = DriftMonitor(slo_pct=10.0, alpha=1.0, resolve_ratio=0.8)
+        self._feed(monitor, 50.0, 3)
+        assert "cpu" in monitor.firing
+        # Above resolve threshold (8 %) but below the SLO: still firing.
+        assert self._feed(monitor, 9.0, 5, t0=10.0) == []
+        assert "cpu" in monitor.firing
+        transitions = self._feed(monitor, 1.0, 1, t0=20.0)
+        assert {t.subsystem for t in transitions} == {"cpu", "total"}
+        assert all(t.state == "resolved" for t in transitions)
+        assert monitor.firing == ()
+
+    def test_deterministic_replay(self, rng):
+        errors = rng.uniform(0.0, 30.0, size=60)
+
+        def run():
+            monitor = DriftMonitor()
+            history = []
+            for i, err in enumerate(errors):
+                est = {"cpu": 100.0 + err, "disk": 20.0}
+                true = {"cpu": 100.0, "disk": 20.0}
+                monitor.observe(float(i), est, true)
+            return [a.to_dict() for a in monitor.history()]
+
+        assert run() == run()
+
+    def test_enum_keys_normalised(self):
+        monitor = DriftMonitor()
+        monitor.observe(1.0, {Subsystem.CPU: 110.0}, {"cpu": 100.0})
+        assert monitor.error_pct(Subsystem.CPU) == pytest.approx(10.0)
+        assert monitor.error_pct("total") == pytest.approx(10.0)
+
+    def test_alert_events_and_metrics_emitted(self):
+        obs.enable()
+        monitor = DriftMonitor(min_windows=1)
+        monitor.observe(1.0, {"cpu": 200.0}, {"cpu": 100.0})
+        events = [e for e in obs.tracer().events if e["name"] == "drift.alert"]
+        assert len(events) == 2  # cpu + total
+        attrs = events[0]["attrs"]
+        assert attrs["state"] == "firing"
+        assert attrs["sim_time_s"] == 1.0
+        counters = obs.registry().counters
+        assert (
+            counters[("drift_alerts_total", (("state", "firing"), ("subsystem", "cpu")))]
+            == 1.0
+        )
+
+    def test_to_json_document(self):
+        monitor = DriftMonitor(min_windows=1)
+        self._feed(monitor, 50.0, 2)
+        document = monitor.to_json()
+        json.dumps(document)
+        assert document["slo_pct"] == DEFAULT_SLO_PCT
+        assert set(document["firing"]) == {"cpu", "total"}
+        assert document["streams"]["cpu"]["firing"] is True
+        assert document["history"][0]["state"] == "firing"
+
+    def test_invalid_parameters_rejected(self):
+        for kwargs in (
+            {"slo_pct": 0.0},
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"min_windows": 0},
+            {"resolve_ratio": 0.0},
+        ):
+            with pytest.raises(ValueError):
+                DriftMonitor(**kwargs)
+
+
+DURATION_TICKS = 2000  # 20 s at the fast config's 10 ms tick
+
+
+def _monitored_server(suite, workload="gcc", **monitor_kwargs):
+    server = Server(fast_config(), get_workload(workload), seed=TEST_SEED)
+    monitor = LiveMonitor(SystemPowerEstimator(suite), **monitor_kwargs)
+    server.attach_monitor(monitor)
+    return server, monitor
+
+
+class TestLiveMonitorIntegration:
+    def test_monitored_run_is_bit_identical(self, paper_suite):
+        plain = Server(fast_config(), get_workload("gcc"), seed=TEST_SEED)
+        plain.run_ticks(DURATION_TICKS)
+        monitored, monitor = _monitored_server(paper_suite)
+        monitored.run_ticks(DURATION_TICKS)
+        assert monitor.n_windows > 10  # the monitor actually ran
+        assert monitored.now_s == plain.now_s
+        assert monitored.energy._energy_j == plain.energy._energy_j
+        assert monitored.sampler.n_samples == plain.sampler.n_samples
+
+    def test_live_samples_track_ground_truth(self, paper_suite):
+        obs.enable()
+        server, monitor = _monitored_server(paper_suite)
+        server.run_ticks(DURATION_TICKS)
+        sample = monitor.last
+        assert sample is not None
+        assert set(sample.true_w) == {s.value for s in Subsystem}
+        # Estimating the machine the suite was fitted on: errors stay
+        # well inside the paper's 9 % bound, so nothing fires.
+        assert sample.total_error_pct < DEFAULT_SLO_PCT
+        assert monitor.drift.firing == ()
+        gauges = obs.registry().gauges
+        key = ("live_power_watts", (("source", "true"), ("subsystem", "total")))
+        assert gauges[key] == pytest.approx(sample.total_true_w)
+        assert len(monitor.windows) > 0
+
+    def test_miscalibration_fires_then_restore_resolves(self, paper_suite):
+        obs.enable()
+        server, monitor = _monitored_server(paper_suite.scaled(1.5))
+        server.run_ticks(DURATION_TICKS // 2)
+        assert "total" in monitor.drift.firing
+        monitor.set_suite(paper_suite)
+        server.run_ticks(2 * DURATION_TICKS)
+        assert monitor.drift.firing == ()
+        states = [a.state for a in monitor.drift.history()]
+        assert "firing" in states and "resolved" in states
+        trace_states = [
+            e["attrs"]["state"]
+            for e in obs.tracer().events
+            if e["name"] == "drift.alert"
+        ]
+        assert trace_states.count("firing") == trace_states.count("resolved")
+
+
+def _fetch(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return response.read().decode("utf-8")
+
+
+class TestObservabilityHTTP:
+    def test_routes_and_lifecycle(self):
+        drift = DriftMonitor(min_windows=1)
+        drift.observe(1.0, {"cpu": 200.0}, {"cpu": 100.0})
+        windows = WindowedRegistry(window_s=1.0)
+        registry = MetricsRegistry()
+        registry.inc("requests_total", 3.0)
+        with ObservabilityServer(
+            registry=registry, drift=drift, windows=windows
+        ) as endpoint:
+            assert endpoint.running and endpoint.port != 0
+            assert "requests_total 3" in _fetch(endpoint.url("/metrics"))
+            metrics = json.loads(_fetch(endpoint.url("/metrics.json")))
+            assert metrics["counters"][0]["name"] == "requests_total"
+            alerts = json.loads(_fetch(endpoint.url("/alerts")))
+            assert set(alerts["firing"]) == {"cpu", "total"}
+            health = json.loads(_fetch(endpoint.url("/healthz")))
+            assert health["status"] == "ok"
+            assert set(health["routes"]) == set(ObservabilityServer.ROUTES)
+            assert "windows" in json.loads(_fetch(endpoint.url("/windows")))
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _fetch(endpoint.url("/no-such-route"))
+            assert err.value.code == 404
+        assert not endpoint.running
+        endpoint.stop()  # idempotent
+
+    def test_scrape_while_run_progresses(self, paper_suite):
+        obs.enable()
+        server, monitor = _monitored_server(paper_suite)
+        with ObservabilityServer(drift=monitor.drift, windows=monitor.windows) as endpoint:
+            server.run_ticks(DURATION_TICKS // 4)
+            first = _fetch(endpoint.url("/metrics"))
+            assert 'live_power_watts{source="true",subsystem="total"}' in first
+            windows_before = len(monitor.windows)
+            server.run_ticks(DURATION_TICKS // 4)
+            second = _fetch(endpoint.url("/metrics"))
+            assert "live_power_watts" in second
+            assert len(monitor.windows) >= windows_before
+            ticks = json.loads(_fetch(endpoint.url("/metrics.json")))
+            names = {entry["name"] for entry in ticks["counters"]}
+            assert "live_windows_total" in names
+
+
+class TestClusterTelemetry:
+    def _cluster(self, n_nodes=2):
+        from repro.cluster import Cluster
+
+        return Cluster(n_nodes=n_nodes, config=fast_config(), seed=TEST_SEED)
+
+    def test_manager_decisions_land_in_trace(self):
+        from repro.cluster import PowerAwareManager
+
+        obs.enable()
+        cluster = self._cluster(3)
+        manager = PowerAwareManager(headroom_threads=2)
+        demand = [2] * 5 + [20] * 5
+        cluster.run(demand, manager)
+        names = [e["name"] for e in obs.tracer().events]
+        assert "cluster.placement" in names
+        assert "cluster.power_down" in names
+        assert "cluster.power_up" in names
+        placements = [
+            e["attrs"]
+            for e in obs.tracer().events
+            if e["name"] == "cluster.placement"
+        ]
+        assert placements[0]["previous"] is None
+        assert placements[-1]["nodes_needed"] > placements[0]["nodes_needed"]
+
+    def test_node_power_gauges_match_cluster_trace(self):
+        from repro.cluster import StaticManager
+
+        obs.enable()
+        cluster = self._cluster(2)
+        trace = cluster.run([4] * 10, StaticManager())
+        gauges = obs.registry().gauges
+        for node_id in range(2):
+            labels = (("node", str(node_id)),)
+            assert gauges[("cluster_node_power_watts", labels)] == pytest.approx(
+                trace.node_power_w[node_id][-1]
+            )
+            assert gauges[("cluster_node_energy_joules", labels)] == pytest.approx(
+                trace.node_energy_j(node_id), rel=1e-9
+            )
+        assert gauges[("cluster_power_watts", ())] == pytest.approx(
+            trace.power_w[-1]
+        )
+
+    def test_observer_drift_fires_then_resolves(self, paper_suite):
+        from repro.cluster import StaticManager
+        from repro.obs.live import ClusterObserver
+
+        cluster = self._cluster(2)
+        manager = StaticManager()
+        observer = ClusterObserver(suite=paper_suite.scaled(1.5), window_s=1.0)
+        cluster.run([6] * 8, manager, observer=observer)
+        assert "total" in observer.drift.firing
+        observer.set_suite(paper_suite)
+        cluster.run([6] * 22, manager, observer=observer, start_s=8.0)
+        assert observer.drift.firing == ()
+        history = observer.drift.history()
+        fired = [a for a in history if a.state == "firing"]
+        resolved = [a for a in history if a.state == "resolved"]
+        assert fired and resolved
+        # start_s keeps the observer's clock monotonic across slices.
+        assert all(a.timestamp_s > 8.0 for a in resolved)
+        assert observer.n_seconds == 30
+
+    def test_observer_without_suite_still_windows(self):
+        from repro.cluster import StaticManager
+        from repro.obs.live import ClusterObserver
+
+        obs.enable()
+        cluster = self._cluster(2)
+        observer = ClusterObserver(window_s=2.0)
+        cluster.run([4] * 6, StaticManager(), observer=observer)
+        assert observer.estimator is None
+        assert len(observer.windows) > 0
+        assert observer.windows.latest("cluster_power_watts") > 0.0
+
+
+class TestMonitorCli:
+    COMMON = ["--duration", "20", "--tick-ms", "50", "--refresh", "5", "--seed", "7"]
+
+    def test_monitor_runs_and_summarises(self, capsys):
+        from repro.cli import main
+
+        assert main(["monitor", "--workload", "idle", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "endpoint at http://127.0.0.1:" in out
+        assert "true" in out and "ticks/s" in out
+        assert "done —" in out
+
+    def test_monitor_perturbation_raises_and_resolves_alerts(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        telemetry = str(tmp_path / "tel")
+        code = main(
+            [
+                "monitor",
+                "gcc",
+                *self.COMMON,
+                "--duration",
+                "30",
+                "--perturb",
+                "1.5",
+                "--restore-at",
+                "12",
+                "--telemetry",
+                telemetry,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALERT   firing" in out
+        assert "calibrated suite restored" in out
+        assert "ALERT resolved" in out
+        with open(os.path.join(telemetry, "alerts.json"), encoding="utf-8") as fh:
+            alerts = json.load(fh)
+        assert alerts["firing"] == []
+        states = [a["state"] for a in alerts["history"]]
+        assert "firing" in states and "resolved" in states
+        trace_path = os.path.join(telemetry, obs.TRACE_JSONL)
+        drift_events = [
+            json.loads(line)
+            for line in open(trace_path, encoding="utf-8")
+            if '"drift.alert"' in line
+        ]
+        assert drift_events and all(
+            e["name"] == "drift.alert" for e in drift_events
+        )
+        prom = open(
+            os.path.join(telemetry, obs.METRICS_PROM), encoding="utf-8"
+        ).read()
+        assert "live_power_watts" in prom
+
+    def test_monitor_cluster_mode(self, capsys):
+        from repro.cli import main
+
+        code = main(["monitor", "--nodes", "2", *self.COMMON])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster of 2 node(s)" in out
+        assert "nodes on" in out
+
+    def test_monitor_requires_workload_or_nodes(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["monitor", *self.COMMON])
