@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Fault-injection smoke: faults must never change the data.
+
+Three phases, each compared bit-for-bit against an undisturbed serial
+reference sweep:
+
+1. **worker kill** — a parallel sweep whose first worker task hard-exits
+   (``BrokenProcessPool``) plus an injected per-task exception; the
+   retry/rebuild machinery must absorb both and the retry counters must
+   land in the telemetry dump.
+2. **kill/resume** — ``repro-power sweep`` is hard-killed after its
+   first checkpoint (exit 137, like a mid-run ``SIGKILL``), then re-run
+   with ``--resume``; the resumed cache contents must be identical to
+   fresh runs.
+3. **telemetry** — with ``--telemetry``, phase 1's metrics are dumped
+   and the ``sweep_retries_total`` / ``sweep_worker_failures_total``
+   counters verified present in ``metrics.prom``.
+
+Exits non-zero on the first mismatch.  Used by the ``fault-smoke`` CI
+job; run locally with ``python scripts/fault_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro import obs  # noqa: E402
+from repro.exec import (  # noqa: E402
+    FaultPlan,
+    RetryPolicy,
+    RunCache,
+    SweepSpec,
+    sweep_specs,
+)
+from repro.exec.faults import FAULT_PLAN_ENV, PARENT_KILL_EXIT  # noqa: E402
+from repro.simulator.config import SystemConfig  # noqa: E402
+
+#: CLI defaults the subprocess phase relies on (tick 10 ms, 3 warmup
+#: windows, seed 7) — the reference specs must match exactly.
+CLI_TICK_S = 0.010
+CLI_WARMUP = 3
+CLI_SEED = 7
+
+
+def check(ok: bool, what: str) -> None:
+    print(f"  {'ok' if ok else 'FAIL'}: {what}")
+    if not ok:
+        sys.exit(1)
+
+
+def runs_identical(a, b) -> bool:
+    return a is not None and b is not None and a.to_dict() == b.to_dict()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=20.0)
+    parser.add_argument("--workloads", default="idle,gcc")
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="dump phase-1 metrics here and verify the retry counters",
+    )
+    args = parser.parse_args()
+    names = [n for n in args.workloads.split(",") if n]
+    os.environ.pop(FAULT_PLAN_ENV, None)
+
+    config = SystemConfig(tick_s=CLI_TICK_S)
+    specs = [
+        SweepSpec(
+            workload=name,
+            seed=CLI_SEED,
+            duration_s=args.duration,
+            config=config,
+            warmup_windows=CLI_WARMUP,
+        )
+        for name in names
+    ]
+
+    print(f"reference: serial sweep of {names} for {args.duration:g}s each")
+    reference = sweep_specs(specs, n_workers=1).runs
+
+    print("phase 1: worker kill + injected task exception, 2 workers")
+    obs.enable()
+    obs.reset()
+    result = sweep_specs(
+        specs,
+        n_workers=2,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.05),
+        faults=FaultPlan(kill={0: 1}, fail={1: 1}),
+    )
+    check(result.worker_failures >= 1, "worker death was observed and absorbed")
+    check(
+        obs.counter("sweep_worker_failures_total") >= 1,
+        "sweep_worker_failures_total counted",
+    )
+    for name, ref, run in zip(names, reference, result.runs):
+        check(runs_identical(ref, run), f"{name} bit-identical under faults")
+    if args.telemetry:
+        paths = obs.dump(args.telemetry)
+        with open(paths["metrics.prom"], encoding="utf-8") as handle:
+            prom = handle.read()
+        check(
+            "sweep_worker_failures_total" in prom,
+            "worker-failure counter in metrics.prom",
+        )
+        check("sweep_retries_total" in prom or result.retries == 0,
+              "retry counter exposed when retries happened")
+        print(f"  telemetry dumped to {args.telemetry}")
+    obs.disable()
+    obs.reset()
+
+    print("phase 2: mid-run parent kill, then --resume")
+    cache_dir = tempfile.mkdtemp(prefix="fault-smoke-cache-")
+    try:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            sys.path[0] + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        env.pop("REPRO_CACHE_DIR", None)
+        base_cmd = [
+            sys.executable, "-m", "repro.cli", "sweep", ",".join(names),
+            "--duration", str(args.duration), "--cache-dir", cache_dir,
+            "--workers", "1",
+        ]
+        killed = subprocess.run(
+            base_cmd,
+            env={**env, FAULT_PLAN_ENV: json.dumps({"exit_parent_after": 1})},
+            capture_output=True,
+            text=True,
+        )
+        check(
+            killed.returncode == PARENT_KILL_EXIT,
+            f"sweep died hard after first checkpoint (rc={killed.returncode})",
+        )
+        stored = [n for n in os.listdir(cache_dir) if n.startswith("run-")]
+        check(
+            0 < len(stored) < len(names),
+            f"partial checkpoint on disk ({len(stored)}/{len(names)} run file(s))",
+        )
+        resumed = subprocess.run(
+            base_cmd + ["--resume"], env=env, capture_output=True, text=True
+        )
+        check(resumed.returncode == 0, "resumed sweep completed")
+        check("resuming" in resumed.stdout, "resume reported its checkpoints")
+        cache = RunCache(cache_dir)
+        for name, spec, ref in zip(names, specs, reference):
+            check(
+                runs_identical(ref, cache.load(spec.key())),
+                f"{name} resumed bit-identical to uninterrupted run",
+            )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    print("fault smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

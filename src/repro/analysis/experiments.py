@@ -26,7 +26,7 @@ from repro.core.suite import TrickleDownSuite
 from repro.core.training import L3_MEMORY_RECIPE, ModelTrainer, PAPER_RECIPE
 from repro.core.traces import MeasuredRun
 from repro.core.validation import average_error, validate_suite
-from repro.exec import RunCache, SweepSpec, sweep_specs
+from repro.exec import RetryPolicy, RunCache, SweepSpec, sweep_specs
 from repro.simulator.config import SystemConfig, fast_config
 from repro.workloads.registry import (
     FP_TABLE_WORKLOADS,
@@ -142,6 +142,9 @@ class ExperimentContext:
     #: Worker processes for multi-run sweeps; ``None`` = auto
     #: (``REPRO_SWEEP_WORKERS`` or the CPU count).
     n_workers: "int | None" = None
+    #: Failure semantics for sweeps (retries, backoff, task timeout);
+    #: ``None`` = the engine's default policy.
+    retry_policy: "RetryPolicy | None" = None
     _runs: "dict[str, MeasuredRun]" = field(default_factory=dict, repr=False)
     _suites: "dict[str, TrickleDownSuite]" = field(default_factory=dict, repr=False)
 
@@ -153,7 +156,8 @@ class ExperimentContext:
         """The content-addressed disk cache (disabled when no dir set)."""
         return self._cache
 
-    def _spec(self, name: str) -> SweepSpec:
+    def spec_for(self, name: str) -> SweepSpec:
+        """The sweep spec this context would run for ``name``."""
         return SweepSpec(
             workload=name,
             seed=self.seed,
@@ -166,7 +170,12 @@ class ExperimentContext:
     def run(self, name: str) -> MeasuredRun:
         """The instrumented run of a workload (simulate or load)."""
         if name not in self._runs:
-            result = sweep_specs([self._spec(name)], n_workers=1, cache=self._cache)
+            result = sweep_specs(
+                [self.spec_for(name)],
+                n_workers=1,
+                cache=self._cache,
+                retry=self.retry_policy,
+            )
             self._runs[name] = result.runs[0]
         return self._runs[name]
 
@@ -175,9 +184,10 @@ class ExperimentContext:
         missing = [name for name in names if name not in self._runs]
         if missing:
             result = sweep_specs(
-                [self._spec(name) for name in missing],
+                [self.spec_for(name) for name in missing],
                 n_workers=self.n_workers,
                 cache=self._cache,
+                retry=self.retry_policy,
             )
             self._runs.update(zip(missing, result.runs))
         return {name: self._runs[name] for name in names}

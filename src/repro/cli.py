@@ -13,6 +13,7 @@ Commands::
     repro-power billing                          # per-process energy bill
     repro-power obs [DIR]                        # last run's telemetry
     repro-power monitor --workload gcc           # live run + HTTP endpoint
+    repro-power sweep [gcc,mcf,...] [--resume]   # fault-tolerant bulk sweep
 
 Common options: ``--seed``, ``--duration`` (seconds per workload),
 ``--tick-ms`` (simulation resolution), ``--cache-dir`` (run cache),
@@ -20,6 +21,15 @@ Common options: ``--seed``, ``--duration`` (seconds per workload),
 ``metrics.prom``/``metrics.json``/``trace.jsonl`` after the command;
 ``repro-power obs`` pretty-prints them).  ``REPRO_LOG_LEVEL`` controls
 log verbosity.
+
+``sweep`` runs many workloads (comma-separated positional, default:
+all twelve paper workloads) through the fault-tolerant sweep engine:
+failed tasks retry with capped exponential backoff (``--max-attempts``,
+``--retry-delay``, ``--task-timeout``), dead pool workers trigger pool
+rebuilds, and — with a cache directory — every completed run is
+checkpointed immediately, so ``--resume`` continues a killed sweep
+from its last stored run.  Specs that fail permanently are listed and
+the command exits 1.
 
 ``monitor`` runs a workload (or, with ``--nodes N``, a power-managed
 cluster) with the live observability endpoint up: ``/metrics`` serves
@@ -107,7 +117,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "command",
         help="table1..table4, fig1..fig7, equations, report, run, list, "
-        "obs, monitor",
+        "obs, monitor, sweep",
     )
     parser.add_argument("workload", nargs="?", help="workload name (for 'run')")
     parser.add_argument("--seed", type=int, default=7)
@@ -132,6 +142,36 @@ def main(argv: "list[str] | None" = None) -> int:
         "after the command",
     )
     parser.add_argument("-o", "--output", default=None, help="write report here")
+    sweep_group = parser.add_argument_group("sweep options")
+    sweep_group.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep from its run-cache "
+        "checkpoints (needs --cache-dir or REPRO_CACHE_DIR)",
+    )
+    sweep_group.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per spec before it is reported as permanently "
+        "failed (default 3)",
+    )
+    sweep_group.add_argument(
+        "--retry-delay",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="base delay of the capped exponential retry backoff "
+        "(default 0.1)",
+    )
+    sweep_group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task result timeout; a timed-out task counts as a "
+        "failed attempt (default: wait forever)",
+    )
     monitor = parser.add_argument_group("monitor options")
     monitor.add_argument(
         "--workload",
@@ -221,6 +261,8 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     context = _context(args)
     if command == "monitor":
         return _cmd_monitor(args, parser, context)
+    if command == "sweep":
+        return _cmd_sweep(args, parser, context)
     tables = {
         "table1": ex.table1_average_power,
         "table2": ex.table2_power_stddev,
@@ -341,6 +383,91 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return 0
     parser.error(f"unknown command {command!r}")
     return 2
+
+
+def _cmd_sweep(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    context: "ex.ExperimentContext",
+) -> int:
+    """``repro-power sweep``: fault-tolerant bulk simulation."""
+    from repro.exec import RetryPolicy, sweep_specs
+
+    names = (
+        [n for n in args.workload.split(",") if n]
+        if args.workload
+        else list(PAPER_WORKLOADS)
+    )
+    unknown = []
+    for name in names:
+        try:
+            get_workload(name)
+        except KeyError:
+            unknown.append(name)
+    if unknown:
+        parser.error(f"unknown workload(s): {', '.join(unknown)}")
+    specs = [context.spec_for(name) for name in names]
+    cache = context.cache
+    if args.resume:
+        if not cache.enabled:
+            parser.error("--resume needs --cache-dir or REPRO_CACHE_DIR")
+        done = sum(
+            1
+            for spec in specs
+            if os.path.exists(cache.path_for(spec.key()) or "")
+        )
+        print(
+            f"sweep: resuming — {done}/{len(specs)} spec(s) already "
+            f"checkpointed in {cache.root}"
+        )
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts,
+        base_delay=args.retry_delay,
+        timeout_s=args.task_timeout,
+    )
+    result = sweep_specs(
+        specs,
+        n_workers=args.workers,
+        cache=cache if cache.enabled else None,
+        retry=retry,
+        allow_partial=True,
+    )
+    rows = []
+    for i, (name, run) in enumerate(zip(names, result.runs)):
+        if run is None:
+            rows.append([name, "FAILED", result.failed.get(i, "?")])
+        else:
+            source = "cache" if i not in result.simulated else "simulated"
+            rows.append([name, source, f"{run.n_samples} windows"])
+    print(
+        format_table(
+            f"Sweep of {len(names)} workload(s) over "
+            f"{result.n_workers} worker(s)",
+            ("workload", "status", "detail"),
+            rows,
+            precision=0,
+        )
+    )
+    print(
+        f"sweep: {result.cache_stats_hits} cache hit(s), "
+        f"{len(result.simulated)} simulated, {result.retries} retried "
+        f"task(s), {result.worker_failures} worker failure(s)"
+        + (", degraded to serial" if result.degraded else "")
+    )
+    if obs.enabled():
+        print(
+            "sweep: counters — "
+            f"sweep_retries_total={obs.counter('sweep_retries_total'):g} "
+            "sweep_worker_failures_total="
+            f"{obs.counter('sweep_worker_failures_total'):g} "
+            "sweep_failed_specs_total="
+            f"{obs.counter('sweep_failed_specs_total'):g}"
+        )
+    if result.failed:
+        for i, error in sorted(result.failed.items()):
+            print(f"sweep: PERMANENT FAILURE {names[i]}: {error}")
+        return 1
+    return 0
 
 
 def _cmd_monitor(

@@ -1,13 +1,20 @@
 """Execution engine: parallel sweeps and the content-addressed run cache.
 
 ``repro.exec`` owns *how* simulated runs get produced — serial or
-process-parallel, fresh or from disk — so the rest of the codebase only
-ever says *which* runs it wants.  See :func:`sweep` for the main entry
-point and :class:`RunCache` for the on-disk store.
+process-parallel, fresh or from disk, retried or resumed after a crash
+— so the rest of the codebase only ever says *which* runs it wants.
+See :func:`sweep` for the main entry point, :class:`RunCache` for the
+on-disk store, :class:`RetryPolicy` for the failure semantics and
+:mod:`repro.exec.faults` for the deterministic fault-injection harness
+that proves them.
 """
 
 from repro.exec.cache import CacheStats, RunCache, run_key
+from repro.exec.faults import FaultInjected, FaultPlan, TearingCache
 from repro.exec.sweep import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    SweepError,
     SweepResult,
     SweepSpec,
     default_workers,
@@ -18,9 +25,15 @@ from repro.exec.sweep import (
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_RETRY_POLICY",
+    "FaultInjected",
+    "FaultPlan",
+    "RetryPolicy",
     "RunCache",
+    "SweepError",
     "SweepResult",
     "SweepSpec",
+    "TearingCache",
     "default_workers",
     "run_key",
     "run_spec",

@@ -180,7 +180,13 @@ class RunCache:
         lost race between concurrent writers costs nothing but an index
         line.  Riding along with the entry, the instance's unflushed
         hit/miss/write deltas are folded into the lifetime totals (the
-        index is being rewritten anyway).
+        index is being rewritten anyway) — and committed as flushed
+        only once the write lands, so a failed write keeps the deltas
+        for the next attempt instead of discarding them.
+
+        ``TypeError``/``ValueError`` cover ``json.dump`` choking on odd
+        run metadata: one unserialisable run must not crash a sweep
+        whose simulation already succeeded.
         """
         try:
             index = self._raw_index()
@@ -190,18 +196,31 @@ class RunCache:
                 "duration_s": run.duration_s,
                 "base_seed": run.metadata.get("base_seed"),
             }
-            self._fold_stats_into(index)
+            flushed = self._fold_stats_into(index)
             self._write_index(index)
-        except OSError as exc:
-            logger.warning("run cache index update failed: %s", exc)
+        except (OSError, TypeError, ValueError) as exc:
+            logger.warning(
+                "run cache index update failed (%s: %s)",
+                type(exc).__name__,
+                exc,
+            )
+        else:
+            self._flushed = flushed
 
     def _write_index(self, index: dict) -> None:
         fd, tmp_path = tempfile.mkstemp(
             prefix=".index-", suffix=".tmp", dir=self.root
         )
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(index, handle, indent=2, sort_keys=True)
-        os.replace(tmp_path, self._index_path())
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(index, handle, indent=2, sort_keys=True)
+            os.replace(tmp_path, self._index_path())
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     def _raw_index(self) -> dict:
         if not self.root:
@@ -228,8 +247,14 @@ class RunCache:
 
     # -- lifetime statistics --------------------------------------------
 
-    def _fold_stats_into(self, index: dict) -> None:
-        """Add this instance's unflushed deltas to ``index``'s totals."""
+    def _fold_stats_into(self, index: dict) -> CacheStats:
+        """Add this instance's unflushed deltas to ``index``'s totals.
+
+        Returns the stats snapshot the caller must assign to
+        ``_flushed`` **after** the index write succeeds; committing it
+        eagerly would permanently discard the deltas when the write
+        fails (they would look flushed without ever reaching disk).
+        """
         stored = index.get(_STATS_KEY) or {}
         index[_STATS_KEY] = {
             "hits": int(stored.get("hits", 0)) + self.stats.hits - self._flushed.hits,
@@ -240,7 +265,7 @@ class RunCache:
             + self.stats.writes
             - self._flushed.writes,
         }
-        self._flushed = dataclasses.replace(self.stats)
+        return dataclasses.replace(self.stats)
 
     def persist_stats(self) -> None:
         """Fold unflushed hit/miss/write deltas into the on-disk totals.
@@ -262,10 +287,16 @@ class RunCache:
         try:
             os.makedirs(self.root, exist_ok=True)
             index = self._raw_index()
-            self._fold_stats_into(index)
+            flushed = self._fold_stats_into(index)
             self._write_index(index)
-        except OSError as exc:
-            logger.warning("run cache stats persistence failed: %s", exc)
+        except (OSError, TypeError, ValueError) as exc:
+            logger.warning(
+                "run cache stats persistence failed (%s: %s)",
+                type(exc).__name__,
+                exc,
+            )
+        else:
+            self._flushed = flushed
 
     def lifetime_stats(self) -> CacheStats:
         """Stored totals plus this instance's unflushed activity."""

@@ -1,0 +1,259 @@
+"""Deterministic fault injection for the sweep engine.
+
+The paper's data collection is an hours-long campaign; our equivalent
+(the parallel sweep) must survive worker death, torn cache files and
+runaway tasks.  Proving that requires *injecting* those faults
+deterministically, so the fault-tolerance tests can assert the strong
+property that matters: a sweep executed under faults produces runs
+**bit-identical** to an undisturbed serial sweep.
+
+A :class:`FaultPlan` names which spec indices misbehave and how:
+
+* ``fail`` — the worker raises :class:`FaultInjected` (a per-task
+  exception the retry loop must absorb);
+* ``kill`` — the worker process hard-exits (``os._exit``), breaking
+  the whole ``ProcessPoolExecutor`` (``BrokenProcessPool``);
+* ``hang`` — the worker sleeps ``hang_s`` seconds before running,
+  driving the retry policy's task timeout;
+* ``exit_parent_after`` — the *parent* sweep process hard-exits after
+  the Nth completed (and checkpointed) spec, simulating a mid-run
+  ``SIGKILL`` for checkpoint/resume tests.
+
+Each of ``fail``/``kill``/``hang`` maps a spec index to the number of
+leading *submissions* that misbehave, so a plan like ``kill={0: 1}``
+kills the first attempt at spec 0 and lets the retry succeed — the
+sweep's final output is unchanged, only its execution path differs.
+
+Plans cross the process boundary two ways: pickled inside the pool
+task (in-process sweeps) or as JSON in the ``REPRO_FAULT_PLAN``
+environment variable (CLI / CI smoke runs), e.g.::
+
+    REPRO_FAULT_PLAN='{"exit_parent_after": 1}' repro-power sweep ...
+
+:class:`TearingCache` complements the plan on the storage side: a
+:class:`~repro.exec.cache.RunCache` that truncates files after writing
+them, simulating a crash mid-write of a non-atomic writer so tests can
+exercise the corrupt-entry heal paths.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.exec.cache import RunCache
+
+logger = logging.getLogger(__name__)
+
+#: Environment variable carrying a JSON-encoded :class:`FaultPlan`.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit status of a killed worker (arbitrary, distinguishable).
+WORKER_KILL_EXIT = 42
+
+#: Exit status of a killed parent — 128+9, what a shell reports after
+#: an actual ``SIGKILL``.
+PARENT_KILL_EXIT = 137
+
+
+class FaultInjected(RuntimeError):
+    """The exception an injected per-task failure raises."""
+
+
+@dataclass
+class FaultPlan:
+    """Which spec indices misbehave, how, and for how many attempts.
+
+    All three fault maps key on the spec's index in the sweep and give
+    the number of leading submissions that misbehave; attempts at or
+    past that count run normally.  The plan must stay picklable (it
+    rides to pool workers inside the task tuple).
+    """
+
+    #: spec index -> leading attempts that raise :class:`FaultInjected`.
+    fail: "dict[int, int]" = field(default_factory=dict)
+    #: spec index -> leading attempts where the pool worker hard-exits.
+    #: Ignored by in-process (serial) execution, which is exactly what
+    #: makes degrade-to-serial a safe escape hatch.
+    kill: "dict[int, int]" = field(default_factory=dict)
+    #: spec index -> leading attempts that sleep ``hang_s`` first.
+    hang: "dict[int, int]" = field(default_factory=dict)
+    #: How long a hung attempt sleeps (must exceed the retry policy's
+    #: ``timeout_s`` to register as a timeout).
+    hang_s: float = 30.0
+    #: Hard-exit the parent after this many completed specs (``None``
+    #: disables).  Completions are counted after the checkpoint store,
+    #: so everything "done" at death is durably cached.
+    exit_parent_after: "int | None" = None
+
+    # -- queries -------------------------------------------------------
+
+    def should_fail(self, index: int, attempt: int) -> bool:
+        return attempt < self.fail.get(index, 0)
+
+    def should_kill(self, index: int, attempt: int) -> bool:
+        return attempt < self.kill.get(index, 0)
+
+    def should_hang(self, index: int, attempt: int) -> bool:
+        return attempt < self.hang.get(index, 0)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.fail or self.kill or self.hang) and (
+            self.exit_parent_after is None
+        )
+
+    # -- application ---------------------------------------------------
+
+    def apply_in_worker(self, index: int, attempt: int) -> None:
+        """Inject this attempt's fault from inside a pool worker."""
+        if self.should_kill(index, attempt):
+            # Hard exit: no exception, no cleanup — the parent sees the
+            # worker vanish and the executor break.
+            os._exit(WORKER_KILL_EXIT)
+        if self.should_hang(index, attempt):
+            time.sleep(self.hang_s)
+        if self.should_fail(index, attempt):
+            raise FaultInjected(
+                f"injected failure (spec {index}, attempt {attempt})"
+            )
+
+    def apply_in_process(self, index: int, attempt: int) -> None:
+        """Inject from serial in-process execution.
+
+        Kills and hangs are pool concepts (killing would take the whole
+        sweep down, and serial execution has no task timeout), so only
+        per-task exceptions inject here.
+        """
+        if self.should_fail(index, attempt):
+            raise FaultInjected(
+                f"injected failure (spec {index}, attempt {attempt})"
+            )
+
+    def maybe_exit_parent(self, completed: int) -> None:
+        """Hard-exit the sweep process after the Nth completion."""
+        if self.exit_parent_after is not None and completed >= self.exit_parent_after:
+            logger.warning(
+                "fault plan: hard-exiting parent after %d completed spec(s)",
+                completed,
+            )
+            os._exit(PARENT_KILL_EXIT)
+
+    # -- construction / serialisation ----------------------------------
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_specs: int,
+        fail_rate: float = 0.0,
+        kill_rate: float = 0.0,
+        attempts: int = 1,
+    ) -> "FaultPlan":
+        """A reproducible random plan over ``n_specs`` spec indices.
+
+        Each index independently draws whether its first ``attempts``
+        submissions fail and/or kill; the same seed always yields the
+        same plan.
+        """
+        rng = random.Random(seed)
+        fail: "dict[int, int]" = {}
+        kill: "dict[int, int]" = {}
+        for index in range(n_specs):
+            if rng.random() < fail_rate:
+                fail[index] = attempts
+            if rng.random() < kill_rate:
+                kill[index] = attempts
+        return cls(fail=fail, kill=kill)
+
+    def to_json(self) -> dict:
+        doc: dict = {}
+        for name in ("fail", "kill", "hang"):
+            mapping = getattr(self, name)
+            if mapping:
+                doc[name] = {str(k): int(v) for k, v in mapping.items()}
+        if self.hang:
+            doc["hang_s"] = self.hang_s
+        if self.exit_parent_after is not None:
+            doc["exit_parent_after"] = self.exit_parent_after
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FaultPlan":
+        def int_map(name: str) -> "dict[int, int]":
+            return {int(k): int(v) for k, v in (doc.get(name) or {}).items()}
+
+        exit_after = doc.get("exit_parent_after")
+        return cls(
+            fail=int_map("fail"),
+            kill=int_map("kill"),
+            hang=int_map("hang"),
+            hang_s=float(doc.get("hang_s", 30.0)),
+            exit_parent_after=None if exit_after is None else int(exit_after),
+        )
+
+    def to_env(self) -> str:
+        """The ``REPRO_FAULT_PLAN`` value describing this plan."""
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The plan in ``$REPRO_FAULT_PLAN``, or ``None`` when unset.
+
+        A malformed value is logged and ignored — a typo'd plan must
+        not take a production sweep down (and a fault smoke that relies
+        on it fails loudly anyway when no fault fires).
+        """
+        raw = os.environ.get(FAULT_PLAN_ENV)
+        if not raw:
+            return None
+        try:
+            plan = cls.from_json(json.loads(raw))
+        except (ValueError, TypeError, AttributeError) as exc:
+            logger.warning(
+                "ignoring malformed %s=%r (%s: %s)",
+                FAULT_PLAN_ENV,
+                raw,
+                type(exc).__name__,
+                exc,
+            )
+            return None
+        return None if plan.empty else plan
+
+
+def tear_file(path: str, keep_fraction: float = 0.5) -> None:
+    """Truncate ``path`` mid-byte, like a crash during a rewrite."""
+    size = os.path.getsize(path)
+    with open(path, "rb+") as handle:
+        handle.truncate(max(1, int(size * keep_fraction)))
+
+
+@dataclass
+class TearingCache(RunCache):
+    """A :class:`RunCache` that tears files right after writing them.
+
+    ``tear_next_runs`` / ``tear_next_index`` count down: each store (or
+    index write) while the counter is positive leaves a truncated file
+    behind, as if a non-atomic writer died mid-write.  Loaders must
+    treat the torn file as a miss and the next store must heal it.
+    """
+
+    tear_next_runs: int = 0
+    tear_next_index: int = 0
+
+    def store(self, key, run):
+        path = super().store(key, run)
+        if path is not None and self.tear_next_runs > 0:
+            self.tear_next_runs -= 1
+            tear_file(path)
+        return path
+
+    def _write_index(self, index) -> None:
+        super()._write_index(index)
+        if self.tear_next_index > 0:
+            self.tear_next_index -= 1
+            tear_file(self._index_path())

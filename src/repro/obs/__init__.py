@@ -60,6 +60,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Tracer",
+    "counter",
     "disable",
     "drift",
     "dump",
@@ -165,6 +166,16 @@ def observe(
 ) -> None:
     if _enabled:
         _registry.observe(name, value, labels, buckets)
+
+
+def counter(name: str, labels: "dict | None" = None) -> float:
+    """Current value of a counter (0.0 when it never incremented).
+
+    A read-side convenience for call sites that report on their own
+    telemetry — e.g. the sweep CLI printing ``sweep_retries_total``
+    after a fault-disturbed run.
+    """
+    return _registry.counters.get(metric_key(name, labels), 0.0)
 
 
 # -- cross-process aggregation -----------------------------------------

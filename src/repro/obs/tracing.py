@@ -87,6 +87,12 @@ class Tracer:
         stack.append(handle)
         try:
             yield handle
+        except BaseException as exc:
+            # A span that dies mid-flight is still recorded — tagged
+            # with the exception type so retried sweep tasks leave an
+            # errored span per failed attempt.
+            handle.attrs.setdefault("error", type(exc).__name__)
+            raise
         finally:
             popped = stack.pop()
             assert popped is handle, "span stack corrupted"

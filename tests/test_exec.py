@@ -17,7 +17,15 @@ import pytest
 
 from repro.analysis.experiments import ExperimentContext
 from repro.core.events import Subsystem
-from repro.exec import RunCache, SweepSpec, run_key, run_spec, sweep, sweep_specs
+from repro.exec import (
+    RunCache,
+    SweepSpec,
+    default_workers,
+    run_key,
+    run_spec,
+    sweep,
+    sweep_specs,
+)
 from repro.simulator.config import SystemConfig, fast_config
 from repro.simulator.system import Server
 from repro.workloads.registry import get_workload
@@ -93,6 +101,40 @@ class TestSweepDeterminism:
         parallel_s = time.perf_counter() - t0
         # Lenient bound: pool startup and pickling eat into the ideal 4x.
         assert parallel_s < serial_s / 1.3
+
+
+class TestSweepFailureSemantics:
+    def test_duplicate_workload_names_raise(self):
+        """``dict(zip(...))`` used to collapse duplicates last-wins,
+        silently dropping runs; duplicates are now a hard error."""
+        with pytest.raises(ValueError, match="duplicate workload name"):
+            sweep(
+                ["idle", "gcc", "idle"],
+                config=fast_config(),
+                duration_s=DURATION_S,
+                n_workers=1,
+            )
+
+    def test_unique_workload_names_unaffected(self):
+        runs = sweep(
+            ["idle"], config=fast_config(), duration_s=DURATION_S, n_workers=1
+        )
+        assert list(runs) == ["idle"]
+
+    def test_default_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")
+        assert default_workers() == 1
+
+    def test_default_workers_bad_env_falls_back(self, monkeypatch, caplog):
+        """A non-integer override used to crash with ``ValueError``
+        before the sweep even started; it now warns and uses the CPU
+        count."""
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "lots")
+        with caplog.at_level("WARNING", logger="repro.exec.sweep"):
+            assert default_workers() == (os.cpu_count() or 1)
+        assert "REPRO_SWEEP_WORKERS" in caplog.text
 
 
 class TestRunKey:
