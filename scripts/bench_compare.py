@@ -195,6 +195,12 @@ def main(argv: "list[str] | None" = None) -> int:
     failures = compare(measured, baseline, args.tolerance)
     if failures:
         print(f"{failures} metric(s) regressed beyond {args.tolerance * 100:.0f}%")
+        from repro.obs import flight
+
+        flight.dump_failure_bundle(
+            "bench_compare.regression",
+            detail={"n_regressed": failures, "tolerance": args.tolerance},
+        )
         return 1
     print("all metrics within tolerance")
     return 0

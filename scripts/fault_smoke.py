@@ -55,6 +55,9 @@ CLI_SEED = 7
 def check(ok: bool, what: str) -> None:
     print(f"  {'ok' if ok else 'FAIL'}: {what}")
     if not ok:
+        from repro.obs import flight
+
+        flight.dump_failure_bundle("fault_smoke", detail={"check": what})
         sys.exit(1)
 
 

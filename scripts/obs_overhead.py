@@ -11,6 +11,13 @@ The instrumentation only fires at batch boundaries, so the measured
 overhead is expected to sit in the noise; this gate keeps it that way
 as hooks accumulate.
 
+A second paired measurement holds telemetry *on* and attaches a
+:class:`~repro.obs.live.LiveMonitor` to both servers, varying only the
+estimator's ``attribute`` flag — the per-term watt decomposition must
+also stay within the same budget relative to an attribution-free
+monitor.  A gate failure dumps a flight-recorder bundle (via
+``REPRO_FLIGHT_DIR`` when set) so CI failures come with a post-mortem.
+
 Usage::
 
     PYTHONPATH=src python scripts/obs_overhead.py
@@ -50,19 +57,29 @@ def _timed_round(server: Server, budget_s: float) -> float:
     return (time.perf_counter() - t0) / calls
 
 
-def _paired_overhead(server_off, server_on, rounds: int = 20, budget_s: float = 0.25):
+def _paired_overhead(
+    server_off,
+    server_on,
+    rounds: int = 20,
+    budget_s: float = 0.25,
+    setup_off=obs.disable,
+    setup_on=obs.enable,
+):
     """Median enabled/disabled slowdown over back-to-back round pairs.
 
     Returns ``(overhead, off_ticks_per_s, on_ticks_per_s)`` where the
     throughputs are the best observed round of each mode (headline
     numbers only; the gate decision uses the median paired ratio).
+    ``setup_off`` / ``setup_on`` run before each half of a pair (the
+    telemetry gate toggles ``obs``; the attribution gate keeps it on
+    for both halves).
     """
     ratios = []
     best_off = best_on = float("inf")
     for _ in range(rounds):
-        obs.disable()
+        setup_off()
         off = _timed_round(server_off, budget_s)
-        obs.enable()
+        setup_on()
         on = _timed_round(server_on, budget_s)
         ratios.append(on / off)
         best_off = min(best_off, off)
@@ -71,6 +88,60 @@ def _paired_overhead(server_off, server_on, rounds: int = 20, budget_s: float = 
     mid = len(ratios) // 2
     median = ratios[mid] if len(ratios) % 2 else (ratios[mid - 1] + ratios[mid]) / 2.0
     return median - 1.0, _BATCH / best_off, _BATCH / best_on
+
+
+def _toy_suite():
+    """A hand-built paper-shaped suite (no training runs needed).
+
+    The coefficients are plausible, not fitted — the attribution gate
+    measures *mechanical* cost per estimate, which only depends on the
+    term structure, not on the watt values being right.
+    """
+    from repro.core.events import Subsystem
+    from repro.core.features import FeatureSet
+    from repro.core.models import ConstantModel, PolynomialModel
+    from repro.core.suite import TrickleDownSuite
+
+    return TrickleDownSuite(
+        {
+            Subsystem.CPU: PolynomialModel(
+                FeatureSet.of("active_fraction", "fetched_uops_per_cycle"),
+                degree=1,
+                coefficients=[35.0, 20.0, 5.0],
+            ),
+            Subsystem.MEMORY: PolynomialModel(
+                FeatureSet.of("bus_transactions_per_mcycle"),
+                degree=2,
+                coefficients=[18.0, 0.5, 0.01],
+            ),
+            Subsystem.IO: PolynomialModel(
+                FeatureSet.of("interrupts_per_mcycle"),
+                degree=1,
+                coefficients=[2.0, 0.1],
+            ),
+            Subsystem.DISK: PolynomialModel(
+                FeatureSet.of("disk_interrupts_per_mcycle"),
+                degree=1,
+                coefficients=[10.0, 0.2],
+            ),
+            Subsystem.CHIPSET: ConstantModel(19.9),
+        },
+        recipe_name="obs-overhead-toy",
+    )
+
+
+def _monitored_server(config, workload, seed: int, attribute: bool):
+    """A warmed server with an attribution-on/off live monitor attached."""
+    from repro.core.estimator import SystemPowerEstimator
+    from repro.obs.live import LiveMonitor
+
+    server = Server(config, workload, seed=seed)
+    monitor = LiveMonitor(
+        SystemPowerEstimator(_toy_suite(), attribute=attribute)
+    )
+    server.attach_monitor(monitor)
+    server.run_ticks(200)  # warm caches
+    return server
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -102,6 +173,16 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.telemetry_dir:
         paths = obs.dump(args.telemetry_dir)
         print(f"telemetry artifacts: {', '.join(sorted(paths.values()))}")
+
+    # Attribution gate: telemetry stays ON for both halves; the only
+    # difference is the estimator's per-term decomposition.
+    obs.reset()
+    obs.enable()
+    attr_off = _monitored_server(config, workload, seed=5, attribute=False)
+    attr_on = _monitored_server(config, workload, seed=5, attribute=True)
+    attr_overhead, attr_disabled, attr_enabled = _paired_overhead(
+        attr_off, attr_on, setup_off=obs.enable, setup_on=obs.enable
+    )
     obs.disable()
     obs.reset()
 
@@ -111,8 +192,31 @@ def main(argv: "list[str] | None" = None) -> int:
         f"overhead: {overhead * 100.0:+.2f}% median paired "
         f"(gate: {args.tolerance * 100.0:.0f}%)"
     )
+    print(f"attribution off: {attr_disabled:10.1f} ticks/s (best round)")
+    print(f"attribution on:  {attr_enabled:10.1f} ticks/s (best round)")
+    print(
+        f"attribution overhead: {attr_overhead * 100.0:+.2f}% median paired "
+        f"(gate: {args.tolerance * 100.0:.0f}%)"
+    )
+    failures = []
     if overhead > args.tolerance:
-        print("FAIL: enabled-mode telemetry overhead exceeds the gate")
+        failures.append(("telemetry", overhead))
+    if attr_overhead > args.tolerance:
+        failures.append(("attribution", attr_overhead))
+    if failures:
+        for what, value in failures:
+            print(f"FAIL: {what} overhead {value * 100.0:+.2f}% exceeds the gate")
+        from repro.obs import flight
+
+        flight.dump_failure_bundle(
+            "obs_overhead.gate",
+            detail={
+                "tolerance": args.tolerance,
+                "telemetry_overhead": overhead,
+                "attribution_overhead": attr_overhead,
+                "failed": [what for what, _ in failures],
+            },
+        )
         return 1
     print("ok")
     return 0

@@ -79,6 +79,23 @@ class HeathOsModel:
         sectors = self._disk_sector_rate(trace)
         return self.disk_coeffs[0] + self.disk_coeffs[1] * sectors
 
+    def attribute(self, trace: CounterTrace) -> "dict[str, np.ndarray]":
+        """Per-term watts, namespaced per modelled subsystem.
+
+        The terms sum exactly to ``predict_cpu + predict_disk`` (this
+        model covers two power domains, so its terms carry a
+        ``cpu:``/``disk:`` prefix instead of being flat).
+        """
+        n = trace.n_samples
+        utilization = self._cpu_utilization(trace)
+        sectors = self._disk_sector_rate(trace)
+        return {
+            "cpu:idle": np.full(n, self.cpu_coeffs[0]),
+            "cpu:utilization": self.cpu_coeffs[1] * utilization,
+            "disk:idle": np.full(n, self.disk_coeffs[0]),
+            "disk:sector_rate": self.disk_coeffs[1] * sectors,
+        }
+
     @staticmethod
     def sampling_overhead_cycles(n_counters: int, os_based: bool) -> float:
         """Per-sample cost of reading ``n_counters`` counters."""

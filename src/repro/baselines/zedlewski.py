@@ -49,6 +49,17 @@ class ZedlewskiDiskModel:
     def predict(self, trace: CounterTrace) -> np.ndarray:
         return self._design(trace) @ self.coefficients
 
+    #: Term labels matching the coefficient layout.
+    TERM_NAMES = ("rotation", "seek", "transfer")
+
+    def attribute(self, trace: CounterTrace) -> "dict[str, np.ndarray]":
+        """Per-term watts; terms sum exactly to :meth:`predict`."""
+        design = self._design(trace)
+        return {
+            name: design[:, k] * self.coefficients[k]
+            for k, name in enumerate(self.TERM_NAMES)
+        }
+
     def describe(self) -> str:
         rotation, seek, transfer = self.coefficients
         return (

@@ -14,13 +14,26 @@ Commands::
     repro-power obs [DIR]                        # last run's telemetry
     repro-power monitor --workload gcc           # live run + HTTP endpoint
     repro-power sweep [gcc,mcf,...] [--resume]   # fault-tolerant bulk sweep
+    repro-power explain [mcf]                    # per-term power attribution
+    repro-power explain --bundle PATH            # print a flight bundle
 
 Common options: ``--seed``, ``--duration`` (seconds per workload),
 ``--tick-ms`` (simulation resolution), ``--cache-dir`` (run cache),
 ``--workers`` (parallel sweep processes), ``--telemetry DIR`` (dump
 ``metrics.prom``/``metrics.json``/``trace.jsonl`` after the command;
-``repro-power obs`` pretty-prints them).  ``REPRO_LOG_LEVEL`` controls
-log verbosity.
+``repro-power obs`` pretty-prints them), ``--flight-dir DIR`` (arm the
+flight recorder: post-mortem bundles land in DIR on drift alerts,
+sweep failures or crashes).  ``REPRO_LOG_LEVEL`` controls log
+verbosity.
+
+``explain`` reproduces the paper's Section 5 diagnosis style for any
+workload: it decomposes each subsystem's estimate into per-term watts
+(intercept, each counter's linear/quadratic share), compares against
+measured power with the Table 3 error column, and names the dominant
+term — on mcf the CPU row shows the fetched-uops term carrying the
+estimate while true power runs higher (speculation the counter cannot
+see).  With ``--bundle PATH`` it pretty-prints a flight-recorder
+bundle from a fresh process instead.
 
 ``sweep`` runs many workloads (comma-separated positional, default:
 all twelve paper workloads) through the fault-tolerant sweep engine:
@@ -117,7 +130,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "command",
         help="table1..table4, fig1..fig7, equations, report, run, list, "
-        "obs, monitor, sweep",
+        "obs, monitor, sweep, explain",
     )
     parser.add_argument("workload", nargs="?", help="workload name (for 'run')")
     parser.add_argument("--seed", type=int, default=7)
@@ -142,6 +155,23 @@ def main(argv: "list[str] | None" = None) -> int:
         "after the command",
     )
     parser.add_argument("-o", "--output", default=None, help="write report here")
+    parser.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        dest="flight_dir",
+        default=None,
+        help="arm the flight recorder: keep a ring of recent windows/"
+        "attribution and dump post-mortem bundles into DIR on drift "
+        "alerts, sweep failures, crashes or /flightrecorder?dump=1",
+    )
+    explain_group = parser.add_argument_group("explain options")
+    explain_group.add_argument(
+        "--bundle",
+        metavar="PATH",
+        default=None,
+        help="pretty-print a flight-recorder bundle (directory or "
+        "bundle.json) instead of simulating a workload",
+    )
     sweep_group = parser.add_argument_group("sweep options")
     sweep_group.add_argument(
         "--resume",
@@ -237,9 +267,33 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     if args.telemetry:
         obs.enable()
+    recorder = None
+    if args.flight_dir:
+        from repro.obs import flight as flight_mod
+
+        recorder = flight_mod.FlightRecorder(out_dir=args.flight_dir)
+        flight_mod.set_global(recorder)
+        recorder.install_excepthook()
     try:
         return _dispatch(args, parser)
+    except Exception as error:
+        # The finally below uninstalls the excepthook before the
+        # interpreter would run it, so dump the crash bundle here.
+        if recorder is not None:
+            recorder.trigger(
+                "unhandled_exception",
+                detail={"type": type(error).__name__, "error": str(error)},
+            )
+        raise
     finally:
+        if recorder is not None:
+            recorder.uninstall_excepthook()
+            flight_mod.clear_global()
+            if recorder.bundles:
+                print(
+                    f"flight: wrote {len(recorder.bundles)} bundle(s) to "
+                    f"{args.flight_dir}"
+                )
         if args.telemetry:
             paths = obs.dump(args.telemetry)
             print(
@@ -257,12 +311,16 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if command == "fig1":
         print(render_propagation_diagram())
         return 0
+    if command == "explain" and args.bundle:
+        return _cmd_explain_bundle(args.bundle)
 
     context = _context(args)
     if command == "monitor":
         return _cmd_monitor(args, parser, context)
     if command == "sweep":
         return _cmd_sweep(args, parser, context)
+    if command == "explain":
+        return _cmd_explain(args, parser, context)
     tables = {
         "table1": ex.table1_average_power,
         "table2": ex.table2_power_stddev,
@@ -385,6 +443,171 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return 2
 
 
+def _cmd_explain(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    context: "ex.ExperimentContext",
+) -> int:
+    """``repro-power explain``: per-term attribution of one workload."""
+    from repro.obs import attribution as attr_mod
+
+    name = args.workload_opt or args.workload or "mcf"
+    try:
+        get_workload(name)
+    except KeyError:
+        parser.error(f"unknown workload {name!r}")
+    print("explain: training trickle-down suite ...")
+    suite = context.paper_suite()
+    run = context.run(name)
+    report = attr_mod.attribute_run(suite, run, workload=name)
+
+    summary_rows = []
+    for sub in report.subsystems.values():
+        top_term, _ = sub.top_terms(1)[0]
+        summary_rows.append(
+            [
+                sub.subsystem,
+                sub.modeled_w,
+                sub.true_w if sub.true_w is not None else float("nan"),
+                sub.error_pct if sub.error_pct is not None else float("nan"),
+                sub.residual_w if sub.residual_w is not None else float("nan"),
+                top_term,
+            ]
+        )
+    print(
+        format_table(
+            f"{name}: attribution vs measured power "
+            f"({report.n_samples} window(s))",
+            (
+                "subsystem",
+                "modeled W",
+                "true W",
+                "avg err %",
+                "true-est W",
+                "dominant term",
+            ),
+            summary_rows,
+            precision=2,
+        )
+    )
+    print()
+    term_rows = []
+    for sub in report.subsystems.values():
+        for term, watts in sub.top_terms(n=len(sub.terms_w)):
+            term_rows.append([sub.subsystem, term, watts, sub.share_pct(term)])
+    print(
+        format_table(
+            "Per-term attribution (mean W over the run)",
+            ("subsystem", "term", "watts", "share %"),
+            term_rows,
+            precision=2,
+        )
+    )
+    print()
+    cpu = report.subsystems.get("cpu")
+    if cpu is not None:
+        print("explain:", attr_mod.diagnose(cpu, n=1))
+        fetched_w = sum(
+            watts for term, watts in cpu.terms_w.items() if "fetched_uops" in term
+        )
+        if cpu.residual_w is not None and cpu.residual_w > 0 and fetched_w:
+            share = 100.0 * fetched_w / cpu.modeled_w if cpu.modeled_w else 0.0
+            print(
+                f"explain: the fetched-uops terms attribute only "
+                f"{fetched_w:.1f} W ({share:.0f}% of the CPU estimate) yet "
+                f"true CPU power runs {cpu.residual_w:.1f} W above the "
+                "model — speculative work that fetched uops cannot see "
+                "(the paper's mcf diagnosis, Section 5)."
+            )
+    return 0
+
+
+def _cmd_explain_bundle(path: str) -> int:
+    """``repro-power explain --bundle``: print a flight bundle."""
+    from repro.obs import attribution as attr_mod
+    from repro.obs import flight as flight_mod
+
+    try:
+        doc = flight_mod.load_bundle(path)
+    except (OSError, ValueError) as error:
+        print(f"explain: cannot read bundle at {path!r}: {error}")
+        return 1
+    provenance = doc.get("provenance") or {}
+    print(
+        "flight bundle: {}  (recorded {} on {} @ {})".format(
+            doc.get("reason", "?"),
+            provenance.get("date", "?"),
+            provenance.get("host", "?"),
+            provenance.get("git_sha", "?"),
+        )
+    )
+    detail = doc.get("detail")
+    if detail:
+        print(f"  trigger detail: {json.dumps(detail, sort_keys=True)}")
+    frames = doc.get("frames") or []
+    print(f"  frames recorded: {len(frames)}")
+    for frame in frames[-5:]:
+        if frame.get("kind") == "note":
+            print(f"    t={frame.get('t_s', 0.0):9.1f}s  note: {frame.get('message')}")
+            continue
+        print(
+            "    t={:9.1f}s  true {:6.1f}W  est {:6.1f}W  err {:5.1f}%".format(
+                frame.get("t_s", 0.0),
+                frame.get("true_w", float("nan")),
+                frame.get("estimated_w", float("nan")),
+                frame.get("error_pct", float("nan")),
+            )
+        )
+    drift_doc = doc.get("drift")
+    if drift_doc:
+        print(
+            f"  drift: slo {drift_doc.get('slo_pct')}%  "
+            f"firing: {', '.join(drift_doc.get('firing', [])) or 'none'}"
+        )
+        for alert in (drift_doc.get("history") or [])[-8:]:
+            top = ", ".join(
+                f"{term}={watts:.1f}W" for term, watts in alert.get("top_terms", [])
+            )
+            print(
+                f"    {alert['state']:>8}  {alert['subsystem']:8} "
+                f"err {alert['error_pct']:5.1f}%  t={alert['timestamp_s']:.1f}s"
+                + (f"  top: {top}" if top else "")
+            )
+    windows_doc = doc.get("windows")
+    if windows_doc:
+        print(
+            f"  windows: {len(windows_doc.get('windows', []))} in bundle "
+            f"(of {windows_doc.get('n_windows', '?')} recorded, "
+            f"{windows_doc.get('window_s', '?')}s wide)"
+        )
+    attribution_doc = doc.get("attribution")
+    if attribution_doc:
+        attribution = attr_mod.Attribution.from_dict(attribution_doc)
+        rows = [
+            [sub, term, watts]
+            for sub in attribution.subsystems()
+            for term, watts in attribution.top_terms(sub, n=99)
+        ]
+        print()
+        print(
+            format_table(
+                "Latest attribution (W)",
+                ("subsystem", "term", "watts"),
+                rows,
+                precision=2,
+            )
+        )
+        if attribution.residual_w:
+            residuals = "  ".join(
+                f"{sub} {watts:+.1f}W"
+                for sub, watts in sorted(attribution.residual_w.items())
+            )
+            print(f"  residual (est-true): {residuals}")
+    tail = doc.get("trace_tail") or []
+    print(f"  trace events in tail: {len(tail)}")
+    return 0
+
+
 def _cmd_sweep(
     args: argparse.Namespace,
     parser: argparse.ArgumentParser,
@@ -488,7 +711,14 @@ def _cmd_monitor(
     obs.enable()
     slo = drift_mod.DEFAULT_SLO_PCT if args.slo is None else args.slo
     drift = drift_mod.DriftMonitor(slo_pct=slo)
-    endpoint = ObservabilityServer(drift=drift, port=args.port)
+    recorder = None
+    if args.flight_dir:
+        from repro.obs import flight as flight_mod
+
+        recorder = flight_mod.get_global()
+        if recorder is not None:
+            recorder.drift = drift
+    endpoint = ObservabilityServer(drift=drift, flight=recorder, port=args.port)
     endpoint.phase = "training"
     endpoint.start()
     print(
@@ -529,10 +759,16 @@ def _report_alerts(drift, seen: int) -> int:
     """Print drift transitions recorded since index ``seen``."""
     history = drift.history()
     for alert in history[seen:]:
+        top = ""
+        if alert.top_terms:
+            top = "  top: " + ", ".join(
+                f"{term}={watts:.1f}W" for term, watts in alert.top_terms
+            )
         print(
             f"monitor: ALERT {alert.state:>8}  {alert.subsystem:8} "
             f"ewma err {alert.error_pct:5.1f}% "
             f"(threshold {alert.threshold_pct:.1f}%)  t={alert.timestamp_s:.1f}s"
+            + top
         )
     return len(history)
 
@@ -555,9 +791,14 @@ def _monitor_server(
     spec = get_workload(name)
     server = Server(context.config, spec, seed=context.seed)
     monitor = LiveMonitor(
-        SystemPowerEstimator(active), drift=drift, window_s=args.window
+        SystemPowerEstimator(active, attribute=True),
+        drift=drift,
+        window_s=args.window,
+        flight=endpoint.flight,
     )
     endpoint.windows = monitor.windows
+    if endpoint.flight is not None:
+        endpoint.flight.windows = monitor.windows
     server.attach_monitor(monitor)
 
     ticks_per_s = max(1, int(round(1.0 / context.config.tick_s)))
@@ -645,8 +886,16 @@ def _monitor_cluster(
         period_s=max(duration / 2.0, 60.0),
         seed=context.seed,
     )
-    observer = ClusterObserver(suite=active, drift=drift, window_s=args.window)
+    observer = ClusterObserver(
+        suite=active,
+        drift=drift,
+        window_s=args.window,
+        attribute=True,
+        flight=endpoint.flight,
+    )
     endpoint.windows = observer.windows
+    if endpoint.flight is not None:
+        endpoint.flight.windows = observer.windows
     manager = PowerAwareManager()
     restored = args.perturb is None or args.restore_at is None
     seen_alerts = 0

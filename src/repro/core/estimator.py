@@ -20,21 +20,35 @@ from repro import obs
 from repro.core.events import Event, Subsystem
 from repro.core.suite import TrickleDownSuite
 from repro.core.traces import CounterTrace
+from repro.obs.attribution import Attribution
 
 
 @dataclass(frozen=True)
 class PowerEstimate:
-    """One estimation step's output."""
+    """One estimation step's output.
+
+    ``attribution`` is the optional per-term watt decomposition (see
+    :mod:`repro.obs.attribution`), attached when the estimator runs
+    with ``attribute=True``.
+    """
 
     timestamp_s: float
     subsystem_w: "dict[Subsystem, float]"
     total_w: float
+    attribution: "Attribution | None" = None
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
+    def __str__(self) -> str:
         parts = ", ".join(
             f"{s.value}={w:.1f}W" for s, w in self.subsystem_w.items()
         )
-        return f"t={self.timestamp_s:.1f}s total={self.total_w:.1f}W ({parts})"
+        text = f"t={self.timestamp_s:.1f}s total={self.total_w:.1f}W ({parts})"
+        if self.attribution is not None:
+            top = self.attribution.top_terms(n=3)
+            if top:
+                text += "; top terms: " + ", ".join(
+                    f"{term}={watts:.1f}W" for term, watts in top
+                )
+        return text
 
 
 #: Default estimate-history bound.  A long-running daemon estimating
@@ -50,16 +64,23 @@ class SystemPowerEstimator:
     (a deque; the oldest estimates are evicted first).  Pass ``None``
     for the old unbounded behaviour — only sensible for short batch
     sessions that read the full history afterwards.
+
+    ``attribute=True`` attaches an :class:`Attribution` (per-term watt
+    decomposition) to every estimate.  Disabled — the default — the
+    cost is a single bool check per estimate, the same pattern as the
+    ``Server.run_ticks`` telemetry hooks.
     """
 
     def __init__(
         self,
         suite: TrickleDownSuite,
         max_history: "int | None" = DEFAULT_MAX_HISTORY,
+        attribute: bool = False,
     ) -> None:
         if max_history is not None and max_history < 1:
             raise ValueError("max_history must be >= 1 (or None for unbounded)")
         self.suite = suite
+        self.attribute = bool(attribute)
         self._history: "deque[PowerEstimate]" = deque(maxlen=max_history)
 
     @property
@@ -107,6 +128,7 @@ class SystemPowerEstimator:
             timestamp_s=float(timestamp_s),
             subsystem_w=per_subsystem,
             total_w=float(sum(per_subsystem.values())),
+            attribution=self._attribution(trace, 0) if self.attribute else None,
         )
         self._history.append(estimate)
         if obs_t0 is not None:
@@ -120,6 +142,7 @@ class SystemPowerEstimator:
         with obs.span("estimator.estimate_trace", n_samples=len(trace.timestamps)):
             predictions = self.suite.predict_all(trace)
         obs.inc("estimator_samples_total", float(len(trace.timestamps)))
+        terms = self.suite.attribute_all(trace) if self.attribute else None
         estimates = []
         for i, timestamp in enumerate(trace.timestamps):
             per_subsystem = {s: float(series[i]) for s, series in predictions.items()}
@@ -128,7 +151,28 @@ class SystemPowerEstimator:
                     timestamp_s=float(timestamp),
                     subsystem_w=per_subsystem,
                     total_w=float(sum(per_subsystem.values())),
+                    attribution=(
+                        self._sample_attribution(terms, i)
+                        if terms is not None
+                        else None
+                    ),
                 )
             )
         self._history.extend(estimates)
         return estimates
+
+    # -- attribution ---------------------------------------------------
+
+    def _attribution(self, trace: CounterTrace, index: int) -> Attribution:
+        return self._sample_attribution(self.suite.attribute_all(trace), index)
+
+    @staticmethod
+    def _sample_attribution(terms, index: int) -> Attribution:
+        return Attribution(
+            terms_w={
+                subsystem.value: {
+                    term: float(vec[index]) for term, vec in sub_terms.items()
+                }
+                for subsystem, sub_terms in terms.items()
+            }
+        )

@@ -31,6 +31,16 @@ class SubsystemPowerModel(abc.ABC):
         """Predicted power per sample (Watts)."""
 
     @abc.abstractmethod
+    def attribute(self, trace: CounterTrace) -> "dict[str, np.ndarray]":
+        """Per-term watt contributions, one array per sample.
+
+        Terms are the model's additive pieces (intercept, each linear
+        and quadratic counter term); their sum equals :meth:`predict`
+        exactly — the decomposition is how a miss gets diagnosed (the
+        paper's mcf analysis, Section 5).
+        """
+
+    @abc.abstractmethod
     def describe(self) -> str:
         """Human-readable equation, in the paper's style."""
 
@@ -71,6 +81,9 @@ class ConstantModel(SubsystemPowerModel):
 
     def predict(self, trace: CounterTrace) -> np.ndarray:
         return np.full(trace.n_samples, self.value)
+
+    def attribute(self, trace: CounterTrace) -> "dict[str, np.ndarray]":
+        return {"constant": np.full(trace.n_samples, self.value)}
 
     def describe(self) -> str:
         return f"P = {self.value:.2f} W (constant)"
@@ -126,6 +139,23 @@ class PolynomialModel(SubsystemPowerModel):
     def predict(self, trace: CounterTrace) -> np.ndarray:
         design = polynomial_design(self.features.matrix(trace), self.degree)
         return design @ self.coefficients
+
+    @property
+    def term_names(self) -> "tuple[str, ...]":
+        """Term labels matching the coefficient layout (and
+        :meth:`describe`): intercept, then each feature per power."""
+        names = ["intercept"]
+        for power in range(1, self.degree + 1):
+            for name in self.features.names:
+                names.append(name if power == 1 else f"{name}^{power}")
+        return tuple(names)
+
+    def attribute(self, trace: CounterTrace) -> "dict[str, np.ndarray]":
+        design = polynomial_design(self.features.matrix(trace), self.degree)
+        return {
+            name: design[:, k] * self.coefficients[k]
+            for k, name in enumerate(self.term_names)
+        }
 
     def describe(self) -> str:
         terms = [f"{self.intercept:.3g}"]

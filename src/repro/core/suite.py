@@ -55,6 +55,24 @@ class TrickleDownSuite:
         """Complete-system power estimate per sample (Watts)."""
         return np.sum(list(self.predict_all(trace).values()), axis=0)
 
+    def attribute(
+        self, subsystem: Subsystem, trace: CounterTrace
+    ) -> "dict[str, np.ndarray]":
+        """One subsystem's per-term watt decomposition (per sample)."""
+        return self.model(subsystem).attribute(trace)
+
+    def attribute_all(
+        self, trace: CounterTrace
+    ) -> "dict[Subsystem, dict[str, np.ndarray]]":
+        """Per-term watt decomposition of every modelled subsystem.
+
+        For each subsystem the term arrays sum exactly to
+        :meth:`predict` — the estimate rearranged by *which counter
+        term carries the watts*, the question the paper's Section 5
+        mcf diagnosis answers.
+        """
+        return {s: self.models[s].attribute(trace) for s in self.subsystems}
+
     def scaled(
         self,
         factor: float,

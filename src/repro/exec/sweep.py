@@ -294,6 +294,26 @@ def sweep_specs(
             sweep_span.set("n_workers", result.n_workers)
             sweep_span.set("n_retries", result.retries)
             sweep_span.set("n_failed", len(result.failed))
+    if result.failed:
+        # Post-mortem for the dead specs: if a flight recorder is
+        # installed (CLI --flight-dir, CI's REPRO_FLIGHT_DIR hooks),
+        # dump a bundle before raising/returning, while the telemetry
+        # that explains the failure is still in this process.
+        from repro.obs import flight as _flight
+
+        _flight.trigger_global(
+            "sweep.failed",
+            detail={
+                "n_specs": len(specs),
+                "n_failed": len(result.failed),
+                "retries": result.retries,
+                "worker_failures": result.worker_failures,
+                "failed": {
+                    str(i): f"{specs[i].workload}: {error}"
+                    for i, error in sorted(result.failed.items())
+                },
+            },
+        )
     if result.failed and not allow_partial:
         summary = "; ".join(
             f"{specs[i].workload}[{i}]: {error}"

@@ -20,7 +20,12 @@ access, so the batch paths pay nothing for it):
 * :mod:`repro.obs.drift` — the EWMA residual drift monitor with the
   paper's 9 % average-error bound as its default SLO;
 * :mod:`repro.obs.http` — a background-thread HTTP exposition server
-  (``/metrics``, ``/metrics.json``, ``/alerts``, ``/healthz``).
+  (``/metrics``, ``/metrics.json``, ``/alerts``, ``/healthz``,
+  ``/attribution``, ``/flightrecorder``);
+* :mod:`repro.obs.attribution` — per-term watt decomposition of every
+  estimate (which counter term carries the watts);
+* :mod:`repro.obs.flight` — a bounded flight recorder dumping
+  post-mortem bundles on drift alerts, sweep failures and crashes.
 
 Telemetry is **opt-in and off by default**.  Instrumented call sites
 guard on :func:`enabled` (or call the no-op-when-disabled helpers
@@ -60,10 +65,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Tracer",
+    "attribution",
     "counter",
     "disable",
     "drift",
     "dump",
+    "flight",
     "enable",
     "enabled",
     "event",
@@ -255,7 +262,7 @@ def __getattr__(name: str):
     # The live layer (windowed aggregation, drift monitoring, the HTTP
     # exposition server) loads lazily so importing ``repro.obs`` stays
     # as cheap as the batch telemetry alone.
-    if name in ("live", "drift", "http"):
+    if name in ("live", "drift", "http", "attribution", "flight"):
         import importlib
 
         module = importlib.import_module(f"repro.obs.{name}")

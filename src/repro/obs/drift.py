@@ -49,6 +49,11 @@ class DriftAlert:
     threshold_pct: float  #: the bound that was crossed
     timestamp_s: float  #: caller-supplied (simulation) time
     window: int  #: how many windows the stream had seen
+    #: The top-|watts| attribution terms of the stream at transition
+    #: time (``(term, watts)`` pairs) — present when the caller fed an
+    #: :class:`~repro.obs.attribution.Attribution` to ``observe()``,
+    #: so an alert names its likely offenders without a second query.
+    top_terms: "tuple[tuple[str, float], ...]" = ()
 
     def to_dict(self) -> dict:
         return {
@@ -58,6 +63,7 @@ class DriftAlert:
             "threshold_pct": self.threshold_pct,
             "timestamp_s": self.timestamp_s,
             "window": self.window,
+            "top_terms": [[term, watts] for term, watts in self.top_terms],
         }
 
 
@@ -120,6 +126,7 @@ class DriftMonitor:
         timestamp_s: float,
         estimated_w: "dict",
         true_w: "dict",
+        attribution=None,
     ) -> "list[DriftAlert]":
         """Feed one window of per-subsystem power; returns transitions.
 
@@ -127,6 +134,11 @@ class DriftMonitor:
         plain strings) to Watts; only subsystems present in **both**
         dicts are compared.  A synthetic ``total`` stream over the
         summed power of the shared subsystems is always maintained.
+
+        ``attribution`` (optional) is the window's per-term watt
+        decomposition; any transition it produces then carries that
+        stream's top-3 offending terms (the ``total`` stream gets
+        namespaced ``subsystem/term`` labels).
         """
         estimated = {self._name(s): float(w) for s, w in estimated_w.items()}
         true = {self._name(s): float(w) for s, w in true_w.items()}
@@ -143,13 +155,26 @@ class DriftMonitor:
         transitions: "list[DriftAlert]" = []
         for name, est, actual in pairs:
             error_pct = abs(est - actual) / max(abs(actual), _EPS_W) * 100.0
-            transition = self._update(name, error_pct, float(timestamp_s))
+            top_terms: "tuple[tuple[str, float], ...]" = ()
+            if attribution is not None:
+                top_terms = tuple(
+                    attribution.top_terms(
+                        None if name == "total" else name, n=3
+                    )
+                )
+            transition = self._update(
+                name, error_pct, float(timestamp_s), top_terms
+            )
             if transition is not None:
                 transitions.append(transition)
         return transitions
 
     def _update(
-        self, name: str, error_pct: float, timestamp_s: float
+        self,
+        name: str,
+        error_pct: float,
+        timestamp_s: float,
+        top_terms: "tuple[tuple[str, float], ...]" = (),
     ) -> "DriftAlert | None":
         stream = self._streams.get(name)
         if stream is None:
@@ -169,11 +194,18 @@ class DriftMonitor:
             and stream.ewma > self.slo_pct
         ):
             stream.firing = True
-            transition = self._transition(stream, name, "firing", self.slo_pct, timestamp_s)
+            transition = self._transition(
+                stream, name, "firing", self.slo_pct, timestamp_s, top_terms
+            )
         elif stream.firing and stream.ewma < self.slo_pct * self.resolve_ratio:
             stream.firing = False
             transition = self._transition(
-                stream, name, "resolved", self.slo_pct * self.resolve_ratio, timestamp_s
+                stream,
+                name,
+                "resolved",
+                self.slo_pct * self.resolve_ratio,
+                timestamp_s,
+                top_terms,
             )
         obs.gauge(
             "drift_alert_active", 1.0 if stream.firing else 0.0, {"subsystem": name}
@@ -187,6 +219,7 @@ class DriftMonitor:
         state: str,
         threshold_pct: float,
         timestamp_s: float,
+        top_terms: "tuple[tuple[str, float], ...]" = (),
     ) -> DriftAlert:
         alert = DriftAlert(
             subsystem=name,
@@ -195,6 +228,7 @@ class DriftMonitor:
             threshold_pct=threshold_pct,
             timestamp_s=timestamp_s,
             window=stream.windows,
+            top_terms=top_terms,
         )
         self._history.append(alert)
         obs.inc("drift_alerts_total", 1.0, {"subsystem": name, "state": state})
@@ -205,6 +239,7 @@ class DriftMonitor:
             error_pct=stream.ewma,
             threshold_pct=threshold_pct,
             sim_time_s=timestamp_s,
+            top_terms=[[term, watts] for term, watts in top_terms],
         )
         return alert
 
@@ -227,6 +262,15 @@ class DriftMonitor:
     def history(self) -> "list[DriftAlert]":
         """Every recorded transition, oldest first."""
         return list(self._history)
+
+    def unresolved(self) -> "list[DriftAlert]":
+        """The latest *firing* transition of each currently-firing
+        stream — what a ``/healthz`` 503 body lists."""
+        latest: "dict[str, DriftAlert]" = {}
+        for alert in self._history:
+            if alert.state == "firing":
+                latest[alert.subsystem] = alert
+        return [latest[name] for name in self.firing if name in latest]
 
     def to_json(self) -> dict:
         """The ``/alerts`` document: configuration, state, history."""

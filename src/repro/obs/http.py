@@ -3,15 +3,21 @@
 :class:`ObservabilityServer` wraps ``http.server`` in a daemon thread
 and serves the process's live observability state:
 
-========== ============================================================
-route      payload
-========== ============================================================
-/metrics   Prometheus text exposition of the metrics registry
-/metrics.json  the same metrics as JSON (the ``metrics.json`` shape)
-/alerts    drift-monitor state: SLO, firing streams, transition history
-/windows   the windowed registry's recent windows (when attached)
-/healthz   liveness: status, phase, uptime, available routes
-========== ============================================================
+=============== =======================================================
+route           payload
+=============== =======================================================
+/metrics        Prometheus text exposition of the metrics registry
+/metrics.json   the same metrics as JSON (the ``metrics.json`` shape)
+/alerts         drift-monitor state: SLO, firing streams, history
+/windows        the windowed registry's recent windows (when attached)
+/healthz        liveness **and drift state**: 200 while healthy, 503
+                with the unresolved alerts once the attached drift
+                monitor has firing streams
+/attribution    the latest per-term watt decomposition (when a flight
+                recorder is attached and the estimator attributes)
+/flightrecorder flight-recorder status; ``?dump=1`` writes a bundle
+                and returns its path
+=============== =======================================================
 
 Nothing is served unless :meth:`ObservabilityServer.start` is called
 explicitly — merely importing this module (or enabling telemetry) opens
@@ -33,6 +39,7 @@ import logging
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 logger = logging.getLogger(__name__)
 
@@ -50,18 +57,29 @@ class ObservabilityServer:
             (optional; the route reports an empty document without it).
         windows: a :class:`~repro.obs.live.WindowedRegistry` for
             ``/windows`` (optional).
+        flight: a :class:`~repro.obs.flight.FlightRecorder` for
+            ``/attribution`` and ``/flightrecorder`` (optional).
         host: bind address (default loopback only).
         port: TCP port; 0 picks an ephemeral one, :meth:`start` returns
             the bound port.
     """
 
-    ROUTES = ("/metrics", "/metrics.json", "/alerts", "/windows", "/healthz")
+    ROUTES = (
+        "/metrics",
+        "/metrics.json",
+        "/alerts",
+        "/windows",
+        "/healthz",
+        "/attribution",
+        "/flightrecorder",
+    )
 
     def __init__(
         self,
         registry=None,
         drift=None,
         windows=None,
+        flight=None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
@@ -72,6 +90,7 @@ class ObservabilityServer:
         self.registry = registry
         self.drift = drift
         self.windows = windows
+        self.flight = flight
         self.host = host
         self.port = int(port)
         #: Free-form lifecycle marker surfaced on ``/healthz`` (the CLI
@@ -135,7 +154,7 @@ class ObservabilityServer:
 
     # -- route payloads ------------------------------------------------
 
-    def payload(self, path: str) -> "tuple[int, str, str]":
+    def payload(self, path: str, query: str = "") -> "tuple[int, str, str]":
         """(status, content-type, body) for one route."""
         if path in ("/metrics", "/metrics/"):
             return 200, _PROM_CONTENT_TYPE, self.registry.to_prometheus()
@@ -154,15 +173,43 @@ class ObservabilityServer:
                 self.windows.to_json() if self.windows is not None else {"windows": []}
             )
             return 200, "application/json", _json_body(document)
-        if path in ("/healthz", "/", ""):
-            return 200, "application/json", _json_body(
-                {
-                    "status": "ok",
-                    "phase": self.phase,
-                    "uptime_s": round(self.uptime_s, 3),
-                    "routes": list(self.ROUTES),
-                }
+        if path == "/attribution":
+            document = (
+                self.flight.attribution_document()
+                if self.flight is not None
+                else {"attribution": None}
             )
+            return 200, "application/json", _json_body(document)
+        if path == "/flightrecorder":
+            if self.flight is None:
+                return 200, "application/json", _json_body(
+                    {"enabled": False, "bundles": []}
+                )
+            document = {"enabled": True}
+            if "dump" in parse_qs(query):
+                document["dumped"] = self.flight.trigger(
+                    "http.request", detail={"query": query}
+                )
+            document.update(self.flight.to_json())
+            return 200, "application/json", _json_body(document)
+        if path in ("/healthz", "/", ""):
+            document = {
+                "status": "ok",
+                "phase": self.phase,
+                "uptime_s": round(self.uptime_s, 3),
+                "routes": list(self.ROUTES),
+            }
+            # Drift-aware health: firing alerts mean the estimates
+            # should not steer anything, so report unhealthy (503) and
+            # name the unresolved alerts in the body.
+            if self.drift is not None and self.drift.firing:
+                document["status"] = "drifting"
+                document["firing"] = list(self.drift.firing)
+                document["alerts"] = [
+                    alert.to_dict() for alert in self.drift.unresolved()
+                ]
+                return 503, "application/json", _json_body(document)
+            return 200, "application/json", _json_body(document)
         return 404, "application/json", _json_body(
             {"error": f"unknown route {path!r}", "routes": list(self.ROUTES)}
         )
@@ -175,9 +222,9 @@ def _json_body(document: dict) -> str:
 def _make_handler(server: ObservabilityServer):
     class Handler(BaseHTTPRequestHandler):
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            path = self.path.split("?", 1)[0]
+            path, _, query = self.path.partition("?")
             try:
-                status, content_type, body = server.payload(path)
+                status, content_type, body = server.payload(path, query)
             except Exception:  # pragma: no cover - defensive
                 logger.exception("observability route %s failed", path)
                 status, content_type, body = (

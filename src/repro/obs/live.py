@@ -361,12 +361,17 @@ class LiveMonitor:
         drift: "DriftMonitor | None" = None,
         windows: "WindowedRegistry | None" = None,
         window_s: float = DEFAULT_WINDOW_S,
+        flight=None,
     ) -> None:
         self.estimator = estimator
         self.drift = drift if drift is not None else DriftMonitor()
         self.windows = (
             windows if windows is not None else WindowedRegistry(window_s=window_s)
         )
+        #: Optional :class:`~repro.obs.flight.FlightRecorder`; when set
+        #: every window is recorded as a frame and a *firing* drift
+        #: transition dumps a post-mortem bundle.
+        self.flight = flight
         self.n_windows = 0
         self.last: "LiveSample | None" = None
         self._last_energy: "dict | None" = None
@@ -415,8 +420,30 @@ class LiveMonitor:
             error_pct=error_pct,
         )
         self._publish(sample)
-        transitions = self.drift.observe(pulse_s, estimated_w, true_w)
+        attribution = estimate.attribution
+        if attribution is not None:
+            # Residual vs. truth (estimated - true): negative is the
+            # paper's mcf case — watts the counters cannot see.
+            attribution.residual_w = {
+                name: estimated_w[name] - true
+                for name, true in true_w.items()
+                if name in estimated_w
+            }
+        transitions = self.drift.observe(
+            pulse_s, estimated_w, true_w, attribution=attribution
+        )
         self.windows.ingest(pulse_s, obs.registry())
+        if self.flight is not None:
+            self.flight.record(
+                pulse_s,
+                attribution=attribution,
+                true_w=sample.total_true_w,
+                estimated_w=sample.total_estimated_w,
+                error_pct=sample.total_error_pct,
+            )
+            for transition in transitions:
+                if transition.state == "firing":
+                    self.flight.trigger("drift.alert", detail=transition.to_dict())
         self.n_windows += 1
         self.last = sample
         return transitions
@@ -467,12 +494,18 @@ class ClusterObserver:
         drift: "DriftMonitor | None" = None,
         windows: "WindowedRegistry | None" = None,
         window_s: float = DEFAULT_WINDOW_S,
+        attribute: bool = False,
+        flight=None,
     ) -> None:
         self.estimator = None
+        self.attribute = bool(attribute)
+        self.flight = flight
         if suite is not None:
             from repro.core.estimator import SystemPowerEstimator
 
-            self.estimator = SystemPowerEstimator(suite, max_history=8)
+            self.estimator = SystemPowerEstimator(
+                suite, max_history=8, attribute=self.attribute
+            )
         self.drift = drift if drift is not None else DriftMonitor()
         self.windows = (
             windows if windows is not None else WindowedRegistry(window_s=window_s)
@@ -485,7 +518,9 @@ class ClusterObserver:
         if self.estimator is None:
             from repro.core.estimator import SystemPowerEstimator
 
-            self.estimator = SystemPowerEstimator(suite, max_history=8)
+            self.estimator = SystemPowerEstimator(
+                suite, max_history=8, attribute=self.attribute
+            )
         else:
             self.estimator.suite = suite
 
@@ -502,6 +537,7 @@ class ClusterObserver:
         if self.estimator is not None:
             true_w: "dict[str, float]" = {}
             estimated_w: "dict[str, float]" = {}
+            terms_acc: "dict[str, dict[str, float]]" = {}
             compared = 0
             for node in cluster.nodes:
                 if not node.available:
@@ -519,6 +555,13 @@ class ClusterObserver:
                 for subsystem, watts in estimate.subsystem_w.items():
                     name = subsystem.value
                     estimated_w[name] = estimated_w.get(name, 0.0) + watts
+                if estimate.attribution is not None:
+                    # Fleet-level attribution: term watts add across
+                    # powered-up nodes (they share one fitted suite).
+                    for sub, terms in estimate.attribution.terms_w.items():
+                        acc = terms_acc.setdefault(sub, {})
+                        for term, watts in terms.items():
+                            acc[term] = acc.get(term, 0.0) + watts
                 for subsystem, joules in energy.items():
                     name = subsystem.value
                     true_w[name] = (
@@ -544,7 +587,35 @@ class ClusterObserver:
                     "cluster_estimated_power_watts", sample.total_estimated_w
                 )
                 obs.gauge("cluster_estimation_error_pct", sample.total_error_pct)
-                transitions = self.drift.observe(t_s, estimated_w, true_w)
+                attribution = None
+                if terms_acc:
+                    from repro.obs.attribution import Attribution
+
+                    attribution = Attribution(
+                        terms_w=terms_acc,
+                        residual_w={
+                            name: estimated_w[name] - true
+                            for name, true in true_w.items()
+                            if name in estimated_w
+                        },
+                    )
+                transitions = self.drift.observe(
+                    t_s, estimated_w, true_w, attribution=attribution
+                )
+                if self.flight is not None:
+                    self.flight.record(
+                        t_s,
+                        attribution=attribution,
+                        true_w=sample.total_true_w,
+                        estimated_w=sample.total_estimated_w,
+                        error_pct=sample.total_error_pct,
+                        nodes_compared=compared,
+                    )
+                    for transition in transitions:
+                        if transition.state == "firing":
+                            self.flight.trigger(
+                                "drift.alert", detail=transition.to_dict()
+                            )
         self.windows.ingest(t_s, obs.registry())
         self.n_seconds += 1
         return transitions

@@ -130,6 +130,14 @@ class Tracer:
         with self._lock:
             return list(self.events)
 
+    def events_tail(self, n: int) -> "list[dict]":
+        """The last ``n`` finished events (a cheap slice copy, for the
+        flight recorder's bundles — no need to copy a long log)."""
+        if n <= 0:
+            return []
+        with self._lock:
+            return list(self.events[-n:])
+
     def reset(self) -> None:
         """Drop finished events and this thread's open-span stack."""
         with self._lock:

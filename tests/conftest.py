@@ -8,6 +8,8 @@ loosely enough to hold at this fidelity.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,36 @@ from repro.workloads.registry import get_workload
 
 TEST_SEED = 123
 TRAIN_DURATION_S = 150.0
+
+#: Session flight recorder (only when ``REPRO_FLIGHT_DIR`` is set, as
+#: in CI): failed tests become notes, and a failing session dumps a
+#: post-mortem bundle the workflow uploads as an artifact.
+_FLIGHT = None
+
+
+def pytest_configure(config) -> None:
+    global _FLIGHT
+    out_dir = os.environ.get("REPRO_FLIGHT_DIR")
+    if not out_dir:
+        return
+    from repro.obs import flight
+
+    _FLIGHT = flight.FlightRecorder(out_dir=out_dir)
+    flight.set_global(_FLIGHT)
+
+
+def pytest_runtest_logreport(report) -> None:
+    if _FLIGHT is not None and report.failed:
+        _FLIGHT.note(
+            "test failed", nodeid=report.nodeid, when=report.when
+        )
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if _FLIGHT is not None and exitstatus not in (0, 5):  # 5 = no tests
+        _FLIGHT.trigger(
+            "ci.tests_failed", detail={"exitstatus": int(exitstatus)}
+        )
 
 
 @pytest.fixture(scope="session")

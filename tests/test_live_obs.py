@@ -463,15 +463,61 @@ class TestObservabilityHTTP:
             assert metrics["counters"][0]["name"] == "requests_total"
             alerts = json.loads(_fetch(endpoint.url("/alerts")))
             assert set(alerts["firing"]) == {"cpu", "total"}
-            health = json.loads(_fetch(endpoint.url("/healthz")))
-            assert health["status"] == "ok"
-            assert set(health["routes"]) == set(ObservabilityServer.ROUTES)
+            # The attached drift monitor is firing, so health is a 503
+            # naming the unresolved alerts.
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _fetch(endpoint.url("/healthz"))
+            assert err.value.code == 503
+            health = json.loads(err.value.read().decode("utf-8"))
+            assert health["status"] == "drifting"
+            assert set(health["firing"]) == {"cpu", "total"}
+            assert {a["subsystem"] for a in health["alerts"]} == {"cpu", "total"}
+            assert all(a["state"] == "firing" for a in health["alerts"])
             assert "windows" in json.loads(_fetch(endpoint.url("/windows")))
             with pytest.raises(urllib.error.HTTPError) as err:
                 _fetch(endpoint.url("/no-such-route"))
             assert err.value.code == 404
         assert not endpoint.running
         endpoint.stop()  # idempotent
+
+    def test_healthz_ok_while_drift_is_healthy(self):
+        drift = DriftMonitor(min_windows=1)
+        drift.observe(1.0, {"cpu": 104.0}, {"cpu": 100.0})  # 4 % < SLO
+        with ObservabilityServer(drift=drift) as endpoint:
+            health = json.loads(_fetch(endpoint.url("/healthz")))
+            assert health["status"] == "ok"
+            assert set(health["routes"]) == set(ObservabilityServer.ROUTES)
+            assert "firing" not in health and "alerts" not in health
+
+    def test_attribution_and_flightrecorder_routes(self, tmp_path):
+        from repro.obs.attribution import Attribution
+        from repro.obs.flight import BUNDLE_JSON, FlightRecorder
+
+        recorder = FlightRecorder(out_dir=str(tmp_path))
+        recorder.record(
+            1.0,
+            attribution=Attribution(
+                terms_w={"cpu": {"intercept": 35.0, "fetched_uops_per_cycle": 6.0}}
+            ),
+            true_w=45.0,
+        )
+        with ObservabilityServer(flight=recorder) as endpoint:
+            doc = json.loads(_fetch(endpoint.url("/attribution")))
+            assert doc["attribution"]["terms_w"]["cpu"]["intercept"] == 35.0
+            status = json.loads(_fetch(endpoint.url("/flightrecorder")))
+            assert status["enabled"] is True
+            assert status["n_frames"] == 1 and status["bundles"] == []
+            dumped = json.loads(_fetch(endpoint.url("/flightrecorder?dump=1")))
+            assert dumped["dumped"] is not None
+            assert os.path.isfile(os.path.join(dumped["dumped"], BUNDLE_JSON))
+
+    def test_attribution_and_flightrecorder_routes_without_recorder(self):
+        with ObservabilityServer() as endpoint:
+            doc = json.loads(_fetch(endpoint.url("/flightrecorder")))
+            assert doc == {"enabled": False, "bundles": []}
+            assert json.loads(_fetch(endpoint.url("/attribution"))) == {
+                "attribution": None
+            }
 
     def test_scrape_while_run_progresses(self, paper_suite):
         obs.enable()

@@ -116,3 +116,49 @@ class TestPolynomialModel:
         )
         assert model.diagnostics is not None
         assert model.diagnostics.n_samples == trace.n_samples
+
+
+def _all_subclasses(cls):
+    out = []
+    for sub in cls.__subclasses__():
+        out.append(sub)
+        out.extend(_all_subclasses(sub))
+    return out
+
+
+#: One representative instance per concrete model class.  A new
+#: subclass without an entry here fails the walk below — serialisation
+#: coverage is opt-out, not opt-in.
+_MODEL_FACTORIES = {
+    "ConstantModel": lambda: ConstantModel(19.9),
+    "PolynomialModel": lambda: PolynomialModel(
+        FeatureSet.of("active_fraction", "fetched_uops_per_cycle"),
+        degree=2,
+        coefficients=[35.0, 20.0, 5.0, 1.0, 0.5],
+    ),
+}
+
+
+class TestEveryModelRoundTrips:
+    def test_every_subclass_has_a_factory(self):
+        names = {cls.__name__ for cls in _all_subclasses(SubsystemPowerModel)}
+        assert names == set(_MODEL_FACTORIES), (
+            "add a factory for new SubsystemPowerModel subclasses so their "
+            "to_dict/from_dict round trip is covered"
+        )
+
+    @pytest.mark.parametrize("name", sorted(_MODEL_FACTORIES))
+    def test_round_trip_preserves_predictions_and_dict(self, name):
+        model = _MODEL_FACTORIES[name]()
+        trace = synthetic_trace()
+        data = model.to_dict()
+        clone = SubsystemPowerModel.from_dict(data)
+        assert type(clone) is type(model)
+        assert clone.to_dict() == data
+        assert np.allclose(clone.predict(trace), model.predict(trace))
+        # Attribution survives too: same terms, same per-term watts.
+        original = model.attribute(trace)
+        revived = clone.attribute(trace)
+        assert set(revived) == set(original)
+        for term, watts in original.items():
+            assert np.allclose(revived[term], watts)
