@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.core.estimator import SystemPowerEstimator
 from repro.simulator.config import fast_config
+from repro.simulator.fleet import FleetServer
 from repro.simulator.system import Server
 from repro.workloads.registry import get_workload
 
@@ -73,4 +74,26 @@ def test_simulator_tick_throughput(benchmark, show):
     show(
         "simulator throughput: 100 ticks (1 s simulated at 10 ms tick) "
         "per round; see benchmark stats above"
+    )
+
+
+def test_fleet_tick_throughput(benchmark, show):
+    """Aggregate lane-ticks per second of the SoA fleet core.
+
+    Steps a width-64 :class:`FleetServer` — 64 independently seeded
+    servers advanced per tick in one numpy pass — the kernel behind
+    ``Cluster.run`` and same-config sweep lanes.  Divide the per-round
+    time into 64 x 100 lane-ticks to compare against the scalar bench
+    above; ``scripts/bench_compare.py`` gates the ratio.
+    """
+    width = 64
+    fleet = FleetServer(
+        fast_config(), get_workload("SPECjbb"), [3 + i for i in range(width)]
+    )
+    fleet.run_ticks(50)  # warm
+
+    benchmark.pedantic(lambda: fleet.run_ticks(100), iterations=1, rounds=5)
+    show(
+        f"fleet throughput: width {width}, 100 ticks per round "
+        f"({width * 100} lane-ticks); see benchmark stats above"
     )

@@ -5,13 +5,16 @@ Measures a small set of runtime-cost metrics (the ones the paper's
 throughput) and compares them against the checked-in
 ``BENCH_baseline.json``.  A metric that regresses by more than the
 tolerance (default 20 %) in its bad direction fails the run with exit
-code 1 — improvements never fail.
+code 1 — improvements never fail.  Metrics measured in this run but
+absent from the baseline are reported as ``NEW`` and pass (rebaseline
+with ``--update`` to start gating them).
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_compare.py            # compare
     PYTHONPATH=src python scripts/bench_compare.py --update   # rebaseline
     PYTHONPATH=src python scripts/bench_compare.py --tolerance 0.5
+    PYTHONPATH=src python scripts/bench_compare.py --fleet-widths 64
 
 Absolute times differ across machines, so compare against a baseline
 recorded on the same class of hardware (CI re-records via ``--update``
@@ -37,12 +40,34 @@ from repro.core.estimator import SystemPowerEstimator  # noqa: E402
 from repro.core.training import ModelTrainer  # noqa: E402
 from repro.exec import sweep  # noqa: E402
 from repro.simulator.config import fast_config  # noqa: E402
+from repro.simulator.fleet import FleetServer  # noqa: E402
 from repro.simulator.system import Server  # noqa: E402
 from repro.workloads.registry import get_workload  # noqa: E402
 
 #: Workloads the default recipe needs, simulated short for the gate.
 _TRAIN_DURATION_S = 60.0
 _TRAIN_SEED = 7
+
+#: Fleet widths measured by default; CI narrows this via
+#: ``BENCH_FLEET_WIDTHS`` (the smoke job runs width 64 only).
+_DEFAULT_FLEET_WIDTHS = "1,64,256,1024"
+
+#: Width whose throughput is published under the canonical metric name
+#: (the acceptance gate: >= 10x the scalar ticks/s at width >= 256).
+_FLEET_GATE_WIDTH = 256
+
+
+def _fleet_metric_name(width: int) -> str:
+    if width == _FLEET_GATE_WIDTH:
+        return "simulator_fleet_ticks_per_s"
+    return f"simulator_fleet_ticks_per_s_w{width}"
+
+
+def _parse_fleet_widths(text: str) -> "list[int]":
+    widths = [int(part) for part in text.split(",") if part.strip()]
+    if any(width < 1 for width in widths):
+        raise ValueError(f"fleet widths must be >= 1; got {text!r}")
+    return widths
 
 
 def _best_of(fn, rounds: int, budget_s: float = 0.25) -> float:
@@ -59,8 +84,10 @@ def _best_of(fn, rounds: int, budget_s: float = 0.25) -> float:
     return best
 
 
-def measure() -> "dict[str, dict]":
+def measure(fleet_widths: "list[int] | None" = None) -> "dict[str, dict]":
     """Run every gate metric; returns name -> {value, unit, direction}."""
+    if fleet_widths is None:
+        fleet_widths = _parse_fleet_widths(_DEFAULT_FLEET_WIDTHS)
     metrics: "dict[str, dict]" = {}
 
     # 1. Simulator tick throughput via the batched hot path.
@@ -72,6 +99,19 @@ def measure() -> "dict[str, dict]":
         "unit": "ticks/s",
         "direction": "higher",
     }
+
+    # 1b. Fleet throughput: aggregate lane-ticks/s of the SoA core.
+    for width in fleet_widths:
+        fleet = FleetServer(
+            fast_config(), get_workload("SPECjbb"), [3 + i for i in range(width)]
+        )
+        fleet.run_ticks(50)  # warm
+        per_batch = _best_of(lambda: fleet.run_ticks(100), rounds=3)
+        metrics[_fleet_metric_name(width)] = {
+            "value": width * 100.0 / per_batch,
+            "unit": "lane-ticks/s",
+            "direction": "higher",
+        }
 
     # 2/3. Estimator costs need a trained suite: short parallel sweep.
     trainer = ModelTrainer()
@@ -122,6 +162,12 @@ def compare(measured: "dict[str, dict]", baseline: "dict[str, dict]", tolerance:
         if name.startswith("_"):
             continue
         if name not in measured:
+            # Fleet-width metrics are opt-in per run (BENCH_FLEET_WIDTHS
+            # narrows the set; CI measures width 64 only), so a baseline
+            # width this run skipped is not a regression.
+            if name.startswith("simulator_fleet_ticks_per_s"):
+                print(f"skip {name}: width not measured this run")
+                continue
             print(f"MISSING {name}: metric not measured")
             failures += 1
             continue
@@ -139,6 +185,13 @@ def compare(measured: "dict[str, dict]", baseline: "dict[str, dict]", tolerance:
         )
         if change > tolerance:
             failures += 1
+    for name in sorted(set(measured) - set(baseline)):
+        entry = measured[name]
+        # No baseline yet: report and pass; --update records it.
+        print(
+            f"NEW  {name:28} now {float(entry['value']):12.1f} "
+            f"{entry.get('unit', ''):8} (no baseline; rerun with --update to record)"
+        )
     return failures
 
 
@@ -155,6 +208,13 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument("--baseline", default=BASELINE_PATH)
     parser.add_argument(
+        "--fleet-widths",
+        default=os.environ.get("BENCH_FLEET_WIDTHS", _DEFAULT_FLEET_WIDTHS),
+        help="comma-separated fleet widths to benchmark (default "
+        f"{_DEFAULT_FLEET_WIDTHS}; baseline widths not measured are "
+        "skipped, not failed)",
+    )
+    parser.add_argument(
         "--telemetry",
         metavar="DIR",
         default=None,
@@ -167,7 +227,7 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.telemetry:
         obs.enable()
     print("measuring...", flush=True)
-    measured = measure()
+    measured = measure(fleet_widths=_parse_fleet_widths(args.fleet_widths))
     if args.telemetry:
         paths = obs.dump(args.telemetry)
         print(f"telemetry artifacts: {', '.join(sorted(paths.values()))}")

@@ -121,14 +121,15 @@ class SystemPowerEstimator:
                 for event, values in counts.items()
             },
         )
-        per_subsystem = {
-            s: float(series[0]) for s, series in self.suite.predict_all(trace).items()
-        }
+        predictions, terms = self.suite.evaluate(trace, attribute=self.attribute)
+        per_subsystem = {s: float(series[0]) for s, series in predictions.items()}
         estimate = PowerEstimate(
             timestamp_s=float(timestamp_s),
             subsystem_w=per_subsystem,
             total_w=float(sum(per_subsystem.values())),
-            attribution=self._attribution(trace, 0) if self.attribute else None,
+            attribution=(
+                self._sample_attribution(terms, 0) if terms is not None else None
+            ),
         )
         self._history.append(estimate)
         if obs_t0 is not None:
@@ -138,22 +139,44 @@ class SystemPowerEstimator:
         return estimate
 
     def estimate_trace(self, trace: CounterTrace) -> "list[PowerEstimate]":
-        """Batch estimation over a full counter trace."""
+        """Batch estimation over a full counter trace.
+
+        The whole trace is evaluated in one batched design-matrix pass
+        (:meth:`TrickleDownSuite.evaluate`, attribution included), and
+        the per-sample objects are assembled from plain-python columns
+        — no per-sample numpy scalar indexing.
+        """
         with obs.span("estimator.estimate_trace", n_samples=len(trace.timestamps)):
-            predictions = self.suite.predict_all(trace)
+            predictions, terms = self.suite.evaluate(trace, attribute=self.attribute)
         obs.inc("estimator_samples_total", float(len(trace.timestamps)))
-        terms = self.suite.attribute_all(trace) if self.attribute else None
+        subsystems = list(predictions)
+        columns = [predictions[s].tolist() for s in subsystems]
+        term_columns = (
+            {
+                subsystem.value: [
+                    (name, vector.tolist()) for name, vector in sub_terms.items()
+                ]
+                for subsystem, sub_terms in terms.items()
+            }
+            if terms is not None
+            else None
+        )
         estimates = []
-        for i, timestamp in enumerate(trace.timestamps):
-            per_subsystem = {s: float(series[i]) for s, series in predictions.items()}
+        for i, timestamp in enumerate(trace.timestamps.tolist()):
+            values = [column[i] for column in columns]
             estimates.append(
                 PowerEstimate(
-                    timestamp_s=float(timestamp),
-                    subsystem_w=per_subsystem,
-                    total_w=float(sum(per_subsystem.values())),
+                    timestamp_s=timestamp,
+                    subsystem_w=dict(zip(subsystems, values)),
+                    total_w=sum(values),
                     attribution=(
-                        self._sample_attribution(terms, i)
-                        if terms is not None
+                        Attribution(
+                            terms_w={
+                                subsystem: {name: column[i] for name, column in items}
+                                for subsystem, items in term_columns.items()
+                            }
+                        )
+                        if term_columns is not None
                         else None
                     ),
                 )
@@ -162,9 +185,6 @@ class SystemPowerEstimator:
         return estimates
 
     # -- attribution ---------------------------------------------------
-
-    def _attribution(self, trace: CounterTrace, index: int) -> Attribution:
-        return self._sample_attribution(self.suite.attribute_all(trace), index)
 
     @staticmethod
     def _sample_attribution(terms, index: int) -> Attribution:

@@ -13,8 +13,97 @@ from typing import Mapping
 import numpy as np
 
 from repro.core.events import SUBSYSTEMS, Subsystem
-from repro.core.models import SubsystemPowerModel
+from repro.core.models import ConstantModel, PolynomialModel, SubsystemPowerModel
 from repro.core.traces import CounterTrace
+
+
+class _CompiledSuite:
+    """A suite flattened to one shared design matrix.
+
+    Evaluating model-by-model rebuilds per-model feature and design
+    matrices from the same trace; the compiled form computes each
+    distinct feature once, assembles a single design matrix
+    ``[1, x1..xF, xj^2 ...]`` and evaluates every subsystem in one
+    matrix product against a stacked coefficient matrix (zero where a
+    subsystem does not use a column).  Attribution reuses the same
+    design columns, so enabling it costs one multiply per term instead
+    of a second design build per model.
+    """
+
+    def __init__(self, suite: "TrickleDownSuite") -> None:
+        self.subsystems = suite.subsystems
+        features: list = []  # distinct Feature objects, first-use order
+        index: "dict[str, int]" = {}  # feature name -> position in features
+        squared: "list[int]" = []  # feature positions needing a ^2 column
+        sq_index: "dict[int, int]" = {}
+        for subsystem in self.subsystems:
+            model = suite.models[subsystem]
+            if not isinstance(model, PolynomialModel):
+                continue
+            for feature in model.features:
+                if feature.name not in index:
+                    index[feature.name] = len(features)
+                    features.append(feature)
+                if model.degree >= 2:
+                    position = index[feature.name]
+                    if position not in sq_index:
+                        sq_index[position] = len(squared)
+                        squared.append(position)
+        self.features = tuple(features)
+        self._squared = np.asarray(squared, dtype=int)
+        n_columns = 1 + len(features) + len(squared)
+        coefficients = np.zeros((n_columns, len(self.subsystems)))
+        terms: "list[list[tuple[str, int, float]]]" = []
+        for j, subsystem in enumerate(self.subsystems):
+            model = suite.models[subsystem]
+            if isinstance(model, ConstantModel):
+                coefficients[0, j] = model.value
+                terms.append([("constant", 0, model.value)])
+                continue
+            coefficients[0, j] = float(model.coefficients[0])
+            model_terms = [("intercept", 0, float(model.coefficients[0]))]
+            k = 1
+            for power in range(1, model.degree + 1):
+                for feature in model.features:
+                    position = index[feature.name]
+                    column = (
+                        1 + position
+                        if power == 1
+                        else 1 + len(features) + sq_index[position]
+                    )
+                    coefficient = float(model.coefficients[k])
+                    coefficients[column, j] = coefficient
+                    name = (
+                        feature.name if power == 1 else f"{feature.name}^{power}"
+                    )
+                    model_terms.append((name, column, coefficient))
+                    k += 1
+            terms.append(model_terms)
+        self.coefficients = coefficients
+        self._terms = terms
+
+    def evaluate(
+        self, trace: CounterTrace, attribute: bool = False
+    ) -> "tuple[dict[Subsystem, np.ndarray], dict[Subsystem, dict[str, np.ndarray]] | None]":
+        columns = [np.ones(trace.n_samples)]
+        if self.features:
+            raw = np.column_stack([feature(trace) for feature in self.features])
+            columns.append(raw)
+            if self._squared.size:
+                columns.append(raw[:, self._squared] ** 2)
+        design = np.column_stack(columns)
+        stacked = design @ self.coefficients
+        predictions = {s: stacked[:, j] for j, s in enumerate(self.subsystems)}
+        if not attribute:
+            return predictions, None
+        terms = {
+            s: {
+                name: design[:, column] * coefficient
+                for name, column, coefficient in self._terms[j]
+            }
+            for j, s in enumerate(self.subsystems)
+        }
+        return predictions, terms
 
 
 class TrickleDownSuite:
@@ -49,7 +138,47 @@ class TrickleDownSuite:
 
     def predict_all(self, trace: CounterTrace) -> "dict[Subsystem, np.ndarray]":
         """Predicted power of every modelled subsystem."""
-        return {s: self.models[s].predict(trace) for s in self.subsystems}
+        return self.evaluate(trace)[0]
+
+    def evaluate(
+        self, trace: CounterTrace, attribute: bool = False
+    ) -> "tuple[dict[Subsystem, np.ndarray], dict[Subsystem, dict[str, np.ndarray]] | None]":
+        """Batched per-subsystem prediction, optionally with attribution.
+
+        One shared design-matrix pass evaluates every model at once
+        (each distinct feature computed a single time, one matrix
+        product for all subsystems); ``attribute=True`` additionally
+        returns the per-term watt decomposition from the same design
+        columns.  Returns ``(predictions, terms)`` with ``terms`` of
+        the :meth:`attribute_all` shape, or ``None`` when not
+        requested.  Model kinds the compiler does not recognise fall
+        back to per-model evaluation.
+        """
+        compiled = self._compiled()
+        if compiled is not None:
+            return compiled.evaluate(trace, attribute=attribute)
+        predictions = {s: self.models[s].predict(trace) for s in self.subsystems}
+        return predictions, (self.attribute_all(trace) if attribute else None)
+
+    def _compiled(self) -> "_CompiledSuite | None":
+        """Lazily built batched evaluator (``None`` for unknown kinds).
+
+        Models are treated as frozen once the first prediction runs; a
+        fitted suite is immutable in practice (:meth:`scaled` returns a
+        copy rather than editing coefficients in place).
+        """
+        try:
+            return self._compiled_cache
+        except AttributeError:
+            pass
+        if all(
+            type(model) in (ConstantModel, PolynomialModel)
+            for model in self.models.values()
+        ):
+            self._compiled_cache: "_CompiledSuite | None" = _CompiledSuite(self)
+        else:
+            self._compiled_cache = None
+        return self._compiled_cache
 
     def predict_total(self, trace: CounterTrace) -> np.ndarray:
         """Complete-system power estimate per sample (Watts)."""

@@ -19,6 +19,7 @@ from repro.simulator.config import (
     MeasurementConfig,
     SystemConfig,
 )
+from repro.simulator.fleet import FleetServer, simulate_fleet
 from repro.simulator.system import Server, simulate_workload
 
 __all__ = [
@@ -29,6 +30,8 @@ __all__ = [
     "IoConfig",
     "MeasurementConfig",
     "SystemConfig",
+    "FleetServer",
     "Server",
+    "simulate_fleet",
     "simulate_workload",
 ]
