@@ -97,3 +97,62 @@ def test_fleet_tick_throughput(benchmark, show):
         f"fleet throughput: width {width}, 100 ticks per round "
         f"({width * 100} lane-ticks); see benchmark stats above"
     )
+
+
+def test_fleet_monitored_tick_throughput(benchmark, show):
+    """Fleet stepping with the vectorized observability plane attached.
+
+    Same width-64 fleet as above, but with a
+    :class:`~repro.obs.fleet.FleetMonitor` watching every lane: per
+    closing tick the monitor snapshots counter references and energy
+    deltas, and flushes batched design-matrix + drift passes once all
+    lanes have a pending window.  ``scripts/obs_overhead.py`` gates
+    the monitored/unmonitored ratio at 5%; this bench tracks the
+    absolute monitored throughput across commits.
+    """
+    from repro.core.events import Subsystem
+    from repro.core.features import FeatureSet
+    from repro.core.models import ConstantModel, PolynomialModel
+    from repro.core.suite import TrickleDownSuite
+    from repro.obs.fleet import FleetMonitor
+
+    # Hand-built paper-shaped suite (mirrors scripts/obs_overhead.py):
+    # the monitor's mechanical cost depends on the term structure only.
+    suite = TrickleDownSuite(
+        {
+            Subsystem.CPU: PolynomialModel(
+                FeatureSet.of("active_fraction", "fetched_uops_per_cycle"),
+                degree=1,
+                coefficients=[35.0, 20.0, 5.0],
+            ),
+            Subsystem.MEMORY: PolynomialModel(
+                FeatureSet.of("bus_transactions_per_mcycle"),
+                degree=2,
+                coefficients=[18.0, 0.5, 0.01],
+            ),
+            Subsystem.IO: PolynomialModel(
+                FeatureSet.of("interrupts_per_mcycle"),
+                degree=1,
+                coefficients=[2.0, 0.1],
+            ),
+            Subsystem.DISK: PolynomialModel(
+                FeatureSet.of("disk_interrupts_per_mcycle"),
+                degree=1,
+                coefficients=[10.0, 0.2],
+            ),
+            Subsystem.CHIPSET: ConstantModel(19.9),
+        },
+        recipe_name="bench-fleet-monitor",
+    )
+    width = 64
+    fleet = FleetServer(
+        fast_config(), get_workload("SPECjbb"), [3 + i for i in range(width)]
+    )
+    fleet.attach_fleet_monitor(FleetMonitor(suite))
+    fleet.run_ticks(50)  # warm
+
+    benchmark.pedantic(lambda: fleet.run_ticks(100), iterations=1, rounds=5)
+    show(
+        f"monitored fleet throughput: width {width}, 100 ticks per round "
+        f"({width * 100} lane-ticks); see benchmark stats above"
+    )

@@ -123,6 +123,29 @@ def measure(fleet_widths: "list[int] | None" = None) -> "dict[str, dict]":
         warmup_windows=2,
     )
     suite = trainer.train(runs)
+
+    # 1c. Monitored-fleet throughput: the width-64 fleet again, now
+    # with the vectorized observability plane (FleetMonitor) attached
+    # and evaluating the trained suite per closed sampler window.
+    # Measured unconditionally — unlike the per-width fleet metrics,
+    # this one always gates.
+    from repro.obs.fleet import FleetMonitor
+
+    monitored_width = 64
+    fleet = FleetServer(
+        fast_config(),
+        get_workload("SPECjbb"),
+        [3 + i for i in range(monitored_width)],
+    )
+    fleet.attach_fleet_monitor(FleetMonitor(suite))
+    fleet.run_ticks(50)  # warm
+    per_batch = _best_of(lambda: fleet.run_ticks(100), rounds=3)
+    metrics["fleet_monitored_ticks_per_s"] = {
+        "value": monitored_width * 100.0 / per_batch,
+        "unit": "lane-ticks/s",
+        "direction": "higher",
+    }
+
     sample_run = runs[trainer.recipe.training_workloads[0]]
     counts = {
         event: sample_run.counters.per_cpu(event)[-1]

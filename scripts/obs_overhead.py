@@ -15,8 +15,12 @@ A second paired measurement holds telemetry *on* and attaches a
 :class:`~repro.obs.live.LiveMonitor` to both servers, varying only the
 estimator's ``attribute`` flag — the per-term watt decomposition must
 also stay within the same budget relative to an attribution-free
-monitor.  A gate failure dumps a flight-recorder bundle (via
-``REPRO_FLIGHT_DIR`` when set) so CI failures come with a post-mortem.
+monitor.  A third pairing holds a width-64 :class:`FleetServer` with
+and without a :class:`~repro.obs.fleet.FleetMonitor` attached
+(telemetry off in both halves) — the fleet monitor's batched
+snapshot-and-flush pass must fit the same budget.  A gate failure
+dumps a flight-recorder bundle (via ``REPRO_FLIGHT_DIR`` when set) so
+CI failures come with a post-mortem.
 
 Usage::
 
@@ -130,6 +134,26 @@ def _toy_suite():
     )
 
 
+def _fleet_pair(config, workload, width: int = 64):
+    """A warmed unmonitored/monitored fleet pair of the same width.
+
+    The monitored half carries a :class:`~repro.obs.fleet.FleetMonitor`
+    with the toy suite; telemetry stays *off* for both halves so the
+    measured cost is the monitor's own batched pass (snapshot capture +
+    deferred design-matrix flushes), not the metrics registry.
+    """
+    from repro.obs.fleet import FleetMonitor
+    from repro.simulator.fleet import FleetServer
+
+    seeds = [11 + lane for lane in range(width)]
+    fleet_off = FleetServer(config, workload, seeds)
+    fleet_on = FleetServer(config, workload, seeds)
+    fleet_on.attach_fleet_monitor(FleetMonitor(_toy_suite()))
+    fleet_off.run_ticks(200)  # warm caches
+    fleet_on.run_ticks(200)
+    return fleet_off, fleet_on
+
+
 def _monitored_server(config, workload, seed: int, attribute: bool):
     """A warmed server with an attribution-on/off live monitor attached."""
     from repro.core.estimator import SystemPowerEstimator
@@ -186,6 +210,14 @@ def main(argv: "list[str] | None" = None) -> int:
     obs.disable()
     obs.reset()
 
+    # Fleet-monitor gate: width-64 fleet, telemetry off in both halves
+    # — the budget covers the monitor's own vectorized pass.
+    fleet_off, fleet_on = _fleet_pair(config, workload)
+    fleet_overhead, fleet_disabled, fleet_enabled = _paired_overhead(
+        fleet_off, fleet_on, setup_off=obs.disable, setup_on=obs.disable
+    )
+    obs.reset()
+
     print(f"telemetry off: {disabled:12.1f} ticks/s (best round)")
     print(f"telemetry on:  {enabled:12.1f} ticks/s (best round)")
     print(
@@ -198,11 +230,19 @@ def main(argv: "list[str] | None" = None) -> int:
         f"attribution overhead: {attr_overhead * 100.0:+.2f}% median paired "
         f"(gate: {args.tolerance * 100.0:.0f}%)"
     )
+    print(f"fleet unmonitored: {fleet_disabled:8.1f} fleet-ticks/s (best round)")
+    print(f"fleet monitored:   {fleet_enabled:8.1f} fleet-ticks/s (best round)")
+    print(
+        f"fleet_monitor_overhead: {fleet_overhead * 100.0:+.2f}% median "
+        f"paired (gate: {args.tolerance * 100.0:.0f}%)"
+    )
     failures = []
     if overhead > args.tolerance:
         failures.append(("telemetry", overhead))
     if attr_overhead > args.tolerance:
         failures.append(("attribution", attr_overhead))
+    if fleet_overhead > args.tolerance:
+        failures.append(("fleet_monitor", fleet_overhead))
     if failures:
         for what, value in failures:
             print(f"FAIL: {what} overhead {value * 100.0:+.2f}% exceeds the gate")
@@ -214,6 +254,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 "tolerance": args.tolerance,
                 "telemetry_overhead": overhead,
                 "attribution_overhead": attr_overhead,
+                "fleet_monitor_overhead": fleet_overhead,
                 "failed": [what for what, _ in failures],
             },
         )

@@ -50,7 +50,12 @@ Prometheus text while the run progresses, ``/alerts`` the drift
 monitor's state, and a summary line is printed every ``--refresh``
 simulated seconds.  ``--perturb FACTOR`` deliberately mis-calibrates
 the estimator to demonstrate drift alerts; ``--restore-at T`` swaps the
-calibrated suite back mid-run so the alerts resolve.
+calibrated suite back mid-run so the alerts resolve.  ``--fleet WIDTH``
+monitors a vectorized fleet of WIDTH lanes instead: per-lane drift
+streams, cross-lane aggregates and drill-down on ``/fleet``,
+``/fleet/lanes`` and ``/fleet/lane/<i>``, with ``--perturb-lanes``
+restricting the mis-calibration to named lanes so alerts attribute to
+exactly those lanes.
 """
 
 from __future__ import annotations
@@ -256,6 +261,22 @@ def main(argv: "list[str] | None" = None) -> int:
         default=0,
         help="monitor a power-managed cluster of N nodes instead of "
         "a single workload run",
+    )
+    monitor.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        metavar="WIDTH",
+        help="monitor a vectorized fleet of WIDTH lanes instead of a "
+        "single server (per-lane drift drill-down on /fleet*)",
+    )
+    monitor.add_argument(
+        "--perturb-lanes",
+        default=None,
+        dest="perturb_lanes",
+        metavar="LANES",
+        help="with --fleet and --perturb: comma-separated lane indices "
+        "to mis-calibrate (default: every lane)",
     )
     args = parser.parse_args(argv)
     obs.log.configure()
@@ -703,14 +724,49 @@ def _cmd_monitor(
     from repro.obs.http import ObservabilityServer
 
     name = args.workload_opt or args.workload
-    if args.nodes <= 0 and not name:
+    if args.nodes <= 0 and args.fleet <= 0 and not name:
         parser.error("'monitor' needs a workload (positional or --workload)")
     if args.nodes < 0:
         parser.error("--nodes must be positive")
+    if args.fleet < 0:
+        parser.error("--fleet must be positive")
+    if args.fleet > 0 and args.nodes > 0:
+        parser.error("--fleet and --nodes are mutually exclusive")
+    perturb_lanes: "tuple[int, ...] | None" = None
+    if args.perturb_lanes is not None:
+        if args.fleet <= 0:
+            parser.error("--perturb-lanes needs --fleet")
+        if args.perturb is None:
+            parser.error("--perturb-lanes needs --perturb")
+        try:
+            perturb_lanes = tuple(
+                int(part)
+                for part in args.perturb_lanes.split(",")
+                if part.strip()
+            )
+        except ValueError:
+            parser.error(
+                "--perturb-lanes must be a comma-separated list of "
+                "lane indices"
+            )
+        bad = [lane for lane in perturb_lanes if not 0 <= lane < args.fleet]
+        if bad:
+            parser.error(
+                f"--perturb-lanes out of range for --fleet {args.fleet}: "
+                + ",".join(map(str, bad))
+            )
 
     obs.enable()
     slo = drift_mod.DEFAULT_SLO_PCT if args.slo is None else args.slo
-    drift = drift_mod.DriftMonitor(slo_pct=slo)
+    if args.fleet > 0:
+        from repro.obs.fleet import FleetDriftMonitor
+
+        # The vectorized monitor serves /alerts and drift-aware
+        # /healthz exactly like the scalar one (same firing /
+        # unresolved / to_json surface), with per-lane streams.
+        drift = FleetDriftMonitor(args.fleet, slo_pct=slo)
+    else:
+        drift = drift_mod.DriftMonitor(slo_pct=slo)
     recorder = None
     if args.flight_dir:
         from repro.obs import flight as flight_mod
@@ -727,8 +783,12 @@ def _cmd_monitor(
     )
     print("monitor: training trickle-down suite ...")
     suite = context.paper_suite()
-    active = suite if args.perturb is None else suite.scaled(args.perturb)
-    if args.perturb is not None:
+    # Fleet mode perturbs per lane through the monitor instead of
+    # forking a scaled suite, so the batched design-matrix pass stays
+    # shared across calibrated and mis-calibrated lanes.
+    scale_suite = args.perturb is not None and args.fleet <= 0
+    active = suite.scaled(args.perturb) if scale_suite else suite
+    if scale_suite:
         note = (
             f", restoring calibration at t={args.restore_at:g}s"
             if args.restore_at is not None
@@ -739,7 +799,11 @@ def _cmd_monitor(
         )
     try:
         endpoint.phase = "running"
-        if args.nodes > 0:
+        if args.fleet > 0:
+            code = _monitor_fleet(
+                args, context, endpoint, drift, suite, name, perturb_lanes
+            )
+        elif args.nodes > 0:
             code = _monitor_cluster(args, context, endpoint, drift, suite, active, name)
         else:
             code = _monitor_server(args, context, endpoint, drift, suite, active, name)
@@ -764,8 +828,12 @@ def _report_alerts(drift, seen: int) -> int:
             top = "  top: " + ", ".join(
                 f"{term}={watts:.1f}W" for term, watts in alert.top_terms
             )
+        lane = getattr(alert, "lane", -1)
+        stream = (
+            f"{alert.subsystem}[{lane}]" if lane >= 0 else alert.subsystem
+        )
         print(
-            f"monitor: ALERT {alert.state:>8}  {alert.subsystem:8} "
+            f"monitor: ALERT {alert.state:>8}  {stream:8} "
             f"ewma err {alert.error_pct:5.1f}% "
             f"(threshold {alert.threshold_pct:.1f}%)  t={alert.timestamp_s:.1f}s"
             + top
@@ -831,6 +899,114 @@ def _monitor_server(
         f"firing now: {', '.join(drift.firing) or 'none'}"
     )
     return 0
+
+
+def _monitor_fleet(
+    args: argparse.Namespace,
+    context: "ex.ExperimentContext",
+    endpoint,
+    drift,
+    suite,
+    name: "str | None",
+    perturb_lanes: "tuple[int, ...] | None",
+) -> int:
+    from time import perf_counter
+
+    from repro.obs.fleet import FleetMonitor
+    from repro.simulator.fleet import FleetServer
+
+    name = name or "gcc"
+    spec = get_workload(name)
+    seeds = [context.seed + lane for lane in range(args.fleet)]
+    fleet = FleetServer(context.config, spec, seeds)
+    monitor = FleetMonitor(
+        suite,
+        drift=drift,
+        window_s=args.window,
+        flight=endpoint.flight,
+    )
+    endpoint.windows = monitor.windows
+    endpoint.fleet = monitor
+    if endpoint.flight is not None:
+        endpoint.flight.windows = monitor.windows
+    fleet.attach_fleet_monitor(monitor)
+
+    if args.perturb is not None:
+        lanes = (
+            perturb_lanes
+            if perturb_lanes is not None
+            else tuple(range(args.fleet))
+        )
+        monitor.perturb_lanes(args.perturb, lanes)
+        note = (
+            f", restoring calibration at t={args.restore_at:g}s"
+            if args.restore_at is not None
+            else ""
+        )
+        print(
+            f"monitor: lane(s) {','.join(map(str, lanes))} "
+            f"scaled x{args.perturb:g}{note}"
+        )
+
+    ticks_per_s = max(1, int(round(1.0 / context.config.tick_s)))
+    duration = max(1, int(round(args.duration)))
+    restored = args.perturb is None or args.restore_at is None
+    seen_alerts = 0
+    next_report = args.refresh
+    wall_start = perf_counter()
+    print(
+        f"monitor: fleet of {args.fleet} lane(s) running {name} for "
+        f"{duration}s of simulated time ..."
+    )
+    for second in range(1, duration + 1):
+        fleet.run_ticks(ticks_per_s)
+        if not restored and fleet.now_s >= args.restore_at:
+            # Flush first so windows captured under the perturbation
+            # are judged with it still applied.
+            monitor.flush()
+            monitor.restore_lanes()
+            restored = True
+            print(f"monitor: t={fleet.now_s:6.1f}s  calibrated suite restored")
+        monitor.flush()
+        seen_alerts = _report_alerts(drift, seen_alerts)
+        if second >= next_report:
+            _print_fleet_summary(
+                fleet.now_s,
+                monitor,
+                second * ticks_per_s * args.fleet,
+                perf_counter() - wall_start,
+            )
+            next_report += args.refresh
+    monitor.flush()
+    fleet.detach_fleet_monitor()
+    firing = ",".join(map(str, drift.firing_lanes())) or "none"
+    print(
+        f"monitor: done — {monitor.n_windows} lane window(s) in "
+        f"{monitor.n_flushes} flush(es), "
+        f"{len(drift.history())} alert transition(s), "
+        f"firing lanes: {firing}"
+    )
+    return 0
+
+
+def _print_fleet_summary(
+    now_s: float, monitor, ticks_done: int, wall_s: float
+) -> None:
+    summary = monitor.fleet_document()
+    power = summary["power_w"]
+    if not power["true"]:
+        print(f"monitor: t={now_s:6.1f}s  (no lane window closed yet)")
+        return
+    error = summary.get("error_pct") or {}
+    firing = ",".join(str(lane) for lane in summary["firing_lanes"]) or "-"
+    ticks_per_s = ticks_done / wall_s if wall_s > 0 else 0.0
+    print(
+        f"monitor: t={now_s:6.1f}s  "
+        f"true mean {power['true'].get('mean', 0.0):6.1f}W  "
+        f"est mean {power.get('estimated', {}).get('mean', 0.0):6.1f}W  "
+        f"err p95 {error.get('p95', float('nan')):4.1f}%  "
+        f"firing lanes: {firing}  {ticks_per_s:,.0f} lane-ticks/s"
+    )
 
 
 def _print_live_summary(

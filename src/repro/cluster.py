@@ -420,6 +420,14 @@ class Cluster:
                     labels = {"node": node.node_id}
                     registry.gauge("cluster_node_power_watts", node_power, labels)
                     registry.gauge("cluster_node_energy_joules", energy, labels)
+                # Cross-node rollup through the fleet-observability
+                # plane: the same min/mean/p50/p95/max gauges a
+                # FleetMonitor publishes per lane.
+                from repro.obs.fleet import publish_lane_aggregates
+
+                publish_lane_aggregates(
+                    "cluster_node", np.asarray(node_powers, dtype=float)
+                )
             if observer is not None:
                 observer.on_second(
                     self, start_s + float(t + 1), demand, served, node_powers

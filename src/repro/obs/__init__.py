@@ -19,9 +19,13 @@ access, so the batch paths pay nothing for it):
   / :class:`~repro.obs.live.ClusterObserver` streaming hooks;
 * :mod:`repro.obs.drift` — the EWMA residual drift monitor with the
   paper's 9 % average-error bound as its default SLO;
+* :mod:`repro.obs.fleet` — the vectorized fleet plane:
+  :class:`~repro.obs.fleet.FleetMonitor` watches every lane of a
+  ``FleetServer`` in batched numpy passes, with per-lane drift EWMAs
+  proven equivalent to the scalar monitor;
 * :mod:`repro.obs.http` — a background-thread HTTP exposition server
   (``/metrics``, ``/metrics.json``, ``/alerts``, ``/healthz``,
-  ``/attribution``, ``/flightrecorder``);
+  ``/attribution``, ``/flightrecorder``, ``/fleet*``);
 * :mod:`repro.obs.attribution` — per-term watt decomposition of every
   estimate (which counter term carries the watts);
 * :mod:`repro.obs.flight` — a bounded flight recorder dumping
@@ -74,7 +78,9 @@ __all__ = [
     "enable",
     "enabled",
     "event",
+    "fleet",
     "gauge",
+    "gauge_value",
     "http",
     "inc",
     "live",
@@ -185,6 +191,16 @@ def counter(name: str, labels: "dict | None" = None) -> float:
     return _registry.counters.get(metric_key(name, labels), 0.0)
 
 
+def gauge_value(name: str, labels: "dict | None" = None) -> float:
+    """Current value of a gauge (NaN when it was never set).
+
+    The read-side complement of :func:`counter` — the monitor CLI used
+    to re-parse the Prometheus text exposition to show its own gauges;
+    this reads them straight from the registry instead.
+    """
+    return _registry.gauges.get(metric_key(name, labels), float("nan"))
+
+
 # -- cross-process aggregation -----------------------------------------
 
 
@@ -262,7 +278,7 @@ def __getattr__(name: str):
     # The live layer (windowed aggregation, drift monitoring, the HTTP
     # exposition server) loads lazily so importing ``repro.obs`` stays
     # as cheap as the batch telemetry alone.
-    if name in ("live", "drift", "http", "attribution", "flight"):
+    if name in ("live", "drift", "fleet", "http", "attribution", "flight"):
         import importlib
 
         module = importlib.import_module(f"repro.obs.{name}")

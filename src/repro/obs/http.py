@@ -9,7 +9,8 @@ route           payload
 /metrics        Prometheus text exposition of the metrics registry
 /metrics.json   the same metrics as JSON (the ``metrics.json`` shape)
 /alerts         drift-monitor state: SLO, firing streams, history
-/windows        the windowed registry's recent windows (when attached)
+/windows        the windowed registry's recent windows (when attached);
+                ``?last=N`` pages the newest N windows
 /healthz        liveness **and drift state**: 200 while healthy, 503
                 with the unresolved alerts once the attached drift
                 monitor has firing streams
@@ -17,6 +18,11 @@ route           payload
                 recorder is attached and the estimator attributes)
 /flightrecorder flight-recorder status; ``?dump=1`` writes a bundle
                 and returns its path
+/fleet          fleet-monitor summary: width, cross-lane power/error
+                aggregates, alert rollups (when a fleet is attached)
+/fleet/lanes    per-lane drill-down ranked worst-first by drift EWMA;
+                ``?top=K`` limits to the K worst offenders
+/fleet/lane/<i> one lane's full state: streams, history, latest window
 =============== =======================================================
 
 Nothing is served unless :meth:`ObservabilityServer.start` is called
@@ -59,6 +65,8 @@ class ObservabilityServer:
             ``/windows`` (optional).
         flight: a :class:`~repro.obs.flight.FlightRecorder` for
             ``/attribution`` and ``/flightrecorder`` (optional).
+        fleet: a :class:`~repro.obs.fleet.FleetMonitor` for the
+            ``/fleet*`` routes (optional).
         host: bind address (default loopback only).
         port: TCP port; 0 picks an ephemeral one, :meth:`start` returns
             the bound port.
@@ -72,6 +80,9 @@ class ObservabilityServer:
         "/healthz",
         "/attribution",
         "/flightrecorder",
+        "/fleet",
+        "/fleet/lanes",
+        "/fleet/lane/<i>",
     )
 
     def __init__(
@@ -80,6 +91,7 @@ class ObservabilityServer:
         drift=None,
         windows=None,
         flight=None,
+        fleet=None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
@@ -91,6 +103,7 @@ class ObservabilityServer:
         self.drift = drift
         self.windows = windows
         self.flight = flight
+        self.fleet = fleet
         self.host = host
         self.port = int(port)
         #: Free-form lifecycle marker surfaced on ``/healthz`` (the CLI
@@ -169,9 +182,56 @@ class ObservabilityServer:
             }
             return 200, "application/json", _json_body(document)
         if path == "/windows":
-            document = (
-                self.windows.to_json() if self.windows is not None else {"windows": []}
+            if self.windows is None:
+                return 200, "application/json", _json_body({"windows": []})
+            last: "int | None" = 12
+            raw = parse_qs(query).get("last")
+            if raw:
+                try:
+                    last = int(raw[-1])
+                except ValueError:
+                    last = -1
+                if last < 1:
+                    return 400, "application/json", _json_body(
+                        {"error": "last must be a positive integer"}
+                    )
+            return 200, "application/json", _json_body(
+                self.windows.to_json(last=last)
             )
+        if path == "/fleet":
+            document = (
+                self.fleet.fleet_document()
+                if self.fleet is not None
+                else {"fleet": None}
+            )
+            return 200, "application/json", _json_body(document)
+        if path == "/fleet/lanes":
+            if self.fleet is None:
+                return 200, "application/json", _json_body({"fleet": None})
+            top = 8
+            raw = parse_qs(query).get("top")
+            if raw:
+                try:
+                    top = int(raw[-1])
+                except ValueError:
+                    top = -1
+                if top < 1:
+                    return 400, "application/json", _json_body(
+                        {"error": "top must be a positive integer"}
+                    )
+            return 200, "application/json", _json_body(
+                self.fleet.lanes_document(top=top)
+            )
+        if path.startswith("/fleet/lane/"):
+            if self.fleet is None:
+                return 200, "application/json", _json_body({"fleet": None})
+            try:
+                lane = int(path[len("/fleet/lane/"):])
+                document = self.fleet.lane_document(lane)
+            except (ValueError, IndexError):
+                return 404, "application/json", _json_body(
+                    {"error": f"no such lane {path[len('/fleet/lane/'):]!r}"}
+                )
             return 200, "application/json", _json_body(document)
         if path == "/attribution":
             document = (

@@ -496,6 +496,7 @@ class ClusterObserver:
         window_s: float = DEFAULT_WINDOW_S,
         attribute: bool = False,
         flight=None,
+        per_node: bool = False,
     ) -> None:
         self.estimator = None
         self.attribute = bool(attribute)
@@ -510,6 +511,13 @@ class ClusterObserver:
         self.windows = (
             windows if windows is not None else WindowedRegistry(window_s=window_s)
         )
+        #: With ``per_node=True`` (and a suite), each node's residuals
+        #: also stream into a per-node
+        #: :class:`~repro.obs.fleet.FleetDriftMonitor` — the cluster
+        #: face of the fleet observability plane — and per-node
+        #: estimate gauges are published.
+        self.per_node = bool(per_node)
+        self.node_drift = None
         self.n_seconds = 0
         self.last: "LiveSample | None" = None
         self._node_energy: "dict[int, dict]" = {}
@@ -538,8 +546,8 @@ class ClusterObserver:
             true_w: "dict[str, float]" = {}
             estimated_w: "dict[str, float]" = {}
             terms_acc: "dict[str, dict[str, float]]" = {}
-            compared = 0
-            for node in cluster.nodes:
+            pending: "list[tuple]" = []
+            for index, node in enumerate(cluster.nodes):
                 if not node.available:
                     self._node_energy.pop(node.node_id, None)
                     continue
@@ -549,25 +557,21 @@ class ClusterObserver:
                 counts = node.server.counters.read_and_clear()
                 if previous is None:
                     continue  # first full second on this node
-                estimate = self.estimator.estimate(
-                    counts, duration_s=1.0, timestamp_s=t_s
-                )
-                for subsystem, watts in estimate.subsystem_w.items():
-                    name = subsystem.value
+                pending.append((index, node, counts, energy, previous))
+            compared = len(pending)
+            node_estimates = self._estimate_nodes(pending, t_s, terms_acc)
+            for (index, node, counts, energy, previous), node_est in zip(
+                pending, node_estimates
+            ):
+                for name, watts in node_est.items():
                     estimated_w[name] = estimated_w.get(name, 0.0) + watts
-                if estimate.attribution is not None:
-                    # Fleet-level attribution: term watts add across
-                    # powered-up nodes (they share one fitted suite).
-                    for sub, terms in estimate.attribution.terms_w.items():
-                        acc = terms_acc.setdefault(sub, {})
-                        for term, watts in terms.items():
-                            acc[term] = acc.get(term, 0.0) + watts
                 for subsystem, joules in energy.items():
                     name = subsystem.value
                     true_w[name] = (
                         true_w.get(name, 0.0) + joules - previous[subsystem]
                     )
-                compared += 1
+            if self.per_node and pending:
+                self._observe_nodes(cluster, t_s, pending, node_estimates)
             if compared:
                 sample = LiveSample(
                     timestamp_s=float(t_s),
@@ -619,3 +623,101 @@ class ClusterObserver:
         self.windows.ingest(t_s, obs.registry())
         self.n_seconds += 1
         return transitions
+
+    def _estimate_nodes(
+        self, pending: "list[tuple]", t_s: float, terms_acc: dict
+    ) -> "list[dict[str, float]]":
+        """Per-node subsystem estimates for one second.
+
+        With attribution off (the default), every compared node's
+        counter sample goes through **one** batched
+        :meth:`TrickleDownSuite.evaluate` design-matrix pass — the
+        fleet-observability path — instead of N single-sample
+        estimator calls.  With ``attribute=True`` the scalar estimator
+        runs per node so each estimate carries its term decomposition.
+        """
+        if not pending:
+            return []
+        if self.attribute:
+            out = []
+            for _, _, counts, _, _ in pending:
+                estimate = self.estimator.estimate(
+                    counts, duration_s=1.0, timestamp_s=t_s
+                )
+                if estimate.attribution is not None:
+                    # Fleet-level attribution: term watts add across
+                    # powered-up nodes (they share one fitted suite).
+                    for sub, terms in estimate.attribution.terms_w.items():
+                        acc = terms_acc.setdefault(sub, {})
+                        for term, watts in terms.items():
+                            acc[term] = acc.get(term, 0.0) + watts
+                out.append(
+                    {s.value: w for s, w in estimate.subsystem_w.items()}
+                )
+            return out
+        import numpy as np
+
+        from repro.core.traces import CounterTrace
+
+        n = len(pending)
+        events = list(pending[0][2])
+        trace = CounterTrace(
+            timestamps=np.full(n, float(t_s)),
+            durations=np.ones(n),
+            counts={
+                event: np.vstack(
+                    [
+                        np.asarray(counts[event], dtype=float)
+                        for _, _, counts, _, _ in pending
+                    ]
+                )
+                for event in events
+            },
+        )
+        predictions, _ = self.estimator.suite.evaluate(trace)
+        return [
+            {s.value: float(column[i]) for s, column in predictions.items()}
+            for i in range(n)
+        ]
+
+    def _observe_nodes(
+        self,
+        cluster,
+        t_s: float,
+        pending: "list[tuple]",
+        node_estimates: "list[dict[str, float]]",
+    ) -> "list":
+        """Feed per-node residuals to the per-node drift plane."""
+        import numpy as np
+
+        from repro.obs.fleet import FleetDriftMonitor
+
+        if self.node_drift is None:
+            self.node_drift = FleetDriftMonitor(
+                len(cluster.nodes),
+                slo_pct=self.drift.slo_pct,
+                alpha=self.drift.alpha,
+                min_windows=self.drift.min_windows,
+                resolve_ratio=self.drift.resolve_ratio,
+            )
+        lanes = np.array([index for index, *_ in pending], dtype=np.int64)
+        estimated = {
+            name: np.array([est[name] for est in node_estimates])
+            for name in node_estimates[0]
+        }
+        true = {
+            subsystem.value: np.array(
+                [
+                    energy[subsystem] - previous[subsystem]
+                    for _, _, _, energy, previous in pending
+                ]
+            )
+            for subsystem in pending[0][3]
+        }
+        for (_, node, *_), est in zip(pending, node_estimates):
+            obs.gauge(
+                "cluster_node_estimated_power_watts",
+                sum(est.values()),
+                {"node": node.node_id},
+            )
+        return self.node_drift.observe(t_s, estimated, true, lanes=lanes)

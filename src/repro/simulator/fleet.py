@@ -297,8 +297,10 @@ class FleetServer:
         self.seeds = seeds
         self.width = len(seeds)
         self.compat = compat
-        #: lane -> live monitor (see :meth:`attach_monitor`).
-        self._monitors: "dict[int, object]" = {}
+        #: lane -> live monitor stack (see :meth:`attach_monitor`).
+        self._monitors: "dict[int, list]" = {}
+        #: Optional fleet-wide monitor (see :meth:`attach_fleet_monitor`).
+        self._fleet_monitor = None
         if compat == "scalar":
             self._servers: "list[Server] | None" = [
                 Server(config, workload, seed) for seed in seeds
@@ -623,27 +625,85 @@ class FleetServer:
             return
         self._samp_deadline[:] = np.inf
 
-    def attach_monitor(self, monitor, lane: int = 0) -> None:
+    def attach_monitor(self, monitor, lane: "int | None" = 0) -> None:
         """Attach a live monitor to one lane (sampler-window callbacks).
 
         Mirrors :meth:`Server.attach_monitor`: ``monitor.on_window(view,
         pulse_s)`` fires whenever that lane closes a sampling window;
-        ``on_attach(view)``, when present, fires now.  The view passed
-        is :meth:`lane`'s read-only server facade.
+        ``on_attach(view)``, when present, fires now per attached lane.
+        The view passed is :meth:`lane`'s read-only server facade.
+
+        A lane holds a *stack* of monitors — attaching a second one
+        adds it instead of silently replacing the first — and
+        ``lane=None`` attaches the monitor to every lane.  Out-of-range
+        lanes raise :class:`IndexError`.
+        """
+        lanes = range(self.width) if lane is None else (self._check_lane(lane),)
+        for lane_i in lanes:
+            stack = self._monitors.setdefault(lane_i, [])
+            stack.append(monitor)
+            if self._servers is not None:
+                if len(stack) == 1:
+                    # The scalar server has a single monitor slot; give
+                    # it a fan-out view of this lane's (live) stack.
+                    self._servers[lane_i]._monitor = _MonitorFanout(stack)
+                on_attach = getattr(monitor, "on_attach", None)
+                if on_attach is not None:
+                    on_attach(self._servers[lane_i])
+            else:
+                on_attach = getattr(monitor, "on_attach", None)
+                if on_attach is not None:
+                    on_attach(self.lane(lane_i))
+
+    def detach_monitor(self, lane: "int | None" = 0, monitor=None) -> None:
+        """Detach ``monitor`` (default: all monitors) from ``lane``.
+
+        ``lane=None`` sweeps every lane.  Detaching a monitor that is
+        not attached is a no-op.
+        """
+        lanes = range(self.width) if lane is None else (self._check_lane(lane),)
+        for lane_i in lanes:
+            stack = self._monitors.get(lane_i)
+            if stack is None:
+                continue
+            if monitor is None:
+                stack.clear()
+            elif monitor in stack:
+                stack.remove(monitor)
+            if not stack:
+                del self._monitors[lane_i]
+                if self._servers is not None:
+                    self._servers[lane_i].detach_monitor()
+
+    def attach_fleet_monitor(self, monitor) -> None:
+        """Attach a fleet-wide monitor pulsed on every closing lane.
+
+        ``monitor.on_pulse(fleet, lanes, now_s)`` fires once per tick
+        on which any lane closes a sampling window, with the closing
+        lane indices — the batched analogue of per-lane
+        :meth:`attach_monitor` (see
+        :class:`repro.obs.fleet.FleetMonitor`).  ``on_attach_fleet``,
+        when present, fires now.  Unattached, the tick loop pays one
+        ``is not None`` check per closing tick.
         """
         if self._servers is not None:
-            self._servers[lane].attach_monitor(monitor)
-            return
-        self._monitors[lane] = monitor
-        on_attach = getattr(monitor, "on_attach", None)
+            raise NotImplementedError(
+                "attach_fleet_monitor requires vector mode"
+            )
+        self._fleet_monitor = monitor
+        on_attach = getattr(monitor, "on_attach_fleet", None)
         if on_attach is not None:
-            on_attach(self.lane(lane))
+            on_attach(self)
 
-    def detach_monitor(self, lane: int = 0) -> None:
-        if self._servers is not None:
-            self._servers[lane].detach_monitor()
-            return
-        self._monitors.pop(lane, None)
+    def detach_fleet_monitor(self) -> None:
+        self._fleet_monitor = None
+
+    def _check_lane(self, lane: int) -> int:
+        if not 0 <= lane < self.width:
+            raise IndexError(
+                f"lane {lane} out of range for width {self.width}"
+            )
+        return int(lane)
 
     # -- lane access / measured runs -----------------------------------
 
@@ -867,6 +927,7 @@ class FleetServer:
         loop_col, nph_col = self._loop_col, self._nph_col
         has_nonloop = self._has_nonloop
         monitors = self._monitors
+        fleet_monitor = self._fleet_monitor
         batch_energy = np.zeros(width)
 
         with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
@@ -1340,7 +1401,8 @@ class FleetServer:
                     wenergy[si] += ((powers5[si] * gains[si]) * drift) * dt
                 closing = act & (now + 1.0e-12 >= samp_deadline)
                 if closing.any():
-                    for lane_i in np.nonzero(closing)[0]:
+                    closed = np.nonzero(closing)[0]
+                    for lane_i in closed:
                         lane = int(lane_i)
                         now_l = float(now[lane])
                         snap = c3[:, :, lane].copy()
@@ -1377,9 +1439,15 @@ class FleetServer:
                             wenergy[si, lane] = 0.0
                         daq_ts[lane].append(now_l)
                         daq_wstart[lane] = now_l
-                        monitor = monitors.get(lane)
-                        if monitor is not None:
-                            monitor.on_window(self.lane(lane), now_l)
+                        stack = monitors.get(lane)
+                        if stack:
+                            view = self.lane(lane)
+                            for monitor in stack:
+                                monitor.on_window(view, now_l)
+                    if fleet_monitor is not None:
+                        fleet_monitor.on_pulse(
+                            self, closed, float(now[closed[0]])
+                        )
 
         if saved is not None:
             for name, block in zip(self._STATE_NAMES, saved):
@@ -1421,6 +1489,25 @@ class FleetServer:
 # _energy_j``/``mean_power_w``, ``process_stats``, ``_last_breakdown``)
 # so monitors and tests written against ``Server`` read fleet lanes
 # unchanged.
+
+
+class _MonitorFanout:
+    """Fans a scalar server's single monitor slot out to a stack.
+
+    ``compat="scalar"`` lanes are real :class:`Server` objects with one
+    ``_monitor`` slot; this shim holds the fleet's live per-lane stack
+    (the same list object :meth:`FleetServer.attach_monitor` mutates)
+    so multiple monitors attach to a compat lane too.
+    """
+
+    __slots__ = ("monitors",)
+
+    def __init__(self, monitors: list) -> None:
+        self.monitors = monitors
+
+    def on_window(self, server, pulse_s: float) -> None:
+        for monitor in self.monitors:
+            monitor.on_window(server, pulse_s)
 
 
 class _LaneCounters:

@@ -293,6 +293,87 @@ class TestWindowedRegistry:
             WindowedRegistry(max_windows=0)
 
 
+class TestWindowedRegistryEdgeCases:
+    """Corner cases of windowed aggregation and quantile estimation."""
+
+    def test_quantile_without_histograms_is_nan(self):
+        windows = WindowedRegistry(window_s=1.0)
+        # No windows at all, then a window with no such histogram.
+        assert math.isnan(windows.quantile("latency", 0.5))
+        reg = MetricsRegistry()
+        reg.gauge("power_watts", 1.0)
+        windows.ingest(0.5, reg)
+        assert math.isnan(windows.quantile("latency", 0.5))
+
+    def test_single_sample_window(self):
+        windows = WindowedRegistry(window_s=1.0)
+        reg = MetricsRegistry()
+        reg.observe("latency", 1.5, buckets=(1.0, 2.0))
+        windows.ingest(0.5, reg)
+        assert windows.mean("latency") == pytest.approx(1.5)
+        # One observation: every quantile interpolates inside its
+        # bucket, so the estimate stays within the (1, 2] bounds and
+        # q = 1 lands exactly on the upper edge.
+        for q in (0.01, 0.5, 0.99):
+            assert 1.0 < windows.quantile("latency", q) <= 2.0
+        assert windows.quantile("latency", 1.0) == pytest.approx(2.0)
+
+    def test_counter_reset_mid_window(self):
+        windows = WindowedRegistry(window_s=10.0)
+        reg = MetricsRegistry()
+        reg.inc("ticks_total", 100.0)
+        windows.ingest(1.0, reg)
+        # The process restarted *inside* the same window: cumulative
+        # went down, so the full restarted value joins the earlier
+        # delta instead of producing a negative one.
+        reg.reset()
+        reg.inc("ticks_total", 40.0)
+        windows.ingest(2.0, reg)
+        assert windows.series("ticks_total") == [(0.0, 140.0)]
+        assert windows.rate("ticks_total") == pytest.approx(14.0)
+
+    def test_histogram_reset_mid_window_counts_new_observations(self):
+        windows = WindowedRegistry(window_s=10.0)
+        reg = MetricsRegistry()
+        reg.observe("latency", 0.5, buckets=(1.0, 2.0))
+        reg.observe("latency", 0.5, buckets=(1.0, 2.0))
+        windows.ingest(1.0, reg)
+        # Restarted mid-window: the cumulative count went 2 -> 1, so
+        # the whole restarted histogram is new data.
+        reg.reset()
+        reg.observe("latency", 1.5, buckets=(1.0, 2.0))
+        windows.ingest(2.0, reg)
+        assert windows.mean("latency") == pytest.approx((0.5 + 0.5 + 1.5) / 3)
+
+    def test_quantile_at_edges_under_merged_registries(self):
+        # One observation per bucket, split across two worker
+        # registries whose snapshots land in different windows; the
+        # cross-window merged quantile must interpolate exactly onto
+        # the bucket edges, same as one histogram holding all four.
+        edges = (1.0, 2.0, 3.0, 4.0)
+        windows = WindowedRegistry(window_s=5.0)
+        worker_a = MetricsRegistry()
+        worker_a.observe("latency", 1.0, buckets=edges)
+        worker_a.observe("latency", 2.0, buckets=edges)
+        windows.ingest(1.0, worker_a)
+        worker_b = MetricsRegistry()
+        worker_b.observe("latency", 3.0, buckets=edges)
+        worker_b.observe("latency", 4.0, buckets=edges)
+        # The second snapshot arrives merged on top of the first
+        # worker's counts (the parent folds snapshots cumulatively).
+        worker_a.merge(worker_b)
+        windows.ingest(6.0, worker_a)
+        reference = Histogram(edges)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            reference.observe(value)
+        for k, edge in enumerate(edges, start=1):
+            q = k / 4.0
+            assert windows.quantile("latency", q) == pytest.approx(edge)
+            assert windows.quantile("latency", q) == pytest.approx(
+                reference.quantile(q)
+            )
+
+
 class TestDriftMonitor:
     WATTS = {"cpu": 100.0}
 
