@@ -41,7 +41,7 @@ from repro.core.training import ModelTrainer  # noqa: E402
 from repro.exec import sweep  # noqa: E402
 from repro.simulator.config import fast_config  # noqa: E402
 from repro.simulator.fleet import FleetServer  # noqa: E402
-from repro.simulator.system import Server  # noqa: E402
+from repro.simulator.system import Server, simulate_workload  # noqa: E402
 from repro.workloads.registry import get_workload  # noqa: E402
 
 #: Workloads the default recipe needs, simulated short for the gate.
@@ -163,6 +163,43 @@ def measure(fleet_widths: "list[int] | None" = None) -> "dict[str, dict]":
         * 1e6,
         "unit": "us",
         "direction": "lower",
+    }
+
+    # 4. Streaming-service ingest: the full decode -> shard -> batched
+    # evaluate -> publish pipeline of repro.serve, on pre-encoded
+    # columnar frames over the lean wire (only the events the suite
+    # consumes), telemetry off — the ROADMAP's >= 100k samples/s gate.
+    # A dedicated long source trace (600 simulated seconds, ~600
+    # windows) keeps per-pass fixed costs from dominating the rate.
+    from repro.serve import EstimationService, frames_from_run, required_events
+
+    ingest_run = simulate_workload(
+        get_workload("gcc"),
+        config=fast_config(),
+        seed=_TRAIN_SEED,
+        duration_s=600.0,
+    )
+    service = EstimationService(suite, ops=False)
+    frames = frames_from_run(
+        ingest_run,
+        "bench-node",
+        frame_samples=64,
+        events=required_events(suite),
+        include_truth=False,
+    )
+    total_samples = ingest_run.counters.n_samples
+    for line in frames:  # warm
+        service.ingest_inline(line)
+
+    def _ingest_all() -> None:
+        for line in frames:
+            service.ingest_inline(line)
+
+    per_pass = _best_of(_ingest_all, rounds=5)
+    metrics["ingest_samples_per_s"] = {
+        "value": total_samples / per_pass,
+        "unit": "samples/s",
+        "direction": "higher",
     }
     return metrics
 

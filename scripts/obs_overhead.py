@@ -168,6 +168,64 @@ def _monitored_server(config, workload, seed: int, attribute: bool):
     return server
 
 
+class _IngestRig:
+    """Adapts the streaming service to the ``run_ticks`` pairing API.
+
+    One "tick" ingests one pre-encoded columnar frame through the
+    synchronous pipeline; each batch ends with a housekeeping
+    :meth:`~repro.serve.service.EstimationService.tick` so the ops-on
+    half pays for staleness sweeps and burn-rate checks too, not just
+    the stage spans.
+    """
+
+    def __init__(self, service, frames: "list[str]") -> None:
+        self.service = service
+        self.frames = frames
+        self._next = 0
+
+    def run_ticks(self, n: int) -> None:
+        frames = self.frames
+        count = len(frames)
+        ingest = self.service.ingest_inline
+        for _ in range(n):
+            ingest(frames[self._next % count])
+            self._next += 1
+        self.service.tick()
+
+
+def _ingest_pair(config):
+    """Warmed ops-off/ops-on service rigs over the same frame stream.
+
+    The off half is the bare decode→evaluate→publish pipeline the
+    ``ingest_samples_per_s`` benchmark measures (telemetry disabled,
+    ``ops=False``); the on half carries the full ops plane — stage
+    spans + latency histograms, staleness tracking and SLO burn
+    checks — with telemetry enabled.
+    """
+    from repro.serve import EstimationService, frames_from_run, required_events
+    from repro.simulator.system import simulate_workload
+
+    suite = _toy_suite()
+    run = simulate_workload(
+        get_workload("gcc"), config=config, seed=7, duration_s=240.0
+    )
+    frames = frames_from_run(
+        run,
+        "rig",
+        frame_samples=64,
+        events=required_events(suite),
+        include_truth=False,
+    )
+    rig_off = _IngestRig(EstimationService(suite, ops=False), frames)
+    rig_on = _IngestRig(EstimationService(suite, ops=True), frames)
+    obs.disable()
+    rig_off.run_ticks(20)  # warm caches
+    obs.enable()
+    rig_on.run_ticks(20)
+    obs.disable()
+    return rig_off, rig_on
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -218,6 +276,16 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     obs.reset()
 
+    # Streaming-ingest gate: the serve ops plane (stage spans +
+    # staleness + SLO burn tracking) against the bare telemetry-off
+    # pipeline, one frame per tick.
+    rig_off, rig_on = _ingest_pair(config)
+    ingest_overhead, ingest_disabled, ingest_enabled = _paired_overhead(
+        rig_off, rig_on
+    )
+    obs.disable()
+    obs.reset()
+
     print(f"telemetry off: {disabled:12.1f} ticks/s (best round)")
     print(f"telemetry on:  {enabled:12.1f} ticks/s (best round)")
     print(
@@ -236,6 +304,12 @@ def main(argv: "list[str] | None" = None) -> int:
         f"fleet_monitor_overhead: {fleet_overhead * 100.0:+.2f}% median "
         f"paired (gate: {args.tolerance * 100.0:.0f}%)"
     )
+    print(f"ingest ops off: {ingest_disabled * 64:11.1f} samples/s (best round)")
+    print(f"ingest ops on:  {ingest_enabled * 64:11.1f} samples/s (best round)")
+    print(
+        f"ingest_ops_overhead: {ingest_overhead * 100.0:+.2f}% median "
+        f"paired (gate: {args.tolerance * 100.0:.0f}%)"
+    )
     failures = []
     if overhead > args.tolerance:
         failures.append(("telemetry", overhead))
@@ -243,6 +317,8 @@ def main(argv: "list[str] | None" = None) -> int:
         failures.append(("attribution", attr_overhead))
     if fleet_overhead > args.tolerance:
         failures.append(("fleet_monitor", fleet_overhead))
+    if ingest_overhead > args.tolerance:
+        failures.append(("ingest_ops", ingest_overhead))
     if failures:
         for what, value in failures:
             print(f"FAIL: {what} overhead {value * 100.0:+.2f}% exceeds the gate")
@@ -255,6 +331,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 "telemetry_overhead": overhead,
                 "attribution_overhead": attr_overhead,
                 "fleet_monitor_overhead": fleet_overhead,
+                "ingest_ops_overhead": ingest_overhead,
                 "failed": [what for what, _ in failures],
             },
         )

@@ -135,7 +135,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "command",
         help="table1..table4, fig1..fig7, equations, report, run, list, "
-        "obs, monitor, sweep, explain",
+        "obs, monitor, serve, sweep, explain",
     )
     parser.add_argument("workload", nargs="?", help="workload name (for 'run')")
     parser.add_argument("--seed", type=int, default=7)
@@ -278,6 +278,67 @@ def main(argv: "list[str] | None" = None) -> int:
         help="with --fleet and --perturb: comma-separated lane indices "
         "to mis-calibrate (default: every lane)",
     )
+    serve = parser.add_argument_group("serve options")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="estimator worker shards for 'serve' (default 2)",
+    )
+    serve.add_argument(
+        "--socket-port",
+        type=int,
+        default=None,
+        dest="socket_port",
+        metavar="PORT",
+        help="also accept the raw socket line protocol on PORT "
+        "(0 = ephemeral; default: HTTP ingest only)",
+    )
+    serve.add_argument(
+        "--replay",
+        metavar="WORKLOAD",
+        default=None,
+        help="simulate WORKLOAD on --nodes nodes and stream their "
+        "counter windows through the service (with truth watts, so "
+        "drift and the error SLO score live)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        dest="queue_depth",
+        help="per-shard ingest queue bound, in batches (default 256)",
+    )
+    serve.add_argument(
+        "--stale-after",
+        type=float,
+        default=10.0,
+        dest="stale_after",
+        metavar="SECONDS",
+        help="a node with no accepted sample for this long is stale "
+        "and flips /healthz to 503 (default 10)",
+    )
+    serve.add_argument(
+        "--attribute",
+        action="store_true",
+        help="publish per-term watt attribution per node on /nodes/<id>",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="replay pacing in samples/s across all nodes "
+        "(0 = as fast as possible)",
+    )
+    serve.add_argument(
+        "--serve-for",
+        type=float,
+        default=0.0,
+        dest="serve_for",
+        metavar="SECONDS",
+        help="keep serving this long after the replay drains "
+        "(without --replay: 0 = serve until interrupted)",
+    )
     args = parser.parse_args(argv)
     obs.log.configure()
 
@@ -338,6 +399,8 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     context = _context(args)
     if command == "monitor":
         return _cmd_monitor(args, parser, context)
+    if command == "serve":
+        return _cmd_serve(args, parser, context)
     if command == "sweep":
         return _cmd_sweep(args, parser, context)
     if command == "explain":
@@ -776,7 +839,12 @@ def _cmd_monitor(
             recorder.drift = drift
     endpoint = ObservabilityServer(drift=drift, flight=recorder, port=args.port)
     endpoint.phase = "training"
-    endpoint.start()
+    try:
+        endpoint.start()
+    except OSError as error:
+        print(f"monitor: {error.strerror or error}", file=sys.stderr)
+        return 2
+    # With --port 0 this prints the ephemeral port actually bound.
     print(
         f"monitor: endpoint at {endpoint.url()} "
         f"(routes: {' '.join(ObservabilityServer.ROUTES)})"
@@ -817,6 +885,190 @@ def _cmd_monitor(
             print(f"monitor: wrote alert log to {alerts_path}")
         endpoint.stop()
     return code
+
+
+def _cmd_serve(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    context: "ex.ExperimentContext",
+) -> int:
+    """``repro-power serve``: the long-lived streaming estimation service."""
+    import signal
+    from time import monotonic, sleep
+
+    from repro.obs import drift as drift_mod
+    from repro.obs.http import ObservabilityServer
+    from repro.serve import EstimationService, LineSocketServer, SLOEngine
+
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.replay is None and args.rate:
+        parser.error("--rate needs --replay")
+    nodes = args.nodes if args.nodes > 0 else 4
+    obs.enable()
+    slo_pct = drift_mod.DEFAULT_SLO_PCT if args.slo is None else args.slo
+    recorder = None
+    if args.flight_dir:
+        from repro.obs import flight as flight_mod
+
+        recorder = flight_mod.get_global()
+
+    endpoint = ObservabilityServer(flight=recorder, port=args.port)
+    endpoint.phase = "training"
+    try:
+        endpoint.start()
+    except OSError as error:
+        print(f"serve: {error.strerror or error}", file=sys.stderr)
+        return 2
+    # With --port 0 this prints the ephemeral port actually bound.
+    print(
+        f"serve: endpoint at {endpoint.url()} "
+        f"(POST {endpoint.url('/ingest')}, scrape /nodes /service /slo)"
+    )
+    print("serve: training trickle-down suite ...")
+    suite = context.paper_suite()
+    service = EstimationService(
+        suite,
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        stale_after_s=args.stale_after,
+        drift_slo_pct=slo_pct,
+        attribute=args.attribute,
+        slo=SLOEngine(error_bound_pct=slo_pct, flight=recorder),
+        flight=recorder,
+    )
+    endpoint.service = service
+    service.start()
+    socket_server = None
+    if args.socket_port is not None:
+        socket_server = LineSocketServer(service, port=args.socket_port)
+        try:
+            port = socket_server.start()
+        except OSError as error:
+            print(f"serve: {error}", file=sys.stderr)
+            endpoint.stop()
+            service.stop()
+            return 2
+        print(f"serve: socket line-protocol ingest on 127.0.0.1:{port}")
+    print(
+        f"serve: {args.shards} shard(s), queue depth {args.queue_depth}, "
+        f"stale after {args.stale_after:g}s, drift SLO {slo_pct:g}%"
+    )
+
+    previous_sigterm = signal.getsignal(signal.SIGTERM)
+
+    def _sigterm(signum, frame):  # noqa: ARG001
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    endpoint.phase = "running"
+    code = 0
+    try:
+        if args.replay:
+            _serve_replay(args, context, service, nodes)
+        deadline = (
+            monotonic() + args.serve_for
+            if args.serve_for > 0
+            else (None if args.replay is None else monotonic())
+        )
+        if deadline is None:
+            print("serve: serving until interrupted (SIGINT/SIGTERM) ...")
+        next_report = monotonic() + args.refresh
+        while deadline is None or monotonic() < deadline:
+            sleep(0.2)
+            if monotonic() >= next_report:
+                _print_serve_summary(service)
+                next_report = monotonic() + args.refresh
+        endpoint.phase = "done"
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down")
+        endpoint.phase = "done"
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+        _print_serve_summary(service)
+        if args.telemetry:
+            os.makedirs(args.telemetry, exist_ok=True)
+            service_path = os.path.join(args.telemetry, "service.json")
+            with open(service_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    service.service_document(), handle, indent=2, sort_keys=True,
+                    default=str,
+                )
+            print(f"serve: wrote service state to {service_path}")
+        if socket_server is not None:
+            socket_server.stop()
+        service.stop()
+        endpoint.stop()
+    return code
+
+
+def _serve_replay(args, context, service, nodes: int) -> None:
+    """Simulate ``nodes`` runs and stream their windows into the service."""
+    from time import monotonic, sleep
+
+    from repro.serve import frames_from_run
+    from repro.simulator import simulate_workload
+
+    spec = get_workload(args.replay)
+    print(
+        f"serve: replaying {args.replay} on {nodes} node(s) "
+        f"({context.duration_s:g}s simulated each) ..."
+    )
+    streams = []
+    for i in range(nodes):
+        run = simulate_workload(
+            spec,
+            config=context.config,
+            seed=context.seed + i,
+            duration_s=context.duration_s,
+        )
+        streams.append(
+            frames_from_run(
+                run,
+                f"node-{i}",
+                frame_samples=64,
+                events=service.required_events,
+            )
+        )
+    # Round-robin across nodes so every shard sees interleaved load.
+    min_len = min(len(stream) for stream in streams)
+    lines = [line for group in zip(*streams) for line in group]
+    for stream in streams:
+        lines.extend(stream[min_len:])
+    total = accepted = shed = 0
+    started = monotonic()
+    for line in lines:
+        receipt = service.ingest(line, transport="replay")
+        n = receipt["accepted"] + receipt["shed"]
+        total += n
+        accepted += receipt["accepted"]
+        shed += receipt["shed"]
+        if args.rate > 0:
+            # Open-loop pacing: sleep to the schedule, never faster.
+            due = started + total / args.rate
+            delay = due - monotonic()
+            if delay > 0:
+                sleep(delay)
+    elapsed = monotonic() - started
+    print(
+        f"serve: replay offered {total} sample(s) in {elapsed:.1f}s "
+        f"({total / max(elapsed, 1e-9):,.0f}/s), accepted {accepted}, "
+        f"shed {shed}"
+    )
+
+
+def _print_serve_summary(service) -> None:
+    health = service.health()
+    document = service.nodes_document()
+    fleet = document["fleet"]
+    power = fleet.get("power_w", {})
+    burn = ",".join(health["slo_fast_burn"]) or "none"
+    print(
+        f"serve: status={health['status']:8} nodes={fleet['count']} "
+        f"(stale {fleet['stale']})  samples={service.samples_total}  "
+        f"shed={service.shed_samples_total}  "
+        f"fleet={power.get('sum', float('nan')):.1f}W  fast-burn={burn}"
+    )
 
 
 def _report_alerts(drift, seen: int) -> int:
@@ -1169,12 +1421,26 @@ def _print_telemetry(directory: str, cache_dir: "str | None") -> int:
         for e in histograms:
             count = e["count"]
             mean = e["sum"] / count if count else 0.0
+            # Quantiles straight from the bucket cells, so stage-latency
+            # histograms read without scraping the Prometheus text.
+            hist = obs.Histogram.from_dict(e)
             rows.append(
-                [e["name"] + label_str(e.get("labels", {})), count, mean, e["sum"]]
+                [
+                    e["name"] + label_str(e.get("labels", {})),
+                    count,
+                    mean,
+                    hist.quantile(0.5),
+                    hist.quantile(0.95),
+                    hist.quantile(0.99),
+                    e["sum"],
+                ]
             )
         print(
             format_table(
-                "Histograms", ("metric", "count", "mean", "sum"), rows, precision=4
+                "Histograms",
+                ("metric", "count", "mean", "p50", "p95", "p99", "sum"),
+                rows,
+                precision=4,
             )
         )
         print()

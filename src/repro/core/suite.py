@@ -92,8 +92,22 @@ class _CompiledSuite:
             if self._squared.size:
                 columns.append(raw[:, self._squared] ** 2)
         design = np.column_stack(columns)
-        stacked = design @ self.coefficients
-        predictions = {s: stacked[:, j] for j, s in enumerate(self.subsystems)}
+        # Accumulate term-by-term instead of `design @ coefficients`:
+        # BLAS kernels change accumulation order with the batch shape,
+        # so the same sample can round differently inside a large batch
+        # than alone.  Elementwise multiply-add is per-element
+        # deterministic at any length, which keeps per-row results
+        # independent of how a stream is framed — the streaming
+        # service's bit-identity guarantee (tests/test_serve.py).  Each
+        # subsystem touches only its own few nonzero terms, so this is
+        # no more work than the dense product it replaces.
+        predictions: "dict[Subsystem, np.ndarray]" = {}
+        for j, s in enumerate(self.subsystems):
+            acc: "np.ndarray | None" = None
+            for _name, column, coefficient in self._terms[j]:
+                term = design[:, column] * coefficient
+                acc = term if acc is None else acc + term
+            predictions[s] = acc
         if not attribute:
             return predictions, None
         terms = {

@@ -23,6 +23,12 @@ route           payload
 /fleet/lanes    per-lane drill-down ranked worst-first by drift EWMA;
                 ``?top=K`` limits to the K worst offenders
 /fleet/lane/<i> one lane's full state: streams, history, latest window
+/nodes          streaming-service per-node summary + fleet aggregate
+/nodes/<id>     one node's estimates, drift and attribution drill-down
+/service        shard/queue/stage/SLO state of the streaming service;
+                ``?kill_shard=i`` is the chaos hook CI uses
+/slo            error-budget burn state (short/long windows, fast burn)
+/ingest         **POST** newline-JSON counter samples into the service
 =============== =======================================================
 
 Nothing is served unless :meth:`ObservabilityServer.start` is called
@@ -67,6 +73,10 @@ class ObservabilityServer:
             ``/attribution`` and ``/flightrecorder`` (optional).
         fleet: a :class:`~repro.obs.fleet.FleetMonitor` for the
             ``/fleet*`` routes (optional).
+        service: a :class:`~repro.serve.service.EstimationService` for
+            the streaming routes — ``POST /ingest``, ``/nodes``,
+            ``/nodes/<id>``, ``/service``, ``/slo`` — and the
+            staleness/burn-aware ``/healthz`` verdict (optional).
         host: bind address (default loopback only).
         port: TCP port; 0 picks an ephemeral one, :meth:`start` returns
             the bound port.
@@ -83,6 +93,11 @@ class ObservabilityServer:
         "/fleet",
         "/fleet/lanes",
         "/fleet/lane/<i>",
+        "/nodes",
+        "/nodes/<id>",
+        "/service",
+        "/slo",
+        "/ingest (POST)",
     )
 
     def __init__(
@@ -92,6 +107,7 @@ class ObservabilityServer:
         windows=None,
         flight=None,
         fleet=None,
+        service=None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
@@ -104,6 +120,7 @@ class ObservabilityServer:
         self.windows = windows
         self.flight = flight
         self.fleet = fleet
+        self.service = service
         self.host = host
         self.port = int(port)
         #: Free-form lifecycle marker surfaced on ``/healthz`` (the CLI
@@ -124,7 +141,18 @@ class ObservabilityServer:
         if self._httpd is not None:
             return self.port
         handler = _make_handler(self)
-        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        try:
+            self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        except OSError as exc:
+            # EADDRINUSE and friends come back as a bare errno; rewrap
+            # with the address and the obvious fix so the CLI surfaces
+            # something actionable instead of a traceback.
+            raise OSError(
+                exc.errno or 0,
+                f"cannot bind observability endpoint to "
+                f"{self.host}:{self.port} ({exc.strerror or exc}); "
+                "pick another --port, or --port 0 for an ephemeral one",
+            ) from exc
         self._httpd.daemon_threads = True
         self.port = self._httpd.server_address[1]
         self._started_monotonic = time.monotonic()
@@ -252,6 +280,46 @@ class ObservabilityServer:
                 )
             document.update(self.flight.to_json())
             return 200, "application/json", _json_body(document)
+        if path == "/nodes":
+            if self.service is None:
+                return 200, "application/json", _json_body({"nodes": None})
+            return 200, "application/json", _json_body(
+                self.service.nodes_document()
+            )
+        if path.startswith("/nodes/"):
+            if self.service is None:
+                return 200, "application/json", _json_body({"nodes": None})
+            node = path[len("/nodes/"):]
+            document = self.service.node_document(node)
+            if document is None:
+                return 404, "application/json", _json_body(
+                    {"error": f"no such node {node!r}"}
+                )
+            return 200, "application/json", _json_body(document)
+        if path == "/service":
+            if self.service is None:
+                return 200, "application/json", _json_body({"service": None})
+            raw = parse_qs(query).get("kill_shard")
+            if raw:
+                # Chaos hook for the ingest-smoke CI job: kill one shard
+                # worker and assert the service degrades gracefully.
+                try:
+                    index = int(raw[-1])
+                    killed = self.service.kill_shard(index)
+                except (ValueError, IndexError):
+                    return 400, "application/json", _json_body(
+                        {"error": f"no such shard {raw[-1]!r}"}
+                    )
+                document = self.service.service_document()
+                document["kill_shard"] = killed
+                return 200, "application/json", _json_body(document)
+            return 200, "application/json", _json_body(
+                self.service.service_document()
+            )
+        if path == "/slo":
+            if self.service is None:
+                return 200, "application/json", _json_body({"slo": None})
+            return 200, "application/json", _json_body(self.service.slo.check())
         if path in ("/healthz", "/", ""):
             document = {
                 "status": "ok",
@@ -269,6 +337,16 @@ class ObservabilityServer:
                     alert.to_dict() for alert in self.drift.unresolved()
                 ]
                 return 503, "application/json", _json_body(document)
+            # Streaming-service health: stale estimates, fast-burning
+            # SLOs and drifting nodes are 503 (same unresolved-alert
+            # semantics); dead shards alone are degraded **but still
+            # serving**, so they keep the 200.
+            if self.service is not None:
+                verdict = self.service.health()
+                document["service"] = verdict
+                document["status"] = verdict["status"]
+                if not verdict["healthy"]:
+                    return 503, "application/json", _json_body(document)
             return 200, "application/json", _json_body(document)
         return 404, "application/json", _json_body(
             {"error": f"unknown route {path!r}", "routes": list(self.ROUTES)}
@@ -295,6 +373,32 @@ def _make_handler(server: ObservabilityServer):
             encoded = body.encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(encoded)))
+            self.end_headers()
+            self.wfile.write(encoded)
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            path, _, _query = self.path.partition("?")
+            if path != "/ingest" or server.service is None:
+                body = _json_body({"error": f"cannot POST to {path!r}"})
+                status = 404
+            else:
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                    data = self.rfile.read(length).decode("utf-8")
+                    receipt = server.service.ingest(data, transport="http")
+                    status = 200 if not receipt["errors"] else 400
+                    if receipt["shed"]:
+                        # Back off, caller: the shard queues are full.
+                        status = 429
+                    body = _json_body(receipt)
+                except Exception:  # pragma: no cover - defensive
+                    logger.exception("ingest POST failed")
+                    status = 500
+                    body = _json_body({"error": "internal error"})
+            encoded = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(encoded)))
             self.end_headers()
             self.wfile.write(encoded)

@@ -1,0 +1,92 @@
+"""Socket line-protocol transport for the streaming service.
+
+A minimal TCP ingest path beside HTTP POST: clients connect, write
+newline-JSON payload lines (the same wire shapes
+:mod:`repro.serve.protocol` defines), and optionally read back one
+receipt line per payload by sending the handshake line ``?ack`` first.
+Fire-and-forget by default — the cheapest possible producer loop — with
+backpressure still visible through the shard queues' shed counters and
+the ``/service`` document.
+"""
+
+from __future__ import annotations
+
+import logging
+import socketserver
+import threading
+
+__all__ = ["LineSocketServer"]
+
+import json
+
+logger = logging.getLogger(__name__)
+
+
+class LineSocketServer:
+    """Threaded TCP server feeding :class:`EstimationService.ingest`."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self._server: "socketserver.ThreadingTCPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        if self._server is not None:
+            return self.port
+        service = self.service
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                ack = False
+                for raw in self.rfile:
+                    line = raw.decode("utf-8", errors="replace").strip()
+                    if not line:
+                        continue
+                    if line == "?ack":
+                        ack = True
+                        continue
+                    receipt = service.ingest(line, transport="socket")
+                    if ack:
+                        self.wfile.write(
+                            (json.dumps(receipt, separators=(",", ":")) + "\n")
+                            .encode("utf-8")
+                        )
+
+        server = socketserver.ThreadingTCPServer(
+            (self.host, self.port), Handler, bind_and_activate=False
+        )
+        server.daemon_threads = True
+        server.allow_reuse_address = True
+        try:
+            server.server_bind()
+            server.server_activate()
+        except OSError:
+            server.server_close()
+            raise
+        self._server = server
+        self.port = server.server_address[1]
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve-socket",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("serve socket ingest listening on %s:%d", self.host, self.port)
+        return self.port
+
+    def stop(self) -> None:
+        server, thread = self._server, self._thread
+        self._server = self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None

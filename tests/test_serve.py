@@ -1,0 +1,934 @@
+"""Tests for the streaming estimation service (PR: repro.serve).
+
+Covers the tentpole end to end: the wire protocol's bit-exact
+round-trip, the bounded shard queues' shedding policy, staleness and
+SLO burn tracking with injected clocks, the service's streamed-equals-
+batch bit-identity guarantee (inline and threaded), the chaos
+``kill_shard`` hook's degraded-but-serving semantics, the HTTP POST
+``/ingest`` + ``/nodes`` + ``/service`` + ``/slo`` routes, the socket
+line protocol, and the ``repro-power serve`` CLI — plus the satellites:
+the clear address-in-use error, ``--port 0`` printing the bound
+ephemeral port, the windowed registry under wall-clock misbehaviour,
+and the ``obs`` pretty-printer's histogram quantile columns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.estimator import SystemPowerEstimator
+from repro.core.events import Event, Subsystem
+from repro.core.features import FeatureSet
+from repro.core.models import ConstantModel, PolynomialModel
+from repro.core.suite import TrickleDownSuite
+from repro.obs.flight import FlightRecorder
+from repro.obs.http import ObservabilityServer
+from repro.obs.live import WindowedRegistry
+from repro.serve import (
+    BoundedQueue,
+    EstimationService,
+    LineSocketServer,
+    ProtocolError,
+    SampleBatch,
+    SLOEngine,
+    StalenessTracker,
+    decode_line,
+    decode_lines,
+    encode_frame,
+    encode_sample,
+    frames_from_run,
+    required_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Telemetry is process-global; every test starts and ends clean."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _toy_suite() -> TrickleDownSuite:
+    """A hand-built paper-shaped suite (bit-identity and the ops plane
+    depend on the evaluate mechanics, not on fitted coefficients)."""
+    return TrickleDownSuite(
+        {
+            Subsystem.CPU: PolynomialModel(
+                FeatureSet.of("active_fraction", "fetched_uops_per_cycle"),
+                degree=1,
+                coefficients=[35.0, 20.0, 5.0],
+            ),
+            Subsystem.MEMORY: PolynomialModel(
+                FeatureSet.of("bus_transactions_per_mcycle"),
+                degree=2,
+                coefficients=[18.0, 0.5, 0.01],
+            ),
+            Subsystem.IO: PolynomialModel(
+                FeatureSet.of("interrupts_per_mcycle"),
+                degree=1,
+                coefficients=[2.0, 0.1],
+            ),
+            Subsystem.DISK: PolynomialModel(
+                FeatureSet.of("disk_interrupts_per_mcycle"),
+                degree=1,
+                coefficients=[10.0, 0.2],
+            ),
+            Subsystem.CHIPSET: ConstantModel(19.9),
+        },
+        recipe_name="serve-test-toy",
+    )
+
+
+@pytest.fixture(scope="module")
+def suite() -> TrickleDownSuite:
+    return _toy_suite()
+
+
+def _wait_for(predicate, timeout_s: float = 10.0, interval_s: float = 0.01):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+def _get(url: str):
+    """(status, document) for a GET, errors included."""
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def _post(url: str, body: str):
+    request = urllib.request.Request(
+        url, data=body.encode("utf-8"), headers={"Content-Type": "text/plain"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+# -- wire protocol -----------------------------------------------------
+
+
+class TestProtocol:
+    def test_single_sample_round_trip_is_exact(self, rng):
+        counts = {
+            Event.CYCLES: list(rng.uniform(1e8, 2e9, size=4)),
+            Event.FETCHED_UOPS: list(rng.uniform(1e7, 1e9, size=4)),
+        }
+        line = encode_sample(
+            "n1", 12.5, 1.0, counts, true_w={"cpu": 40.25}, trace_id="req-1"
+        )
+        batch = decode_line(line)
+        assert batch.node == "n1"
+        assert batch.n_samples == 1
+        assert batch.timestamps == [12.5]
+        assert batch.durations == [1.0]
+        assert batch.counts[Event.CYCLES] == [counts[Event.CYCLES]]
+        assert batch.true_w == {"cpu": [40.25]}
+        assert batch.trace_id == "req-1"
+
+    def test_frame_round_trip_is_bit_exact(self, rng):
+        rows = rng.uniform(0.0, 3e9, size=(5, 2)).tolist()
+        line = encode_frame(
+            "n2",
+            list(rng.uniform(0.0, 100.0, size=5)),
+            [1.0] * 5,
+            {Event.CYCLES: rows},
+        )
+        batch = decode_line(line)
+        # JSON float repr round-trips exactly: the decoded floats are
+        # the same bits, not approximations.
+        assert batch.counts[Event.CYCLES] == rows
+
+    def test_frames_from_run_reconstruct_the_trace_exactly(self, suite, gcc_run):
+        events = required_events(suite)
+        lines = frames_from_run(gcc_run, "n0", frame_samples=16, events=events)
+        batches = [decode_line(line) for line in lines]
+        trace = gcc_run.counters
+        timestamps = [t for b in batches for t in b.timestamps]
+        assert timestamps == trace.timestamps.tolist()
+        for event in events:
+            rows = [row for b in batches for row in b.counts[event]]
+            assert np.array_equal(np.asarray(rows), trace.counts[event])
+        # Truth watts ride along, split the same way.
+        cpu = [v for b in batches for v in b.true_w["cpu"]]
+        assert cpu == gcc_run.power.watts[Subsystem.CPU].tolist()
+
+    def test_required_events_is_the_lean_set(self, suite, gcc_run):
+        events = required_events(suite)
+        assert events  # the toy suite consumes counters
+        assert events < set(gcc_run.counters.counts)  # strictly leaner
+
+    @pytest.mark.parametrize(
+        "line, fragment",
+        [
+            ("{not json", "not valid JSON"),
+            ("[1, 2]", "JSON object"),
+            ('{"node": "n", "t": 1.0, "dur": 1.0}', "missing key"),
+            (
+                '{"node": "", "t": 1.0, "dur": 1.0, "counts": {"cycles": [1.0]}}',
+                "non-empty string",
+            ),
+            (
+                '{"node": "n", "t": [1.0, 2.0], "dur": [1.0],'
+                ' "counts": {"cycles": [[1.0], [1.0]]}}',
+                "same length",
+            ),
+            (
+                '{"node": "n", "t": [1.0, 2.0], "dur": [1.0, 1.0],'
+                ' "counts": {"cycles": [[1.0]]}}',
+                "rows",
+            ),
+            (
+                '{"node": "n", "t": [1.0], "dur": [1.0],'
+                ' "counts": {"cycles": [[1.0, 2.0]],'
+                ' "fetched_uops": [[1.0]]}}',
+                "same cpu count",
+            ),
+            (
+                '{"node": "n", "t": [1.0], "dur": [1.0],'
+                ' "counts": {"cycles": [[1.0, 2.0], [3.0]]}}',
+                "rows",
+            ),
+            (
+                '{"node": "n", "t": 1.0, "dur": 1.0,'
+                ' "counts": {"never_heard_of_it": [1.0]}}',
+                "no known events",
+            ),
+            (
+                '{"node": "n", "t": [1.0], "dur": [1.0],'
+                ' "counts": {"cycles": [[1.0]]},'
+                ' "true_w": {"cpu": [1.0, 2.0]}}',
+                "true_w",
+            ),
+        ],
+    )
+    def test_malformed_payloads_raise_protocol_error(self, line, fragment):
+        with pytest.raises(ProtocolError, match=re.escape(fragment)):
+            decode_line(line)
+
+    def test_keep_events_rejects_payloads_missing_required_events(self):
+        line = encode_sample("n", 1.0, 1.0, {Event.CYCLES: [1.0]})
+        keep = frozenset({Event.CYCLES, Event.FETCHED_UOPS})
+        with pytest.raises(ProtocolError, match="fetched_uops"):
+            decode_line(line, keep)
+
+    def test_keep_events_drops_extra_events(self):
+        line = encode_sample(
+            "n", 1.0, 1.0, {Event.CYCLES: [1.0], Event.FETCHED_UOPS: [2.0]}
+        )
+        batch = decode_line(line, frozenset({Event.CYCLES}))
+        assert set(batch.counts) == {Event.CYCLES}
+
+    def test_decode_lines_isolates_bad_lines(self):
+        good = encode_sample("n", 1.0, 1.0, {Event.CYCLES: [1.0]})
+        body = "\n".join([good, "", "{broken", good, "   "])
+        batches, errors = decode_lines(body)
+        assert len(batches) == 2
+        assert len(errors) == 1
+        assert "JSON" in errors[0]
+
+
+# -- bounded queues ----------------------------------------------------
+
+
+class TestBoundedQueue:
+    def test_fifo_and_depth_tracking(self):
+        queue = BoundedQueue(depth=4)
+        for i in range(3):
+            assert queue.put(i)
+        assert queue.depth == 3
+        assert queue.high_water == 3
+        assert [queue.get(timeout=0.0) for _ in range(3)] == [0, 1, 2]
+        assert queue.depth == 0
+        assert queue.high_water == 3  # high water is sticky
+
+    def test_overflow_sheds_instead_of_blocking(self):
+        queue = BoundedQueue(depth=2)
+        assert queue.put("a") and queue.put("b")
+        assert not queue.put("c")
+        assert queue.shed_total == 1
+        assert queue.stats()["shed_total"] == 1
+        assert queue.stats()["put_total"] == 2
+
+    def test_closed_queue_rejects_puts(self):
+        queue = BoundedQueue(depth=2)
+        queue.close()
+        assert queue.closed
+        assert not queue.put("a")
+        assert queue.shed_total == 1
+
+    def test_get_times_out_with_none(self):
+        assert BoundedQueue(depth=1).get(timeout=0.01) is None
+
+    def test_drain_pops_up_to_limit(self):
+        queue = BoundedQueue(depth=8)
+        for i in range(5):
+            queue.put(i)
+        assert queue.drain(3) == [0, 1, 2]
+        assert queue.drain(10) == [3, 4]
+        assert queue.drain(1) == []
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(depth=0)
+
+
+# -- staleness ---------------------------------------------------------
+
+
+class TestStalenessTracker:
+    def test_fresh_then_stale_with_injected_clock(self):
+        clock = [100.0]
+        tracker = StalenessTracker(stale_after_s=5.0, clock=lambda: clock[0])
+        tracker.touch("a")
+        tracker.touch("b")
+        assert tracker.sweep() == (["a", "b"], [])
+        clock[0] = 104.0
+        assert not tracker.is_stale("a")
+        clock[0] = 106.0
+        tracker.touch("b")
+        fresh, stale = tracker.sweep()
+        assert fresh == ["b"] and stale == ["a"]
+        assert tracker.age_s("a") == pytest.approx(6.0)
+        document = tracker.to_json()
+        assert document["stale"] == ["a"]
+        assert document["age_s"]["b"] == pytest.approx(0.0)
+
+    def test_forget_removes_the_node(self):
+        tracker = StalenessTracker(stale_after_s=1.0, clock=lambda: 0.0)
+        tracker.touch("a")
+        tracker.forget("a")
+        assert tracker.age_s("a") is None
+        assert tracker.sweep() == ([], [])
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(ValueError):
+            StalenessTracker(stale_after_s=0.0)
+
+
+# -- SLO burn ----------------------------------------------------------
+
+
+class TestSLOEngine:
+    def _engine(self, clock, **kwargs):
+        return SLOEngine(
+            short_window_s=30.0,
+            long_window_s=120.0,
+            clock=lambda: clock[0],
+            **kwargs,
+        )
+
+    def test_all_good_burns_nothing(self):
+        clock = [0.0]
+        engine = self._engine(clock)
+        engine.record_error_batch(500, 0, now=10.0)
+        state = engine.check(20.0)["slos"]["error"]
+        assert state["burn_short"] == 0.0
+        assert not state["fast_burn"]
+        assert state["budget_remaining"] == 1.0
+        assert engine.fast_burning == ()
+
+    def test_fast_burn_fires_once_and_dumps_a_flight_bundle(self, tmp_path):
+        obs.enable()
+        clock = [0.0]
+        recorder = FlightRecorder(out_dir=str(tmp_path))
+        engine = self._engine(clock, flight=recorder)
+        engine.record_error_batch(0, 100, now=10.0)
+        state = engine.check(15.0)["slos"]["error"]
+        assert state["fast_burn"] and state["fast_burn_count"] == 1
+        assert "error" in engine.fast_burning
+        bundles = list(tmp_path.glob("flight-*-slo-fast-burn-error"))
+        assert len(bundles) == 1
+        assert obs.counter("slo_fast_burn_total", {"slo": "error"}) == 1.0
+        # Still burning is not a new edge: no second bundle, no recount.
+        state = engine.check(16.0)["slos"]["error"]
+        assert state["fast_burn_count"] == 1
+        assert len(list(tmp_path.glob("flight-*"))) == 1
+
+    def test_fast_burn_recovers_when_bad_events_age_out(self):
+        clock = [0.0]
+        engine = self._engine(clock)
+        engine.record_error_batch(0, 100, now=10.0)
+        assert engine.check(15.0)["slos"]["error"]["fast_burn"]
+        engine.record_error_batch(1000, 0, now=130.0)
+        state = engine.check(140.0)["slos"]["error"]
+        assert not state["fast_burn"]
+        assert engine.fast_burning == ()
+
+    def test_freshness_slo_burns_on_stale_sweeps(self):
+        clock = [0.0]
+        engine = self._engine(clock)
+        for t in (1.0, 2.0, 3.0):
+            engine.record_freshness(0, 4, now=t)
+        assert engine.check(4.0)["slos"]["freshness"]["fast_burn"]
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            SLOEngine(short_window_s=60.0, long_window_s=30.0)
+        with pytest.raises(ValueError):
+            SLOEngine(fast_burn_rate=0.0)
+        with pytest.raises(ValueError):
+            SLOEngine(error_objective=1.0)
+
+
+# -- bit identity: streamed == batch -----------------------------------
+
+
+class TestBitIdentity:
+    """The tentpole acceptance: streamed estimates are bit-identical to
+    the offline batch path on the same samples, however framed."""
+
+    def _batch_reference(self, suite, run):
+        estimates = SystemPowerEstimator(suite).estimate_trace(run.counters)
+        return [
+            (
+                {s.value: w for s, w in e.subsystem_w.items()},
+                e.total_w,
+            )
+            for e in estimates
+        ]
+
+    @pytest.mark.parametrize("frame_samples", [1, 7, 64])
+    def test_inline_ingest_matches_estimate_trace(
+        self, suite, gcc_run, frame_samples
+    ):
+        reference = self._batch_reference(suite, gcc_run)
+        service = EstimationService(
+            suite,
+            shards=1,
+            ops=False,
+            keep_estimates=True,
+            node_history=len(reference) + 1,
+        )
+        for line in frames_from_run(
+            gcc_run,
+            "n0",
+            frame_samples=frame_samples,
+            events=required_events(suite),
+            include_truth=False,
+        ):
+            receipt = service.ingest_inline(line)
+            assert receipt["shed"] == 0 and not receipt["errors"]
+        streamed = list(service._nodes["n0"].estimates)
+        assert len(streamed) == len(reference)
+        for got, (want, want_total) in zip(streamed, reference):
+            assert got == want  # exact float equality, not approx
+        history = list(service._nodes["n0"].history)
+        assert [w for _, w in history] == [t for _, t in reference]
+
+    def test_threaded_ingest_matches_estimate_trace(self, suite, gcc_run):
+        reference = self._batch_reference(suite, gcc_run)
+        lines = {
+            node: frames_from_run(
+                gcc_run,
+                node,
+                frame_samples=16,
+                events=required_events(suite),
+                include_truth=False,
+            )
+            for node in ("alpha", "beta", "gamma")
+        }
+        with EstimationService(
+            suite,
+            shards=3,
+            ops=False,
+            keep_estimates=True,
+            node_history=len(reference) + 1,
+        ) as service:
+            # Interleave nodes so coalescing mixes signatures mid-queue.
+            for group in zip(*lines.values()):
+                for line in group:
+                    receipt = service.ingest(line)
+                    assert receipt["shed"] == 0
+            expected = 3 * len(reference)
+            assert _wait_for(lambda: service.samples_total >= expected)
+            for node in lines:
+                streamed = list(service._nodes[node].estimates)
+                assert len(streamed) == len(reference)
+                for got, (want, _) in zip(streamed, reference):
+                    assert got == want
+
+
+# -- service mechanics -------------------------------------------------
+
+
+class TestEstimationService:
+    def test_shard_routing_is_stable_and_in_range(self, suite):
+        service = EstimationService(suite, shards=3)
+        for i in range(32):
+            node = f"node-{i}"
+            shard = service.shard_for(node)
+            assert 0 <= shard < 3
+            assert shard == service.shard_for(node)
+
+    def test_full_queue_sheds_with_receipt_and_counter(self, suite, gcc_run):
+        obs.enable()
+        service = EstimationService(suite, shards=1, queue_depth=2)
+        lines = frames_from_run(
+            gcc_run, "n0", frame_samples=8, events=required_events(suite)
+        )
+        assert len(lines) > 3
+        # Workers never started: the queue fills at depth 2, the rest
+        # sheds visibly instead of growing without bound.
+        shed = sum(service.ingest(line)["shed"] for line in lines)
+        assert shed > 0
+        assert service.shed_samples_total == shed
+        assert obs.counter("serve_shed_samples_total", {"shard": "0"}) == shed
+
+    def test_decode_errors_are_counted_not_fatal(self, suite):
+        service = EstimationService(suite, shards=1)
+        receipt = service.ingest("{broken\n")
+        assert receipt["accepted"] == 0
+        assert len(receipt["errors"]) == 1
+        assert service.decode_errors_total == 1
+
+    def test_truth_scoring_sets_error_and_attaches_drift(self, suite, gcc_run):
+        service = EstimationService(suite, shards=1, ops=False)
+        for line in frames_from_run(
+            gcc_run, "n0", frame_samples=32, events=required_events(suite)
+        ):
+            service.ingest_inline(line)
+        document = service.node_document("n0")
+        assert document["error_pct"] is not None
+        assert document["drift"] is not None
+        assert document["n_samples"] == gcc_run.counters.n_samples
+
+    def test_attribution_rides_along_when_enabled(self, suite, gcc_run):
+        service = EstimationService(suite, shards=1, ops=False, attribute=True)
+        line = frames_from_run(
+            gcc_run, "n0", frame_samples=16, events=required_events(suite)
+        )[0]
+        service.ingest_inline(line)
+        attribution = service.node_document("n0")["attribution"]
+        assert attribution is not None
+        assert Subsystem.CPU.value in attribution
+
+    def test_stale_node_flips_health_and_burns_freshness(self, suite, gcc_run):
+        clock = [1000.0]
+        service = EstimationService(
+            suite,
+            shards=1,
+            stale_after_s=5.0,
+            clock=lambda: clock[0],
+            slo=SLOEngine(
+                short_window_s=30.0,
+                long_window_s=120.0,
+                clock=lambda: clock[0],
+            ),
+        )
+        line = frames_from_run(
+            gcc_run, "n0", frame_samples=16, events=required_events(suite)
+        )[0]
+        service.ingest_inline(line)
+        verdict = service.health()
+        assert verdict["nodes_fresh"] == 1 and not verdict["stale_nodes"]
+        clock[0] += 10.0
+        for _ in range(3):
+            service.tick()
+            clock[0] += 1.0
+        verdict = service.health()
+        assert verdict["status"] == "stale"
+        assert not verdict["healthy"]
+        assert verdict["stale_nodes"] == ["n0"]
+        assert "freshness" in verdict["slo_fast_burn"]
+        nodes = service.nodes_document()
+        assert nodes["nodes"][0]["stale"]
+        assert nodes["fleet"]["stale"] == 1
+
+    def test_kill_shard_is_degraded_but_serving(self, suite, gcc_run):
+        events = required_events(suite)
+        with EstimationService(suite, shards=2, ops=False) as service:
+            dead_node = next(
+                f"node-{i}" for i in range(64) if service.shard_for(f"node-{i}") == 0
+            )
+            live_node = next(
+                f"node-{i}" for i in range(64) if service.shard_for(f"node-{i}") == 1
+            )
+            result = service.kill_shard(0)
+            assert result["killed"] and not result["alive"]
+            assert service.dead_shards() == [0]
+            verdict = service.health()
+            assert verdict["status"] == "degraded"
+            assert verdict["healthy"]  # degraded but serving: still 200
+            line = frames_from_run(
+                gcc_run, dead_node, frame_samples=8, events=events
+            )[0]
+            dead_line = line
+            assert service.ingest(dead_line)["shed"] > 0
+            live_line = frames_from_run(
+                gcc_run, live_node, frame_samples=8, events=events
+            )[0]
+            receipt = service.ingest(live_line)
+            assert receipt["accepted"] > 0 and receipt["shed"] == 0
+            assert _wait_for(
+                lambda: service.samples_total >= receipt["accepted"]
+            )
+
+    def test_stage_document_has_quantiles_and_exemplars(self, suite, gcc_run):
+        obs.enable()
+        service = EstimationService(suite, shards=1, span_sample=1)
+        for line in frames_from_run(
+            gcc_run, "n0", frame_samples=16, events=required_events(suite)
+        ):
+            service.ingest_inline(line)
+        stages = service.stage_document()
+        for stage in ("decode", "evaluate", "publish"):
+            assert stage in stages
+            entry = stages[stage]
+            assert entry["count"] > 0
+            assert entry["p50_us"] <= entry["p95_us"] <= entry["p99_us"]
+            assert entry["exemplar_trace"].startswith("ingest-")
+
+    def test_tick_publishes_backpressure_and_fleet_gauges(self, suite, gcc_run):
+        obs.enable()
+        service = EstimationService(suite, shards=2)
+        line = frames_from_run(
+            gcc_run, "n0", frame_samples=16, events=required_events(suite)
+        )[0]
+        service.ingest_inline(line)
+        service.tick()
+        assert obs.gauge_value("serve_nodes_fresh") == 1.0
+        assert obs.gauge_value("serve_queue_depth", {"shard": "0"}) == 0.0
+        total = obs.gauge_value("serve_fleet_power_watts", {"agg": "sum"})
+        assert total == pytest.approx(
+            service.nodes_document()["fleet"]["power_w"]["sum"]
+        )
+
+    def test_service_document_shape(self, suite):
+        service = EstimationService(suite, shards=2)
+        document = service.service_document()
+        assert len(document["shards"]) == 2
+        assert document["counters"]["samples_total"] == 0
+        assert document["required_events"] == sorted(
+            e.value for e in required_events(suite)
+        )
+        assert "slos" in document["slo"]
+        assert document["health"]["status"] == "ok"
+
+    def test_span_sampling_traces_one_in_n(self, suite):
+        obs.enable()
+        service = EstimationService(suite, shards=1, span_sample=4)
+        ids = [service._next_trace_id() for _ in range(8)]
+        assert ids[0] is not None and ids[4] is not None
+        assert ids[1] is None and ids[2] is None and ids[3] is None
+
+    def test_rejects_zero_shards(self, suite):
+        with pytest.raises(ValueError):
+            EstimationService(suite, shards=0)
+
+
+# -- HTTP routes -------------------------------------------------------
+
+
+class TestHttpRoutes:
+    @pytest.fixture()
+    def served(self, suite):
+        clock = [500.0]
+        service = EstimationService(
+            suite,
+            shards=2,
+            stale_after_s=5.0,
+            clock=lambda: clock[0],
+            slo=SLOEngine(clock=lambda: clock[0]),
+        )
+        endpoint = ObservabilityServer(service=service, port=0)
+        with service, endpoint:
+            yield service, endpoint, clock
+
+    def test_post_ingest_then_scrape_nodes(self, served, suite, gcc_run):
+        service, endpoint, _ = served
+        line = frames_from_run(
+            gcc_run, "n0", frame_samples=16, events=required_events(suite)
+        )[0]
+        status, receipt = _post(endpoint.url("/ingest"), line + "\n")
+        assert status == 200
+        assert receipt["accepted"] == 16 and receipt["shed"] == 0
+        assert _wait_for(lambda: service.samples_total >= 16)
+        status, document = _get(endpoint.url("/nodes"))
+        assert status == 200
+        assert [n["node"] for n in document["nodes"]] == ["n0"]
+        assert document["fleet"]["power_w"]["sum"] > 0.0
+        status, drill = _get(endpoint.url("/nodes/n0"))
+        assert status == 200
+        assert drill["n_samples"] == 16
+        assert len(drill["history"]) == 16
+
+    def test_unknown_node_and_route_404(self, served):
+        _, endpoint, _ = served
+        assert _get(endpoint.url("/nodes/ghost"))[0] == 404
+        assert _get(endpoint.url("/no-such-route"))[0] == 404
+
+    def test_bad_payload_400(self, served):
+        _, endpoint, _ = served
+        status, receipt = _post(endpoint.url("/ingest"), "{broken\n")
+        assert status == 400
+        assert receipt["errors"]
+
+    def test_post_to_other_route_404(self, served):
+        _, endpoint, _ = served
+        assert _post(endpoint.url("/nodes"), "x")[0] == 404
+
+    def test_shed_returns_429(self, suite, gcc_run):
+        service = EstimationService(suite, shards=1, queue_depth=1)
+        lines = frames_from_run(
+            gcc_run, "n0", frame_samples=8, events=required_events(suite)
+        )
+        with ObservabilityServer(service=service, port=0) as endpoint:
+            # Workers intentionally not started: the depth-1 queue fills
+            # after one frame and the next POST must see backpressure.
+            assert _post(endpoint.url("/ingest"), lines[0])[0] == 200
+            status, receipt = _post(endpoint.url("/ingest"), lines[1])
+            assert status == 429
+            assert receipt["shed"] == 8
+
+    def test_healthz_degrades_to_503_when_stale(self, served, suite, gcc_run):
+        service, endpoint, clock = served
+        # No truth on the wire: the toy suite is untrained, so truth
+        # scoring would (correctly) flip health to "drifting" first.
+        line = frames_from_run(
+            gcc_run,
+            "n0",
+            frame_samples=16,
+            events=required_events(suite),
+            include_truth=False,
+        )[0]
+        service.ingest_inline(line)
+        status, document = _get(endpoint.url("/healthz"))
+        assert status == 200
+        assert document["service"]["nodes_fresh"] == 1
+        clock[0] += 60.0
+        status, document = _get(endpoint.url("/healthz"))
+        assert status == 503
+        assert document["status"] == "stale"
+        assert document["service"]["stale_nodes"] == ["n0"]
+
+    def test_service_route_and_kill_shard_chaos_hook(self, served):
+        service, endpoint, _ = served
+        status, document = _get(endpoint.url("/service"))
+        assert status == 200
+        assert all(shard["alive"] for shard in document["shards"])
+        status, document = _get(endpoint.url("/service?kill_shard=1"))
+        assert status == 200
+        assert document["kill_shard"] == {
+            "shard": 1,
+            "killed": True,
+            "alive": False,
+        }
+        assert service.dead_shards() == [1]
+        # /healthz stays 200: degraded but serving.
+        status, document = _get(endpoint.url("/healthz"))
+        assert status == 200
+        assert document["status"] == "degraded"
+        assert _get(endpoint.url("/service?kill_shard=99"))[0] == 400
+
+    def test_slo_route_serves_burn_state(self, served):
+        _, endpoint, _ = served
+        status, document = _get(endpoint.url("/slo"))
+        assert status == 200
+        assert set(document["slos"]) == {"error", "freshness"}
+
+    def test_routes_answer_empty_without_a_service(self):
+        with ObservabilityServer(port=0) as endpoint:
+            assert _get(endpoint.url("/nodes"))[1] == {"nodes": None}
+            assert _get(endpoint.url("/service"))[1] == {"service": None}
+            assert _get(endpoint.url("/slo"))[1] == {"slo": None}
+            assert _post(endpoint.url("/ingest"), "x")[0] == 404
+
+    def test_address_in_use_raises_actionable_error(self):
+        with ObservabilityServer(port=0) as first:
+            second = ObservabilityServer(port=first.port)
+            with pytest.raises(OSError) as excinfo:
+                second.start()
+            message = str(excinfo.value)
+            assert f"cannot bind observability endpoint to 127.0.0.1:{first.port}" in message
+            assert "--port 0" in message
+
+
+# -- socket transport --------------------------------------------------
+
+
+class TestSocketTransport:
+    def test_line_protocol_with_acks(self, suite, gcc_run):
+        lines = frames_from_run(
+            gcc_run, "n0", frame_samples=16, events=required_events(suite)
+        )[:2]
+        with EstimationService(suite, shards=1, ops=False) as service:
+            transport = LineSocketServer(service, port=0)
+            port = transport.start()
+            assert port != 0
+            try:
+                with socket.create_connection(("127.0.0.1", port), timeout=10.0) as conn:
+                    stream = conn.makefile("rwb")
+                    stream.write(b"?ack\n")
+                    for line in lines:
+                        stream.write(line.encode("utf-8") + b"\n")
+                    stream.flush()
+                    receipts = [json.loads(stream.readline()) for _ in lines]
+                assert all(r["accepted"] == 16 for r in receipts)
+                assert _wait_for(lambda: service.samples_total >= 32)
+                assert service.node_document("n0")["n_samples"] == 32
+            finally:
+                transport.stop()
+
+    def test_fire_and_forget_without_handshake(self, suite, gcc_run):
+        line = frames_from_run(
+            gcc_run, "n0", frame_samples=16, events=required_events(suite)
+        )[0]
+        with EstimationService(suite, shards=1, ops=False) as service:
+            transport = LineSocketServer(service, port=0)
+            port = transport.start()
+            try:
+                with socket.create_connection(("127.0.0.1", port), timeout=10.0) as conn:
+                    conn.sendall(line.encode("utf-8") + b"\n")
+                assert _wait_for(lambda: service.samples_total >= 16)
+            finally:
+                transport.stop()
+
+
+# -- windowed registry under wall-clock misbehaviour (satellite) -------
+
+
+class TestWindowedRegistryWallClock:
+    @staticmethod
+    def _snap(value: float) -> dict:
+        return {
+            "counters": [{"name": "c", "labels": {}, "value": value}],
+            "gauges": [],
+            "histograms": [],
+        }
+
+    def test_out_of_order_timestamps_fold_into_newest_window(self):
+        windows = WindowedRegistry(window_s=1.0)
+        windows.ingest(0.2, self._snap(1.0))
+        windows.ingest(1.2, self._snap(3.0))
+        # The clock ran backwards: the delta must not open a window in
+        # the past (or resurrect an old one) — it folds into the newest.
+        windows.ingest(0.7, self._snap(6.0))
+        document = windows.to_json(last=None)
+        assert document["n_windows"] == 2
+        first, second = document["windows"]
+        assert first["counters"]["c"] == 1.0
+        assert second["counters"]["c"] == 5.0
+
+    def test_duplicate_timestamps_accumulate_in_one_window(self):
+        windows = WindowedRegistry(window_s=2.0)
+        windows.ingest(4.5, self._snap(2.0))
+        windows.ingest(4.5, self._snap(7.0))
+        document = windows.to_json(last=None)
+        assert document["n_windows"] == 1
+        assert document["windows"][0]["counters"]["c"] == 7.0
+
+    def test_sample_exactly_on_boundary_opens_the_next_window(self):
+        windows = WindowedRegistry(window_s=1.0)
+        windows.ingest(1.9, self._snap(1.0))
+        windows.ingest(2.0, self._snap(2.0))  # boundary belongs to [2, 3)
+        document = windows.to_json(last=None)
+        assert [w["start_s"] for w in document["windows"]] == [1.0, 2.0]
+        assert document["windows"][1]["end_s"] == 3.0
+        assert document["windows"][1]["counters"]["c"] == 1.0
+
+    def test_clock_stall_then_jump_creates_no_gap_windows(self):
+        windows = WindowedRegistry(window_s=1.0, max_windows=100)
+        for t, v in ((5.0, 1.0), (5.3, 2.0), (5.9, 3.0)):  # stalled clock
+            windows.ingest(t, self._snap(v))
+        windows.ingest(42.7, self._snap(10.0))  # multi-window jump
+        document = windows.to_json(last=None)
+        # Two real windows — the 36 empty windows in between are never
+        # materialised, so a stalled scraper cannot flood the ring.
+        assert document["n_windows"] == 2
+        assert [w["start_s"] for w in document["windows"]] == [5.0, 42.0]
+        assert document["windows"][0]["counters"]["c"] == 3.0
+        assert document["windows"][1]["counters"]["c"] == 7.0
+
+
+# -- CLI (serve + satellites) ------------------------------------------
+
+
+class TestServeCli:
+    COMMON = ["--duration", "20", "--tick-ms", "50", "--seed", "7"]
+
+    def test_taken_port_fails_fast_with_clear_error(self, capsys):
+        from repro.cli import main
+
+        # Squat on a port, then ask serve to bind it: the failure must
+        # arrive before training starts, as exit 2 with the fix spelled
+        # out — not a traceback.
+        with socket.socket() as squatter:
+            squatter.bind(("127.0.0.1", 0))
+            squatter.listen(1)
+            port = squatter.getsockname()[1]
+            code = main(["serve", "--port", str(port), *self.COMMON])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert f"cannot bind observability endpoint to 127.0.0.1:{port}" in err
+        assert "--port 0" in err
+        assert "Traceback" not in err
+
+    def test_port_zero_prints_bound_ephemeral_port(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "serve",
+                "--replay",
+                "gcc",
+                "--nodes",
+                "1",
+                "--shards",
+                "1",
+                "--port",
+                "0",
+                "--refresh",
+                "30",
+                *self.COMMON,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        match = re.search(r"endpoint at http://127\.0\.0\.1:(\d+)", out)
+        assert match, out
+        assert int(match.group(1)) != 0  # the *bound* port, not the request
+        assert "replay offered" in out
+        assert "status=" in out
+
+
+class TestObsCliQuantiles:
+    def test_histogram_table_has_quantile_columns(self, tmp_path, capsys):
+        """Satellite: ``repro-power obs`` renders p50/p95/p99 straight
+        from the dumped bucket cells."""
+        from repro.cli import main
+
+        obs.enable()
+        buckets = tuple(float(b) for b in range(1, 11))
+        for value in (1.5, 2.5, 2.5, 3.5, 9.5):
+            obs.observe("stage_demo_seconds", value, {"stage": "x"}, buckets)
+        out = str(tmp_path / "tel")
+        obs.dump(out)
+        obs.disable()
+        capsys.readouterr()
+        assert main(["obs", out]) == 0
+        printed = capsys.readouterr().out
+        assert "stage_demo_seconds" in printed
+        for column in ("p50", "p95", "p99"):
+            assert column in printed
