@@ -55,7 +55,8 @@ def _post(url: str, body: bytes, timeout: float = 10.0) -> dict:
         with urllib.request.urlopen(request, timeout=timeout) as response:
             return json.load(response)
     except urllib.error.HTTPError as error:
-        # 429 = shed, 400 = decode errors; both carry a receipt body.
+        # 429 = fully shed, 400 = fully rejected; both carry a receipt
+        # body (partial successes are 200: read the receipt's counts).
         return json.load(error)
 
 

@@ -324,6 +324,12 @@ def main(argv: "list[str] | None" = None) -> int:
         help="publish per-term watt attribution per node on /nodes/<id>",
     )
     serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="enable the destructive POST /service/kill_shard chaos "
+        "hook (CI smoke tests only; off by default)",
+    )
+    serve.add_argument(
         "--rate",
         type=float,
         default=0.0,
@@ -913,7 +919,7 @@ def _cmd_serve(
 
         recorder = flight_mod.get_global()
 
-    endpoint = ObservabilityServer(flight=recorder, port=args.port)
+    endpoint = ObservabilityServer(flight=recorder, chaos=args.chaos, port=args.port)
     endpoint.phase = "training"
     try:
         endpoint.start()

@@ -25,10 +25,15 @@ route           payload
 /fleet/lane/<i> one lane's full state: streams, history, latest window
 /nodes          streaming-service per-node summary + fleet aggregate
 /nodes/<id>     one node's estimates, drift and attribution drill-down
-/service        shard/queue/stage/SLO state of the streaming service;
-                ``?kill_shard=i`` is the chaos hook CI uses
+/service        shard/queue/stage/SLO state of the streaming service
+/service/kill_shard  **POST** ``?shard=i``: the chaos hook CI uses;
+                403 unless the server opted in with ``chaos=True``
 /slo            error-budget burn state (short/long windows, fast burn)
-/ingest         **POST** newline-JSON counter samples into the service
+/ingest         **POST** newline-JSON counter samples into the service;
+                200 whenever anything was accepted (read the receipt's
+                ``accepted``/``shed``/``errors`` counts to decide what
+                to resend), 429 when everything shed, 400 when every
+                line was rejected
 =============== =======================================================
 
 Nothing is served unless :meth:`ObservabilityServer.start` is called
@@ -77,6 +82,9 @@ class ObservabilityServer:
             the streaming routes — ``POST /ingest``, ``/nodes``,
             ``/nodes/<id>``, ``/service``, ``/slo`` — and the
             staleness/burn-aware ``/healthz`` verdict (optional).
+        chaos: opt-in for the destructive ``POST /service/kill_shard``
+            chaos hook; off by default so a production scrape (or a
+            curious curl) can never degrade the service.
         host: bind address (default loopback only).
         port: TCP port; 0 picks an ephemeral one, :meth:`start` returns
             the bound port.
@@ -96,6 +104,7 @@ class ObservabilityServer:
         "/nodes",
         "/nodes/<id>",
         "/service",
+        "/service/kill_shard (POST, chaos=True)",
         "/slo",
         "/ingest (POST)",
     )
@@ -108,6 +117,7 @@ class ObservabilityServer:
         flight=None,
         fleet=None,
         service=None,
+        chaos: bool = False,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
@@ -121,6 +131,7 @@ class ObservabilityServer:
         self.flight = flight
         self.fleet = fleet
         self.service = service
+        self.chaos = bool(chaos)
         self.host = host
         self.port = int(port)
         #: Free-form lifecycle marker surfaced on ``/healthz`` (the CLI
@@ -299,20 +310,6 @@ class ObservabilityServer:
         if path == "/service":
             if self.service is None:
                 return 200, "application/json", _json_body({"service": None})
-            raw = parse_qs(query).get("kill_shard")
-            if raw:
-                # Chaos hook for the ingest-smoke CI job: kill one shard
-                # worker and assert the service degrades gracefully.
-                try:
-                    index = int(raw[-1])
-                    killed = self.service.kill_shard(index)
-                except (ValueError, IndexError):
-                    return 400, "application/json", _json_body(
-                        {"error": f"no such shard {raw[-1]!r}"}
-                    )
-                document = self.service.service_document()
-                document["kill_shard"] = killed
-                return 200, "application/json", _json_body(document)
             return 200, "application/json", _json_body(
                 self.service.service_document()
             )
@@ -357,6 +354,32 @@ def _json_body(document: dict) -> str:
     return json.dumps(document, indent=2, sort_keys=True, default=str) + "\n"
 
 
+def _kill_shard(server: ObservabilityServer, query: str) -> "tuple[int, str]":
+    """``POST /service/kill_shard?shard=i``: the chaos hook CI uses.
+
+    Killing a shard is irreversible (there is no restart), so it only
+    answers on an explicit POST *and* only when the server was built
+    with ``chaos=True`` — a scraper following links can never trip it.
+    """
+    if not server.chaos:
+        return 403, _json_body(
+            {"error": "chaos hooks are disabled; start the server with chaos=True"}
+        )
+    raw = parse_qs(query).get("shard")
+    try:
+        index = int(raw[-1]) if raw else -1
+        if index < 0:
+            raise IndexError(index)
+        killed = server.service.kill_shard(index)
+    except (ValueError, IndexError):
+        return 400, _json_body(
+            {"error": f"kill_shard needs ?shard=i in [0, {len(server.service.shards)})"}
+        )
+    document = server.service.service_document()
+    document["kill_shard"] = killed
+    return 200, _json_body(document)
+
+
 def _make_handler(server: ObservabilityServer):
     class Handler(BaseHTTPRequestHandler):
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -378,8 +401,10 @@ def _make_handler(server: ObservabilityServer):
             self.wfile.write(encoded)
 
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
-            path, _, _query = self.path.partition("?")
-            if path != "/ingest" or server.service is None:
+            path, _, query = self.path.partition("?")
+            if path == "/service/kill_shard" and server.service is not None:
+                status, body = _kill_shard(server, query)
+            elif path != "/ingest" or server.service is None:
                 body = _json_body({"error": f"cannot POST to {path!r}"})
                 status = 404
             else:
@@ -387,10 +412,20 @@ def _make_handler(server: ObservabilityServer):
                     length = int(self.headers.get("Content-Length", 0))
                     data = self.rfile.read(length).decode("utf-8")
                     receipt = server.service.ingest(data, transport="http")
-                    status = 200 if not receipt["errors"] else 400
-                    if receipt["shed"]:
-                        # Back off, caller: the shard queues are full.
+                    # Anything accepted was already enqueued and WILL be
+                    # processed, so a non-2xx would invite a whole-body
+                    # retry that duplicates those samples.  200 whenever
+                    # something got in (clients resend from the receipt's
+                    # counts); 429 = fully shed, back off; 400 = every
+                    # line rejected.
+                    if receipt["accepted"] or not (
+                        receipt["shed"] or receipt["errors"]
+                    ):
+                        status = 200
+                    elif receipt["shed"]:
                         status = 429
+                    else:
+                        status = 400
                     body = _json_body(receipt)
                 except Exception:  # pragma: no cover - defensive
                     logger.exception("ingest POST failed")

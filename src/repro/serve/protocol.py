@@ -27,16 +27,21 @@ foundation of the streamed-equals-batch guarantee in
 ``tests/test_serve.py``.
 
 Both shapes normalise into :class:`SampleBatch`; decode is strict about
-structure (missing keys, ragged arrays, unknown shapes raise
-:class:`ProtocolError`) but lenient about extra events — nodes may ship
-their full counter set and the service keeps only what the suite's
-features consume.
+structure **and element types** (missing keys, ragged arrays, unknown
+shapes, and non-numeric or non-finite values raise
+:class:`ProtocolError` — nothing that passes decode can blow up inside
+``evaluate``) but lenient about extra events — nodes may ship their
+full counter set and the service keeps only what the suite's features
+consume.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.events import Event
 
@@ -60,15 +65,16 @@ class ProtocolError(ValueError):
 class SampleBatch:
     """One decoded payload: ``n`` consecutive windows from one node.
 
-    ``counts`` values stay as nested Python lists (``n`` rows of
-    ``n_cpus`` floats); the service defers ``np.asarray`` until it
-    coalesces queued batches into a single evaluate pass.
+    ``counts`` values are ``(n, n_cpus)`` float arrays — decode pays
+    the one ``np.asarray`` per event (which doubles as the numeric
+    validation) so the shard workers can concatenate queued batches
+    straight into an evaluate pass.
     """
 
     node: str
     timestamps: "list[float]"
     durations: "list[float]"
-    counts: "dict[Event, list[list[float]]]"
+    counts: "dict[Event, np.ndarray]"
     true_w: "dict[str, list[float]] | None" = None
     trace_id: "str | None" = None
     #: Stamped by the service at enqueue time (monotonic seconds) so the
@@ -97,6 +103,14 @@ def required_events(suite) -> "frozenset[Event]":
 def _as_float_list(value, *, what: str) -> "list[float]":
     if not isinstance(value, list) or not value:
         raise ProtocolError(f"{what} must be a non-empty array")
+    # sum() is a C-speed sweep: a str/None/list element raises
+    # TypeError, and any NaN/Infinity poisons the total.
+    try:
+        total = sum(value, 0.0)
+    except TypeError:
+        raise ProtocolError(f"{what} must contain only finite numbers") from None
+    if not math.isfinite(total):
+        raise ProtocolError(f"{what} must contain only finite numbers")
     return value
 
 
@@ -138,11 +152,14 @@ def decode_line(
         if len(durations) != len(timestamps):
             raise ProtocolError("t and dur must have the same length")
     else:
+        for what, value in (("t", t), ("dur", dur)):
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise ProtocolError(f"{what} must be a finite number")
         timestamps = [t]
         durations = [dur]
     n = len(timestamps)
 
-    counts: "dict[Event, list[list[float]]]" = {}
+    counts: "dict[Event, np.ndarray]" = {}
     n_cpus = -1
     for name, rows in counts_raw.items():
         try:
@@ -157,16 +174,27 @@ def decode_line(
             raise ProtocolError(
                 f"counts[{name!r}] must have {n} rows to match t"
             )
-        width = len(rows[0]) if isinstance(rows[0], list) else -1
-        if width < 1 or any(
-            not isinstance(row, list) or len(row) != width for row in rows
-        ):
-            raise ProtocolError(f"counts[{name!r}] rows must be equal-width arrays")
+        # One asarray per event both converts for evaluate *and*
+        # validates: ragged rows and non-numeric elements raise here,
+        # never inside a shard worker.
+        try:
+            array = np.asarray(rows, dtype=float)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"counts[{name!r}] rows must be equal-width arrays of numbers"
+            ) from None
+        if array.ndim != 2 or array.shape[1] < 1:
+            raise ProtocolError(
+                f"counts[{name!r}] rows must be equal-width arrays of numbers"
+            )
+        if not np.isfinite(array).all():
+            raise ProtocolError(f"counts[{name!r}] values must be finite numbers")
+        width = array.shape[1]
         if n_cpus < 0:
             n_cpus = width
         elif width != n_cpus:
             raise ProtocolError("all events must report the same cpu count")
-        counts[event] = rows
+        counts[event] = array
     if keep_events is not None:
         missing = keep_events - counts.keys()
         if missing:
@@ -188,6 +216,7 @@ def decode_line(
                 raise ProtocolError(
                     f"true_w[{key!r}] must have {n} entries to match t"
                 )
+            _as_float_list(series, what=f"true_w[{key!r}]")
 
     trace_id = raw.get("trace")
     return SampleBatch(

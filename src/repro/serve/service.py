@@ -36,6 +36,7 @@ holds the full ops plane under 5 % on top of it.
 
 from __future__ import annotations
 
+import itertools
 import logging
 import threading
 import time
@@ -186,13 +187,17 @@ class EstimationService:
         self._stop = threading.Event()
         self._housekeeper: "threading.Thread | None" = None
         self._started_monotonic: "float | None" = None
-        self._ingest_seq = 0
+        self._ingest_seq = itertools.count()
         self._stage_exemplar: "dict[str, str]" = {}
         # Lifetime tallies kept outside the obs registry so the ingest
         # response and /service stay accurate with telemetry disabled.
+        # '+=' is not atomic and these run on HTTP handler, socket
+        # handler and shard worker threads alike, so they share a lock.
+        self._tally_lock = threading.Lock()
         self.samples_total = 0
         self.shed_samples_total = 0
         self.decode_errors_total = 0
+        self.poison_samples_total = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -248,6 +253,8 @@ class EstimationService:
         Its queue closes (new batches for its nodes shed), its nodes go
         stale, the freshness SLO starts burning — exactly the
         degraded-but-serving path the ingest-smoke CI job asserts.
+        There is no restart, so the HTTP exposure of this hook is a
+        ``POST`` gated behind ``ObservabilityServer(chaos=True)``.
         """
         shard = self.shards[index]
         shard.killed = True
@@ -292,8 +299,9 @@ class EstimationService:
                         batch.n_samples,
                         {"shard": str(shard.index)},
                     )
-        self.shed_samples_total += shed
-        self.decode_errors_total += len(errors)
+        with self._tally_lock:
+            self.shed_samples_total += shed
+            self.decode_errors_total += len(errors)
         if errors:
             obs.inc("serve_decode_errors_total", len(errors))
         obs.inc("serve_ingest_bytes_total", len(data), {"transport": transport})
@@ -321,7 +329,8 @@ class EstimationService:
             accepted += batch.n_samples
         if batches:
             self._process(None, batches)
-        self.decode_errors_total += len(errors)
+        with self._tally_lock:
+            self.decode_errors_total += len(errors)
         if accepted:
             obs.inc(
                 "serve_samples_total", accepted, {"transport": transport}
@@ -332,10 +341,12 @@ class EstimationService:
         """A trace id for this payload, or ``None`` when unsampled."""
         if not (self.ops and obs.enabled()):
             return None
-        self._ingest_seq += 1
-        if (self._ingest_seq - 1) % self.span_sample:
+        # itertools.count is atomic under the GIL, so concurrent ingest
+        # threads can never mint duplicate trace ids.
+        seq = next(self._ingest_seq)
+        if seq % self.span_sample:
             return None
-        return f"ingest-{self._ingest_seq}"
+        return f"ingest-{seq + 1}"
 
     # -- workers -------------------------------------------------------
 
@@ -351,7 +362,26 @@ class EstimationService:
                     self._observe_stage(
                         "queue", now - batch.enqueued_monotonic, batch.trace_id
                     )
-            self._process(shard, items)
+            # The worker thread must outlive any poison batch: protocol
+            # validation should make this unreachable, but an estimator
+            # bug (or a future wire shape) killing the shard would
+            # silently strand every node routed to it.
+            try:
+                self._process(shard, items)
+            except Exception:
+                dropped = sum(batch.n_samples for batch in items)
+                logger.exception(
+                    "shard %d dropped a poison batch group "
+                    "(%d batches, %d samples)",
+                    shard.index, len(items), dropped,
+                )
+                with self._tally_lock:
+                    self.poison_samples_total += dropped
+                obs.inc(
+                    "serve_poison_samples_total",
+                    dropped,
+                    {"shard": str(shard.index)},
+                )
 
     def _housekeeping(self) -> None:
         while not self._stop.wait(self.housekeeping_interval_s):
@@ -403,7 +433,10 @@ class EstimationService:
         group: "list[SampleBatch]" = []
         signature = None
         for batch in batches:
-            key = (frozenset(batch.counts), len(batch.counts[next(iter(batch.counts))][0]))
+            key = (
+                frozenset(batch.counts),
+                batch.counts[next(iter(batch.counts))].shape[1],
+            )
             if signature is not None and key != signature:
                 self._evaluate_group(shard, group)
                 group = []
@@ -425,20 +458,18 @@ class EstimationService:
                 only = group[0]
                 timestamps = only.timestamps
                 durations = only.durations
-                counts = {e: rows for e, rows in only.counts.items()}
+                counts = dict(only.counts)
             else:
                 timestamps = [t for b in group for t in b.timestamps]
                 durations = [d for b in group for d in b.durations]
                 counts = {
-                    e: [row for b in group for row in b.counts[e]]
+                    e: np.concatenate([b.counts[e] for b in group])
                     for e in group[0].counts
                 }
             trace = CounterTrace(
                 timestamps=np.asarray(timestamps, dtype=float),
                 durations=np.asarray(durations, dtype=float),
-                counts={
-                    e: np.asarray(rows, dtype=float) for e, rows in counts.items()
-                },
+                counts=counts,
             )
             predictions, terms = self.suite.evaluate(trace, attribute=self.attribute)
         self._observe_stage("evaluate", time.monotonic() - t0, trace_id)
@@ -514,7 +545,8 @@ class EstimationService:
             if shard is not None:
                 shard.batches_total += 1
                 shard.samples_total += n
-        self.samples_total += n_total
+        with self._tally_lock:
+            self.samples_total += n_total
         obs.inc("serve_published_total", n_total)
         if self.ops and (error_good or error_bad):
             self.slo.record_error_batch(error_good, error_bad)
@@ -701,6 +733,7 @@ class EstimationService:
                 "samples_total": self.samples_total,
                 "shed_samples_total": self.shed_samples_total,
                 "decode_errors_total": self.decode_errors_total,
+                "poison_samples_total": self.poison_samples_total,
             },
             "required_events": sorted(e.value for e in self.required_events),
             "slo": self.slo.check(),

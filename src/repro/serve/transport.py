@@ -7,6 +7,12 @@ receipt line per payload by sending the handshake line ``?ack`` first.
 Fire-and-forget by default — the cheapest possible producer loop — with
 backpressure still visible through the shard queues' shed counters and
 the ``/service`` document.
+
+Lines are read with a hard byte bound (``max_line_bytes``, default
+1 MiB): an oversize line is drained and rejected with an error receipt
+instead of being buffered wholly into memory, and a failure inside
+ingest is logged and answered with an error receipt instead of killing
+the connection's handler thread.
 """
 
 from __future__ import annotations
@@ -21,14 +27,27 @@ import json
 
 logger = logging.getLogger(__name__)
 
+#: Default per-line byte bound; a 64-sample frame over the lean wire
+#: set is ~100 KiB, so 1 MiB leaves generous headroom.
+DEFAULT_MAX_LINE_BYTES = 1 << 20
+
 
 class LineSocketServer:
     """Threaded TCP server feeding :class:`EstimationService.ingest`."""
 
-    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+    ) -> None:
         self.service = service
         self.host = host
         self.port = int(port)
+        self.max_line_bytes = int(max_line_bytes)
+        if self.max_line_bytes < 1:
+            raise ValueError("max_line_bytes must be >= 1")
         self._server: "socketserver.ThreadingTCPServer | None" = None
         self._thread: "threading.Thread | None" = None
 
@@ -37,23 +56,59 @@ class LineSocketServer:
         if self._server is not None:
             return self.port
         service = self.service
+        limit = self.max_line_bytes
 
         class Handler(socketserver.StreamRequestHandler):
+            def _reply(self, receipt: dict) -> None:
+                self.wfile.write(
+                    (json.dumps(receipt, separators=(",", ":")) + "\n")
+                    .encode("utf-8")
+                )
+
             def handle(self) -> None:
                 ack = False
-                for raw in self.rfile:
+                while True:
+                    # readline with a cap never buffers more than one
+                    # bounded chunk; a chunk that fills the cap without
+                    # a newline is an oversize line.
+                    raw = self.rfile.readline(limit + 1)
+                    if not raw:
+                        break
+                    if len(raw) > limit and not raw.endswith(b"\n"):
+                        # Drain the rest of the oversize line so the
+                        # next read starts on a fresh line.
+                        while True:
+                            more = self.rfile.readline(limit + 1)
+                            if not more or more.endswith(b"\n"):
+                                break
+                        logger.warning(
+                            "socket ingest rejected a line over %d bytes", limit
+                        )
+                        if ack:
+                            self._reply({
+                                "accepted": 0,
+                                "shed": 0,
+                                "errors": [f"line exceeds {limit} bytes"],
+                            })
+                        continue
                     line = raw.decode("utf-8", errors="replace").strip()
                     if not line:
                         continue
                     if line == "?ack":
                         ack = True
                         continue
-                    receipt = service.ingest(line, transport="socket")
+                    try:
+                        receipt = service.ingest(line, transport="socket")
+                    except Exception:
+                        # One bad line must not kill the connection.
+                        logger.exception("socket ingest line failed")
+                        receipt = {
+                            "accepted": 0,
+                            "shed": 0,
+                            "errors": ["internal error"],
+                        }
                     if ack:
-                        self.wfile.write(
-                            (json.dumps(receipt, separators=(",", ":")) + "\n")
-                            .encode("utf-8")
-                        )
+                        self._reply(receipt)
 
         server = socketserver.ThreadingTCPServer(
             (self.host, self.port), Handler, bind_and_activate=False

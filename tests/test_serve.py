@@ -143,7 +143,7 @@ class TestProtocol:
         assert batch.n_samples == 1
         assert batch.timestamps == [12.5]
         assert batch.durations == [1.0]
-        assert batch.counts[Event.CYCLES] == [counts[Event.CYCLES]]
+        assert batch.counts[Event.CYCLES].tolist() == [counts[Event.CYCLES]]
         assert batch.true_w == {"cpu": [40.25]}
         assert batch.trace_id == "req-1"
 
@@ -158,7 +158,7 @@ class TestProtocol:
         batch = decode_line(line)
         # JSON float repr round-trips exactly: the decoded floats are
         # the same bits, not approximations.
-        assert batch.counts[Event.CYCLES] == rows
+        assert batch.counts[Event.CYCLES].tolist() == rows
 
     def test_frames_from_run_reconstruct_the_trace_exactly(self, suite, gcc_run):
         events = required_events(suite)
@@ -220,6 +220,44 @@ class TestProtocol:
                 ' "counts": {"cycles": [[1.0]]},'
                 ' "true_w": {"cpu": [1.0, 2.0]}}',
                 "true_w",
+            ),
+            # Element-type validation: nothing that passes decode may
+            # blow up np.asarray inside a shard worker.
+            (
+                '{"node": "n", "t": 1.0, "dur": 1.0,'
+                ' "counts": {"cycles": ["oops", "bad"]}}',
+                "numbers",
+            ),
+            (
+                '{"node": "n", "t": [1.0], "dur": [1.0],'
+                ' "counts": {"cycles": [[1.0, null]]}}',
+                "finite",
+            ),
+            (
+                '{"node": "n", "t": [1.0], "dur": [1.0],'
+                ' "counts": {"cycles": [[1.0, Infinity]]}}',
+                "finite",
+            ),
+            (
+                '{"node": "n", "t": "noon", "dur": 1.0,'
+                ' "counts": {"cycles": [1.0]}}',
+                "t must be a finite number",
+            ),
+            (
+                '{"node": "n", "t": [1.0, "noon"], "dur": [1.0, 1.0],'
+                ' "counts": {"cycles": [[1.0], [1.0]]}}',
+                "t must contain only finite numbers",
+            ),
+            (
+                '{"node": "n", "t": 1.0, "dur": NaN,'
+                ' "counts": {"cycles": [1.0]}}',
+                "dur must be a finite number",
+            ),
+            (
+                '{"node": "n", "t": 1.0, "dur": 1.0,'
+                ' "counts": {"cycles": [1.0]},'
+                ' "true_w": {"cpu": "lots"}}',
+                "finite numbers",
             ),
         ],
     )
@@ -585,6 +623,34 @@ class TestEstimationService:
                 lambda: service.samples_total >= receipt["accepted"]
             )
 
+    def test_poison_batch_drops_but_worker_survives(
+        self, suite, gcc_run, monkeypatch
+    ):
+        """An exception inside evaluate must not kill the shard thread:
+        the group is logged, counted and dropped, and the next batch
+        from the same shard still processes."""
+        events = required_events(suite)
+        lines = frames_from_run(gcc_run, "n0", frame_samples=8, events=events)[:2]
+        real_evaluate = suite.evaluate
+        calls = {"n": 0}
+
+        def flaky_evaluate(trace, attribute=False):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected estimator bug")
+            return real_evaluate(trace, attribute=attribute)
+
+        monkeypatch.setattr(suite, "evaluate", flaky_evaluate)
+        with EstimationService(suite, shards=1, ops=False, coalesce=1) as service:
+            assert service.ingest(lines[0])["accepted"] == 8
+            assert _wait_for(lambda: service.poison_samples_total == 8)
+            assert service.shards[0].alive
+            assert service.dead_shards() == []
+            assert service.ingest(lines[1])["accepted"] == 8
+            assert _wait_for(lambda: service.samples_total >= 8)
+            counters = service.service_document()["counters"]
+            assert counters["poison_samples_total"] == 8
+
     def test_stage_document_has_quantiles_and_exemplars(self, suite, gcc_run):
         obs.enable()
         service = EstimationService(suite, shards=1, span_sample=1)
@@ -723,24 +789,57 @@ class TestHttpRoutes:
         assert document["status"] == "stale"
         assert document["service"]["stale_nodes"] == ["n0"]
 
-    def test_service_route_and_kill_shard_chaos_hook(self, served):
+    def test_service_route_and_kill_shard_chaos_hook(self, suite):
+        service = EstimationService(suite, shards=2)
+        endpoint = ObservabilityServer(service=service, chaos=True, port=0)
+        with service, endpoint:
+            status, document = _get(endpoint.url("/service"))
+            assert status == 200
+            assert all(shard["alive"] for shard in document["shards"])
+            # The retired GET query is inert: a scrape can't kill anything.
+            status, document = _get(endpoint.url("/service?kill_shard=1"))
+            assert status == 200
+            assert all(shard["alive"] for shard in document["shards"])
+            status, document = _post(
+                endpoint.url("/service/kill_shard?shard=1"), ""
+            )
+            assert status == 200
+            assert document["kill_shard"] == {
+                "shard": 1,
+                "killed": True,
+                "alive": False,
+            }
+            assert service.dead_shards() == [1]
+            # /healthz stays 200: degraded but serving.
+            status, document = _get(endpoint.url("/healthz"))
+            assert status == 200
+            assert document["status"] == "degraded"
+            assert _post(endpoint.url("/service/kill_shard?shard=99"), "")[0] == 400
+            assert _post(endpoint.url("/service/kill_shard"), "")[0] == 400
+
+    def test_kill_shard_requires_chaos_opt_in(self, served):
         service, endpoint, _ = served
-        status, document = _get(endpoint.url("/service"))
+        status, document = _post(endpoint.url("/service/kill_shard?shard=0"), "")
+        assert status == 403
+        assert "chaos" in document["error"]
+        assert service.dead_shards() == []
+        assert all(shard.alive for shard in service.shards)
+
+    def test_partial_success_returns_200_with_receipt(
+        self, served, suite, gcc_run
+    ):
+        """Accepted lines are already enqueued: a non-2xx would invite a
+        whole-body retry that duplicates them, so anything-accepted is
+        200 and clients resend from the receipt's counts."""
+        service, endpoint, _ = served
+        good = frames_from_run(
+            gcc_run, "n0", frame_samples=8, events=required_events(suite)
+        )[0]
+        status, receipt = _post(endpoint.url("/ingest"), good + "\n{broken\n")
         assert status == 200
-        assert all(shard["alive"] for shard in document["shards"])
-        status, document = _get(endpoint.url("/service?kill_shard=1"))
-        assert status == 200
-        assert document["kill_shard"] == {
-            "shard": 1,
-            "killed": True,
-            "alive": False,
-        }
-        assert service.dead_shards() == [1]
-        # /healthz stays 200: degraded but serving.
-        status, document = _get(endpoint.url("/healthz"))
-        assert status == 200
-        assert document["status"] == "degraded"
-        assert _get(endpoint.url("/service?kill_shard=99"))[0] == 400
+        assert receipt["accepted"] == 8
+        assert len(receipt["errors"]) == 1
+        assert _wait_for(lambda: service.samples_total >= 8)
 
     def test_slo_route_serves_burn_state(self, served):
         _, endpoint, _ = served
@@ -754,6 +853,7 @@ class TestHttpRoutes:
             assert _get(endpoint.url("/service"))[1] == {"service": None}
             assert _get(endpoint.url("/slo"))[1] == {"slo": None}
             assert _post(endpoint.url("/ingest"), "x")[0] == 404
+            assert _post(endpoint.url("/service/kill_shard?shard=0"), "")[0] == 404
 
     def test_address_in_use_raises_actionable_error(self):
         with ObservabilityServer(port=0) as first:
@@ -802,6 +902,70 @@ class TestSocketTransport:
                 with socket.create_connection(("127.0.0.1", port), timeout=10.0) as conn:
                     conn.sendall(line.encode("utf-8") + b"\n")
                 assert _wait_for(lambda: service.samples_total >= 16)
+            finally:
+                transport.stop()
+
+    def test_oversize_line_rejected_and_connection_survives(self, suite, gcc_run):
+        line = frames_from_run(
+            gcc_run, "n0", frame_samples=4, events=required_events(suite)
+        )[0]
+        limit = 16384
+        assert len(line) < limit
+        with EstimationService(suite, shards=1, ops=False) as service:
+            transport = LineSocketServer(service, port=0, max_line_bytes=limit)
+            port = transport.start()
+            try:
+                with socket.create_connection(("127.0.0.1", port), timeout=10.0) as conn:
+                    stream = conn.makefile("rwb")
+                    stream.write(b"?ack\n")
+                    # One huge junk line, then a valid frame: the junk
+                    # must be drained and rejected without being
+                    # buffered whole, and the frame must still land.
+                    stream.write(b"x" * (3 * limit) + b"\n")
+                    stream.write(line.encode("utf-8") + b"\n")
+                    stream.flush()
+                    first = json.loads(stream.readline())
+                    second = json.loads(stream.readline())
+                assert first["accepted"] == 0
+                assert "exceeds" in first["errors"][0]
+                assert second["accepted"] == 4
+                assert _wait_for(lambda: service.samples_total >= 4)
+            finally:
+                transport.stop()
+
+    def test_ingest_crash_answers_error_receipt_and_continues(
+        self, suite, gcc_run, monkeypatch
+    ):
+        line = frames_from_run(
+            gcc_run, "n0", frame_samples=4, events=required_events(suite)
+        )[0]
+        with EstimationService(suite, shards=1, ops=False) as service:
+            real_ingest = service.ingest
+            calls = {"n": 0}
+
+            def flaky_ingest(data, transport="http"):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("injected ingest bug")
+                return real_ingest(data, transport=transport)
+
+            monkeypatch.setattr(service, "ingest", flaky_ingest)
+            transport = LineSocketServer(service, port=0)
+            port = transport.start()
+            try:
+                with socket.create_connection(("127.0.0.1", port), timeout=10.0) as conn:
+                    stream = conn.makefile("rwb")
+                    stream.write(b"?ack\n")
+                    stream.write(line.encode("utf-8") + b"\n")
+                    stream.write(line.encode("utf-8") + b"\n")
+                    stream.flush()
+                    first = json.loads(stream.readline())
+                    second = json.loads(stream.readline())
+                # The handler thread survived the first line's failure.
+                assert first == {
+                    "accepted": 0, "shed": 0, "errors": ["internal error"]
+                }
+                assert second["accepted"] == 4
             finally:
                 transport.stop()
 
