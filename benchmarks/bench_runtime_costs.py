@@ -156,3 +156,48 @@ def test_fleet_monitored_tick_throughput(benchmark, show):
         f"monitored fleet throughput: width {width}, 100 ticks per round "
         f"({width * 100} lane-ticks); see benchmark stats above"
     )
+
+
+def test_datacenter_scenario_throughput(benchmark, show):
+    """Node-seconds of datacenter simulation per wall second.
+
+    The full per-second scenario loop — traffic, budget allocation,
+    subsystem-level placement, the fleet step, counter read-out and
+    per-pstate estimation — on a two-zone datacenter.  This is the
+    number that decides how many simulated node-hours a policy sweep
+    can afford; ``scripts/bench_compare.py`` gates it as
+    ``datacenter_node_seconds_per_s``.
+    """
+    from repro.dc import Datacenter, TrafficModel, ZoneSpec, train_zone_bank
+
+    config = fast_config()
+    calibration = train_zone_bank(config, duration_s=8.0, seed=901)
+    n_nodes = 64
+    per_zone = n_nodes // 2
+    zones = (
+        ZoneSpec("a", per_zone, 0.75 * per_zone * 8 * 25_000.0),
+        ZoneSpec(
+            "b", per_zone, 0.75 * per_zone * 8 * 25_000.0, phase_s=8.0
+        ),
+    )
+    traffic = TrafficModel(zones, period_s=16.0, seed=5)
+    cap_w = 0.65 * calibration.reference_peak_w * n_nodes
+    duration_s = 8
+
+    def scenario():
+        return Datacenter(
+            traffic,
+            cap_w,
+            config=config,
+            calibration=calibration,
+            engine="fleet",
+            seed=11,
+        ).run(duration_s)
+
+    report = benchmark.pedantic(scenario, iterations=1, rounds=3)
+    show(
+        f"datacenter scenario: {n_nodes} nodes x {duration_s} s per round "
+        f"({n_nodes * duration_s} node-seconds); cap held: "
+        f"{report.cap_violations == 0}"
+    )
+    assert report.cap_violations == 0

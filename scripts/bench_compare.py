@@ -113,6 +113,48 @@ def measure(fleet_widths: "list[int] | None" = None) -> "dict[str, dict]":
             "direction": "higher",
         }
 
+    # 1c'. Datacenter scenario throughput: the full per-second loop —
+    # traffic, budget allocation, subsystem-level placement, fleet
+    # step, counter read-out, per-pstate estimation — in simulated
+    # node-seconds per wall second.
+    from repro.dc import Datacenter, TrafficModel, ZoneSpec, train_zone_bank
+
+    dc_calibration = train_zone_bank(fast_config(), duration_s=8.0, seed=901)
+    dc_nodes = 128
+    dc_per_zone = dc_nodes // 2
+    dc_traffic = TrafficModel(
+        (
+            ZoneSpec("a", dc_per_zone, 0.75 * dc_per_zone * 8 * 25_000.0),
+            ZoneSpec(
+                "b",
+                dc_per_zone,
+                0.75 * dc_per_zone * 8 * 25_000.0,
+                phase_s=10.0,
+            ),
+        ),
+        period_s=20.0,
+        seed=5,
+    )
+    dc_cap_w = 0.65 * dc_calibration.reference_peak_w * dc_nodes
+    dc_duration_s = 10
+
+    def _dc_scenario() -> None:
+        Datacenter(
+            dc_traffic,
+            dc_cap_w,
+            config=fast_config(),
+            calibration=dc_calibration,
+            engine="fleet",
+            seed=11,
+        ).run(dc_duration_s)
+
+    per_pass = _best_of(_dc_scenario, rounds=3)
+    metrics["datacenter_node_seconds_per_s"] = {
+        "value": dc_nodes * float(dc_duration_s) / per_pass,
+        "unit": "node-s/s",
+        "direction": "higher",
+    }
+
     # 2/3. Estimator costs need a trained suite: short parallel sweep.
     trainer = ModelTrainer()
     runs = sweep(

@@ -15,6 +15,7 @@ Commands::
     repro-power monitor --workload gcc           # live run + HTTP endpoint
     repro-power sweep [gcc,mcf,...] [--resume]   # fault-tolerant bulk sweep
     repro-power explain [mcf]                    # per-term power attribution
+    repro-power datacenter [--dc-zones 3]        # multi-zone EP scenario
     repro-power explain --bundle PATH            # print a flight bundle
 
 Common options: ``--seed``, ``--duration`` (seconds per workload),
@@ -135,7 +136,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "command",
         help="table1..table4, fig1..fig7, equations, report, run, list, "
-        "obs, monitor, serve, sweep, explain",
+        "obs, monitor, serve, sweep, explain, datacenter",
     )
     parser.add_argument("workload", nargs="?", help="workload name (for 'run')")
     parser.add_argument("--seed", type=int, default=7)
@@ -345,6 +346,62 @@ def main(argv: "list[str] | None" = None) -> int:
         help="keep serving this long after the replay drains "
         "(without --replay: 0 = serve until interrupted)",
     )
+    dc_group = parser.add_argument_group("datacenter options")
+    dc_group.add_argument(
+        "--dc-zones",
+        type=int,
+        default=3,
+        dest="dc_zones",
+        help="availability zones for 'datacenter' (default 3)",
+    )
+    dc_group.add_argument(
+        "--nodes-per-zone",
+        type=int,
+        default=16,
+        dest="nodes_per_zone",
+        help="nodes in each zone (default 16)",
+    )
+    dc_group.add_argument(
+        "--cap-w",
+        type=float,
+        default=0.0,
+        dest="cap_w",
+        help="datacenter power cap in Watts "
+        "(0 = --cap-frac of the calibrated full-on peak)",
+    )
+    dc_group.add_argument(
+        "--cap-frac",
+        type=float,
+        default=0.6,
+        dest="cap_frac",
+        help="auto cap as a fraction of the calibrated full-on peak "
+        "(default 0.6)",
+    )
+    dc_group.add_argument(
+        "--dc-engine",
+        choices=("fleet", "scalar"),
+        default="fleet",
+        dest="dc_engine",
+        help="cluster engine for the zones (default fleet)",
+    )
+    dc_group.add_argument(
+        "--no-static",
+        action="store_true",
+        dest="no_static",
+        help="skip the static all-on baseline run",
+    )
+    dc_group.add_argument(
+        "--no-regret",
+        action="store_true",
+        dest="no_regret",
+        help="skip the ground-truth-sensor run (no regret numbers)",
+    )
+    dc_group.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="print the datacenter scenario document as JSON",
+    )
     args = parser.parse_args(argv)
     obs.log.configure()
 
@@ -403,6 +460,8 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return _cmd_explain_bundle(args.bundle)
 
     context = _context(args)
+    if command == "datacenter":
+        return _cmd_datacenter(args, context)
     if command == "monitor":
         return _cmd_monitor(args, parser, context)
     if command == "serve":
@@ -531,6 +590,154 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return 0
     parser.error(f"unknown command {command!r}")
     return 2
+
+
+def _cmd_datacenter(args: argparse.Namespace, context) -> int:
+    """Run the multi-zone energy-proportionality scenario.
+
+    Builds a diurnal + flash-crowd + failover traffic model over
+    ``--dc-zones`` zones of ``--nodes-per-zone`` nodes, calibrates the
+    per-pstate sensor bank, and runs the subsystem-level policy on
+    estimated power under the cap — then (by default) the same
+    scenario with the ground-truth sensor (regret) and the static
+    all-on baseline (EP reference).  Exits 1 if the estimated-sensor
+    run ever exceeded the cap.
+    """
+    from repro.dc import (
+        FlashCrowd,
+        TrafficModel,
+        ZoneOutage,
+        ZoneSpec,
+        run_scenario,
+        train_zone_bank,
+    )
+
+    duration = max(int(args.duration), 30)
+    n_zones = max(args.dc_zones, 1)
+    per_zone = max(args.nodes_per_zone, 1)
+    config = context.config
+    print(
+        f"calibrating sensor bank "
+        f"({len(config.cpu.dvfs_states)} pstates)...",
+        file=sys.stderr,
+    )
+    calibration = train_zone_bank(config, seed=args.seed)
+    node_capacity = len(get_workload("SPECjbb").threads)
+    users_per_thread = 25_000.0
+    # Peak zone demand ~75 % of zone capacity; zones peak at staggered
+    # times (time-zone phase offsets across half the run).
+    zones = tuple(
+        ZoneSpec(
+            f"zone{i}",
+            per_zone,
+            0.75 * per_zone * node_capacity * users_per_thread,
+            phase_s=i * duration / (2.0 * n_zones),
+        )
+        for i in range(n_zones)
+    )
+    crowds = (
+        FlashCrowd(
+            start_s=0.2 * duration,
+            duration_s=0.15 * duration,
+            magnitude=1.7,
+            zone=zones[0].name,
+            ramp_s=max(3.0, 0.03 * duration),
+        ),
+    )
+    outages = (
+        (ZoneOutage(zones[-1].name, 0.55 * duration, 0.12 * duration),)
+        if n_zones > 1
+        else ()
+    )
+    traffic = TrafficModel(
+        zones,
+        users_per_thread=users_per_thread,
+        period_s=float(duration),
+        flash_crowds=crowds,
+        outages=outages,
+        seed=args.seed,
+    )
+    total_nodes = n_zones * per_zone
+    cap_w = args.cap_w or (
+        args.cap_frac * calibration.reference_peak_w * total_nodes
+    )
+    print(
+        f"running {total_nodes} nodes / {n_zones} zones for {duration}s "
+        f"under a {cap_w:.0f} W cap ({args.dc_engine} engine)...",
+        file=sys.stderr,
+    )
+    doc = run_scenario(
+        traffic,
+        cap_w,
+        duration,
+        config=config,
+        engine=args.dc_engine,
+        seed=args.seed,
+        calibration=calibration,
+        include_true_sensor=not args.no_regret,
+        include_static=not args.no_static,
+    )
+    if args.json_output:
+        print(json.dumps(doc, indent=2))
+    else:
+        rows = []
+        for key, label in (
+            ("subsystem_estimated", "subsystem (estimated sensor)"),
+            ("subsystem_true", "subsystem (true sensor)"),
+            ("static", "static all-on baseline"),
+        ):
+            run = doc.get(key)
+            if run is None:
+                continue
+            ep = run["energy_proportionality"] or {}
+            rows.append(
+                [
+                    label,
+                    run["energy_j"] / 1000.0,
+                    run["max_power_w"],
+                    run["cap_violations"],
+                    run["dropped_thread_seconds"],
+                    ep.get("ep_score", float("nan")),
+                ]
+            )
+        print(
+            format_table(
+                f"Datacenter scenario: {total_nodes} nodes, "
+                f"{n_zones} zones, {duration}s, cap {cap_w:.0f} W",
+                (
+                    "policy",
+                    "energy kJ",
+                    "max W",
+                    "cap viol",
+                    "dropped t-s",
+                    "EP score",
+                ),
+                rows,
+                precision=3,
+            )
+        )
+        managed = doc["subsystem_estimated"]
+        print(
+            f"  budget redistributions: {managed['budget_redistributions']}, "
+            f"cap enforcements: {managed['cap_enforcements']}, "
+            f"boots denied: {managed['boots_denied']}"
+        )
+        if "regret" in doc:
+            regret = doc["regret"]
+            print(
+                f"  estimated-vs-true policy regret: "
+                f"{regret['regret_j'] / 1000.0:+.2f} kJ "
+                f"({regret['regret_pct']:+.2f} %)"
+            )
+        if "ep_comparison" in doc:
+            comparison = doc["ep_comparison"]
+            print(
+                f"  energy proportionality: subsystem "
+                f"{comparison['subsystem_ep_score']:.3f} vs static "
+                f"{comparison['static_ep_score']:.3f} "
+                f"(gain {comparison['ep_gain']:+.3f})"
+            )
+    return 0 if doc["subsystem_estimated"]["cap_violations"] == 0 else 1
 
 
 def _cmd_explain(

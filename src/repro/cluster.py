@@ -21,7 +21,6 @@ that makes consolidation worthwhile.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -40,6 +39,16 @@ BOOT_POWER_W = 180.0
 #: demo's demand curves compress a day into minutes, so the default
 #: compresses the boot penalty proportionally.
 BOOT_TIME_S = 30.0
+#: Power drawn while napping: DRAM in self-refresh, disks spun down,
+#: CPU packages clock-gated at the floor — the subsystem-level
+#: low-power ensemble of Subramaniam & Feng, cheap to leave and enter.
+NAP_POWER_W = 12.0
+#: Power drawn while exiting a nap (disks spinning up, DRAM exiting
+#: self-refresh; everything on, nothing served yet).
+NAP_EXIT_POWER_W = 120.0
+#: Default nap exit latency (seconds) — orders faster than a cold boot,
+#: which is what makes napping a useful middle power state.
+NAP_EXIT_TIME_S = 2.0
 
 
 def _service_workload_spec(service_workload: str):
@@ -58,22 +67,47 @@ def _service_workload_spec(service_workload: str):
 
 
 class _NodeControl:
-    """Power/boot/load state machine shared by both node frontends.
+    """Power/boot/nap/load state machine shared by both node frontends.
 
     Subclasses set ``node_id``, ``boot_time_s`` and ``capacity`` and
-    initialise ``powered=True``, ``_boot_remaining_s=0.0`` and
-    ``assigned_threads=0``; everything observable about a node's power
-    state lives here so the scalar and fleet engines behave alike.
+    call :meth:`_init_control`; everything observable about a node's
+    power state lives here so the scalar and fleet engines behave
+    alike.  Besides on/booting/off, a node supports a *nap* — the
+    subsystem-level low-power ensemble (DRAM self-refresh, disks spun
+    down) with a short exit latency — and a per-node DVFS pstate.
     """
+
+    def _init_control(self) -> None:
+        self.powered = True
+        self._boot_remaining_s = 0.0
+        self._wake_remaining_s = 0.0
+        self._napping = False
+        self.assigned_threads = 0
+        #: Requested DVFS operating point; the engine applies it before
+        #: the node's next simulated second.
+        self.pstate = 0
 
     @property
     def booting(self) -> bool:
         return self._boot_remaining_s > 0.0
 
     @property
+    def napping(self) -> bool:
+        return self._napping
+
+    @property
+    def waking(self) -> bool:
+        return self._wake_remaining_s > 0.0
+
+    @property
     def available(self) -> bool:
         """Can serve load right now."""
-        return self.powered and not self.booting
+        return (
+            self.powered
+            and not self.booting
+            and not self._napping
+            and not self.waking
+        )
 
     def power_down(self) -> None:
         if self.assigned_threads:
@@ -82,15 +116,54 @@ class _NodeControl:
             )
         self.powered = False
         self._boot_remaining_s = 0.0
+        self._wake_remaining_s = 0.0
+        self._napping = False
         obs.event("cluster.power_down", node=self.node_id)
 
     def power_up(self) -> None:
-        if not self.powered:
-            self.powered = True
-            self._boot_remaining_s = self.boot_time_s
-            obs.event(
-                "cluster.power_up", node=self.node_id, boot_time_s=self.boot_time_s
+        if self.powered:
+            if self._napping:
+                self.wake()
+            return
+        self.powered = True
+        self._boot_remaining_s = self.boot_time_s
+        obs.event(
+            "cluster.power_up", node=self.node_id, boot_time_s=self.boot_time_s
+        )
+
+    def nap(self) -> None:
+        """Drop an idle node into the subsystem low-power ensemble."""
+        if self.assigned_threads:
+            raise ValueError(
+                f"node {self.node_id} still serves {self.assigned_threads} threads"
             )
+        if not self.available:
+            raise ValueError(f"node {self.node_id} cannot nap right now")
+        self._napping = True
+        obs.event("cluster.nap", node=self.node_id)
+
+    def wake(self) -> None:
+        """Start exiting a nap (takes :data:`NAP_EXIT_TIME_S`)."""
+        if self._napping:
+            self._napping = False
+            self._wake_remaining_s = self.nap_exit_time_s
+            obs.event(
+                "cluster.wake",
+                node=self.node_id,
+                exit_time_s=self.nap_exit_time_s,
+            )
+
+    #: Nap exit latency; subclasses may override per node.
+    nap_exit_time_s = NAP_EXIT_TIME_S
+
+    def set_pstate(self, index: int) -> None:
+        """Request a DVFS operating point for this node."""
+        n_states = len(self.config.cpu.dvfs_states)
+        if not 0 <= index < n_states:
+            raise ValueError(
+                f"pstate {index} out of range; ladder has {n_states} states"
+            )
+        self.pstate = int(index)
 
     def set_load(self, n_threads: int) -> None:
         if n_threads < 0 or n_threads > self.capacity:
@@ -100,6 +173,26 @@ class _NodeControl:
         if n_threads > 0 and not self.available:
             raise ValueError(f"node {self.node_id} cannot serve load yet")
         self.assigned_threads = n_threads
+
+    def idle_power_second(self) -> "float | None":
+        """Advance one second of *non-simulated* node state.
+
+        Returns the node's power for that second when it is off,
+        booting, waking or napping — identically for both engines —
+        and ``None`` when the node is live and its server must be
+        stepped.
+        """
+        if not self.powered:
+            return STANDBY_POWER_W
+        if self.booting:
+            self._boot_remaining_s = max(0.0, self._boot_remaining_s - 1.0)
+            return BOOT_POWER_W
+        if self.waking:
+            self._wake_remaining_s = max(0.0, self._wake_remaining_s - 1.0)
+            return NAP_EXIT_POWER_W
+        if self._napping:
+            return NAP_POWER_W
+        return None
 
 
 class ClusterNode(_NodeControl):
@@ -121,9 +214,8 @@ class ClusterNode(_NodeControl):
         self._server.sampler.disable()
         self._all_threads = list(self._server.threads)
         self._server.threads = []
-        self.powered = True
-        self._boot_remaining_s = 0.0
-        self.assigned_threads = 0
+        self._applied_pstate = 0
+        self._init_control()
 
     @property
     def server(self) -> Server:
@@ -141,11 +233,12 @@ class ClusterNode(_NodeControl):
 
     def tick_second(self) -> float:
         """Advance one second; returns the node's true power (Watts)."""
-        if not self.powered:
-            return STANDBY_POWER_W
-        if self.booting:
-            self._boot_remaining_s = max(0.0, self._boot_remaining_s - 1.0)
-            return BOOT_POWER_W
+        idle_w = self.idle_power_second()
+        if idle_w is not None:
+            return idle_w
+        if self.pstate != self._applied_pstate:
+            self._server.set_all_pstates(self.pstate)
+            self._applied_pstate = self.pstate
         self._server.threads = self._all_threads[: self.assigned_threads]
         ticks = int(round(1.0 / self.config.tick_s))
         return self._server.run_ticks(ticks)
@@ -173,9 +266,7 @@ class FleetNodeHandle(_NodeControl):
         self.boot_time_s = boot_time_s
         self._fleet = fleet
         self._lane = lane
-        self.powered = True
-        self._boot_remaining_s = 0.0
-        self.assigned_threads = 0
+        self._init_control()
 
     @property
     def server(self):
@@ -221,17 +312,26 @@ class StaticManager:
             node.power_up()
         available = [n for n in cluster.nodes if n.available]
         for node in cluster.nodes:
-            node.assigned_threads = 0
+            node.set_load(0)
+        if not available:
+            return
+        # Round-robin one thread at a time, then commit each node's
+        # count through the set_load state machine in one call.
+        counts = [0] * len(available)
         remaining = demand
-        while remaining > 0 and available:
-            for node in available:
+        while remaining > 0:
+            progressed = False
+            for i, node in enumerate(available):
                 if remaining <= 0:
                     break
-                if node.assigned_threads < node.capacity:
-                    node.assigned_threads += 1
+                if counts[i] < node.capacity:
+                    counts[i] += 1
                     remaining -= 1
-            if all(n.assigned_threads >= n.capacity for n in available):
+                    progressed = True
+            if not progressed:
                 break
+        for node, count in zip(available, counts):
+            node.set_load(count)
 
 
 class PowerAwareManager:
@@ -249,11 +349,17 @@ class PowerAwareManager:
         self._last_target: "int | None" = None
 
     def place(self, cluster: "Cluster", demand: int) -> None:
-        per_node = cluster.nodes[0].capacity
+        # Walk the actual per-node capacities (nodes may be
+        # heterogeneous) until the accumulated capacity covers demand
+        # plus headroom; always keep at least one node.
         target_capacity = demand + self.headroom
-        nodes_needed = min(
-            len(cluster.nodes), max(1, math.ceil(target_capacity / per_node))
-        )
+        nodes_needed = 0
+        reach = 0
+        for node in cluster.nodes:
+            if nodes_needed >= 1 and reach >= target_capacity:
+                break
+            reach += node.capacity
+            nodes_needed += 1
         if nodes_needed != self._last_target:
             obs.event(
                 "cluster.placement",
@@ -267,22 +373,26 @@ class PowerAwareManager:
         # Keep a stable prefix of nodes hot (consolidation).
         for node in cluster.nodes[:nodes_needed]:
             node.power_up()
-        ready = [n for n in cluster.nodes if n.available]
-        # Drain then power down the surplus suffix.
-        for node in cluster.nodes[nodes_needed:]:
-            node.assigned_threads = 0
-            if node.powered and not node.booting:
-                node.power_down()
-
-        for node in ready:
-            node.assigned_threads = 0
+        prefix = [n for n in cluster.nodes[:nodes_needed] if n.available]
+        for node in prefix:
+            node.set_load(0)
         remaining = demand
-        for node in ready:
+        for node in prefix:
             take = min(node.capacity, remaining)
             node.set_load(take)
             remaining -= take
-            if remaining <= 0:
-                break
+        # While the prefix boots, spill what it cannot serve yet onto
+        # surplus nodes that are still available; then power every
+        # drained surplus node down — *including* booting ones
+        # (power_down cancels the boot), so a demand blip no longer
+        # burns BOOT_POWER_W for the full boot before dying.
+        for node in cluster.nodes[nodes_needed:]:
+            if node.available:
+                take = min(node.capacity, remaining)
+                node.set_load(take)
+                remaining -= take
+            if node.powered and node.assigned_threads == 0:
+                node.power_down()
 
 
 class Cluster:
@@ -340,6 +450,7 @@ class Cluster:
                 FleetNodeHandle(i, self._fleet, i, boot_time_s)
                 for i in range(n_nodes)
             ]
+        self._applied_pstates: "np.ndarray | None" = None
 
     @property
     def capacity(self) -> int:
@@ -350,16 +461,22 @@ class Cluster:
         if self._fleet is None:
             return [node.tick_second() for node in self.nodes]
         fleet = self._fleet
+        pstates = np.fromiter(
+            (node.pstate for node in self.nodes),
+            dtype=np.int64,
+            count=len(self.nodes),
+        )
+        if self._applied_pstates is None or not np.array_equal(
+            pstates, self._applied_pstates
+        ):
+            fleet.set_lane_pstates(pstates)
+            self._applied_pstates = pstates
         active = np.zeros(len(self.nodes), dtype=bool)
         powers = [0.0] * len(self.nodes)
         for i, node in enumerate(self.nodes):
-            if not node.powered:
-                powers[i] = STANDBY_POWER_W
-            elif node.booting:
-                node._boot_remaining_s = max(
-                    0.0, node._boot_remaining_s - 1.0
-                )
-                powers[i] = BOOT_POWER_W
+            idle_w = node.idle_power_second()
+            if idle_w is not None:
+                powers[i] = idle_w
             else:
                 active[i] = True
                 fleet.set_lane_threads(i, node.assigned_threads)
@@ -392,8 +509,13 @@ class Cluster:
         trace = ClusterTrace()
         trace.node_power_w = [[] for _ in self.nodes]
         node_energy = [0.0] * len(self.nodes)
-        for t, demand in enumerate(demand_trace):
-            demand = min(demand, self.capacity)
+        for t, offered in enumerate(demand_trace):
+            offered = int(offered)
+            # Placement can only ever serve up to capacity, but the
+            # trace records the *offered* demand so flash crowds above
+            # capacity show up as dropped thread-seconds, not as a
+            # silently clipped demand curve.
+            demand = min(offered, self.capacity)
             manager.place(self, demand)
             node_powers = self._step_second()
             power = sum(node_powers)
@@ -401,7 +523,7 @@ class Cluster:
                 node.assigned_threads for node in self.nodes if node.available
             )
             nodes_on = sum(node.powered for node in self.nodes)
-            trace.demand.append(demand)
+            trace.demand.append(offered)
             trace.served.append(served)
             trace.power_w.append(power)
             trace.nodes_on.append(nodes_on)
@@ -412,7 +534,7 @@ class Cluster:
                 registry = obs.registry()
                 registry.gauge("cluster_power_watts", power)
                 registry.gauge("cluster_nodes_on", nodes_on)
-                registry.gauge("cluster_demand_threads", demand)
+                registry.gauge("cluster_demand_threads", offered)
                 registry.gauge("cluster_served_threads", served)
                 for node, node_power, energy in zip(
                     self.nodes, node_powers, node_energy
@@ -430,7 +552,7 @@ class Cluster:
                 )
             if observer is not None:
                 observer.on_second(
-                    self, start_s + float(t + 1), demand, served, node_powers
+                    self, start_s + float(t + 1), offered, served, node_powers
                 )
         return trace
 

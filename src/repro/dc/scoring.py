@@ -1,0 +1,93 @@
+"""Energy-proportionality scoring and estimated-vs-true policy regret.
+
+Subramaniam & Feng score subsystem-level power management by how close
+a server's power curve comes to the ideal energy-proportional line
+``P_ideal(u) = u * P_peak`` (Barroso & Hölzle's target).  The same
+metrics apply to a whole datacenter trace:
+
+* **dynamic range** — ``1 - P_min / P_max`` over the run: how much of
+  the power envelope the policy actually exercises (an always-on
+  cluster scores near 0);
+* **proportionality gap** — mean signed excess above the ideal line,
+  as a fraction of peak power;
+* **EP score** — ``1 - mean(|P(t) - u(t) * P_peak|) / P_peak``: 1.0 is
+  perfect proportionality, an idle-heavy flat power curve scores low.
+
+Policy *regret* quantifies what acting on estimates (instead of the
+ground-truth power the simulator knows) costs: the same scenario is
+run once with the estimated-power sensor and once with the true-power
+sensor, and the objectives — energy plus a penalty per dropped
+thread-second — are differenced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Objective weight: one dropped thread-second costs this many joules
+#: (i.e. dropping a thread for a second is as bad as burning ~50 W·s).
+DEFAULT_DROP_PENALTY_J = 50.0
+
+
+def energy_proportionality(
+    power_w,
+    utilization,
+    peak_power_w: "float | None" = None,
+) -> "dict[str, float]":
+    """EP metrics for a per-second power/utilization trace.
+
+    Args:
+        power_w: per-second total power (Watts).
+        utilization: per-second served fraction of full capacity, 0..1.
+        peak_power_w: the power at full utilization used for the ideal
+            line; defaults to the trace's observed maximum.
+    """
+    p = np.asarray(power_w, dtype=float)
+    u = np.clip(np.asarray(utilization, dtype=float), 0.0, 1.0)
+    if p.shape != u.shape or p.ndim != 1 or p.size == 0:
+        raise ValueError("power and utilization must be equal-length 1-D")
+    peak = float(peak_power_w) if peak_power_w else float(p.max())
+    if peak <= 0:
+        raise ValueError("peak power must be positive")
+    ideal = u * peak
+    gap = float(np.mean(p - ideal) / peak)
+    ep = float(1.0 - np.mean(np.abs(p - ideal)) / peak)
+    p_max = float(p.max())
+    dynamic_range = float(1.0 - p.min() / p_max) if p_max > 0 else 0.0
+    return {
+        "ep_score": ep,
+        "dynamic_range": dynamic_range,
+        "proportionality_gap": gap,
+        "peak_power_w": peak,
+        "mean_power_w": float(p.mean()),
+        "mean_utilization": float(u.mean()),
+    }
+
+
+def scenario_objective(
+    energy_j: float,
+    dropped_thread_seconds: float,
+    drop_penalty_j: float = DEFAULT_DROP_PENALTY_J,
+) -> float:
+    """The scalar a policy minimizes: energy plus a drop penalty."""
+    if drop_penalty_j < 0:
+        raise ValueError("drop penalty must be non-negative")
+    return float(energy_j) + drop_penalty_j * float(dropped_thread_seconds)
+
+
+def policy_regret(
+    estimated_objective_j: float, true_objective_j: float
+) -> "dict[str, float]":
+    """Cost of steering on estimates instead of ground truth.
+
+    Positive regret means the estimate-driven run did worse; a small
+    magnitude is the estimator earning its keep as a control sensor.
+    """
+    regret = float(estimated_objective_j) - float(true_objective_j)
+    denom = max(abs(float(true_objective_j)), 1.0e-9)
+    return {
+        "regret_j": regret,
+        "regret_pct": 100.0 * regret / denom,
+        "estimated_objective_j": float(estimated_objective_j),
+        "true_objective_j": float(true_objective_j),
+    }

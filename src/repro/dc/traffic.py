@@ -1,0 +1,183 @@
+"""Open-loop traffic generation: users to per-second thread demand.
+
+A datacenter's offered load is not a thread count — it is people.  The
+model here maps a (simulated) user population per zone to per-second
+worker-thread demand the way capacity planners do: a diurnal activity
+wave with per-zone phase offsets (time zones), multiplicative flash
+crowds with ramp-up/ramp-down, and regional failover — a zone going
+dark hands its active users to the surviving zones, weighted by their
+population.  The generator is open-loop: demand never reacts to what
+the datacenter manages to serve, which is exactly what makes dropped
+thread-seconds a meaningful score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ZoneSpec:
+    """One availability zone: a node count and a user population.
+
+    ``phase_s`` offsets the diurnal wave (a zone serving a different
+    time zone peaks later).
+    """
+
+    name: str
+    n_nodes: int
+    users: float
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"zone {self.name!r} needs at least one node")
+        if self.users <= 0:
+            raise ValueError(f"zone {self.name!r} needs a positive population")
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A transient demand spike: active users multiply by ``magnitude``.
+
+    ``zone=None`` hits every zone at once (a global event); ``ramp_s``
+    is the linear rise and fall time at the window edges.
+    """
+
+    start_s: float
+    duration_s: float
+    magnitude: float = 2.0
+    zone: "str | None" = None
+    ramp_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("flash crowd needs a positive duration")
+        if self.magnitude < 1.0:
+            raise ValueError("magnitude below 1 is not a crowd")
+        if self.ramp_s < 0:
+            raise ValueError("ramp must be non-negative")
+
+    def envelope(self, t: np.ndarray) -> np.ndarray:
+        """0..1 trapezoid over the crowd's window."""
+        ramp = max(self.ramp_s, 1.0e-9)
+        rise = (t - self.start_s) / ramp
+        fall = (self.start_s + self.duration_s - t) / ramp
+        return np.clip(np.minimum(np.minimum(rise, fall), 1.0), 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class ZoneOutage:
+    """A regional failure: the zone serves nothing for the window and
+    its active users fail over to the surviving zones."""
+
+    zone: str
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("outage needs a positive duration")
+
+
+@dataclass
+class TrafficModel:
+    """Per-second offered thread demand for every zone.
+
+    Args:
+        zones: the zone layout (unique names).
+        users_per_thread: how many concurrently active users one
+            worker thread serves (the capacity-planning constant that
+            turns millions of users into thousands of threads).
+        period_s: diurnal period (compressed day).
+        trough_fraction: fraction of the population active at the
+            bottom of the wave.
+        noise: multiplicative demand noise (std as a fraction).
+        flash_crowds: transient spikes.
+        outages: regional failover windows.
+        seed: RNG seed; identical inputs give identical demand.
+    """
+
+    zones: "tuple[ZoneSpec, ...]"
+    users_per_thread: float = 25_000.0
+    period_s: float = 600.0
+    trough_fraction: float = 0.35
+    noise: float = 0.05
+    flash_crowds: "tuple[FlashCrowd, ...]" = field(default_factory=tuple)
+    outages: "tuple[ZoneOutage, ...]" = field(default_factory=tuple)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        self.zones = tuple(self.zones)
+        self.flash_crowds = tuple(self.flash_crowds)
+        self.outages = tuple(self.outages)
+        if not self.zones:
+            raise ValueError("need at least one zone")
+        names = [zone.name for zone in self.zones]
+        if len(set(names)) != len(names):
+            raise ValueError(f"zone names must be unique; got {names}")
+        if self.users_per_thread <= 0:
+            raise ValueError("users_per_thread must be positive")
+        if not 0.0 < self.trough_fraction <= 1.0:
+            raise ValueError("trough_fraction must be in (0, 1]")
+        if self.noise < 0:
+            raise ValueError("noise must be non-negative")
+        for crowd in self.flash_crowds:
+            if crowd.zone is not None and crowd.zone not in names:
+                raise ValueError(f"flash crowd names unknown zone {crowd.zone!r}")
+        for outage in self.outages:
+            if outage.zone not in names:
+                raise ValueError(f"outage names unknown zone {outage.zone!r}")
+
+    @property
+    def total_users(self) -> float:
+        return float(sum(zone.users for zone in self.zones))
+
+    def demand(self, duration_s: int) -> "dict[str, np.ndarray]":
+        """Offered thread demand per zone, shape ``(duration_s,)`` ints."""
+        if duration_s < 1:
+            raise ValueError("duration must be at least one second")
+        t = np.arange(duration_s, dtype=float)
+        rng = np.random.default_rng(self.seed)
+        mid = (1.0 + self.trough_fraction) / 2.0
+        amp = (1.0 - self.trough_fraction) / 2.0
+        active = np.empty((len(self.zones), duration_s))
+        for i, zone in enumerate(self.zones):
+            wave = mid - amp * np.cos(
+                2.0 * np.pi * (t + zone.phase_s) / self.period_s
+            )
+            factor = np.ones(duration_s)
+            for crowd in self.flash_crowds:
+                if crowd.zone is None or crowd.zone == zone.name:
+                    factor *= 1.0 + (crowd.magnitude - 1.0) * crowd.envelope(t)
+            jitter = 1.0 + self.noise * rng.standard_normal(duration_s)
+            active[i] = np.clip(
+                zone.users * wave * factor * jitter, 0.0, None
+            )
+        # Regional failover: a dark zone's active users land on the
+        # survivors, split by population.  Overlapping outages stack
+        # (a zone dark in any covering window serves nothing).
+        index = {zone.name: i for i, zone in enumerate(self.zones)}
+        dark = np.zeros((len(self.zones), duration_s), dtype=bool)
+        for outage in self.outages:
+            window = (t >= outage.start_s) & (
+                t < outage.start_s + outage.duration_s
+            )
+            dark[index[outage.zone]] |= window
+        if dark.any():
+            moved = np.where(dark, active, 0.0).sum(axis=0)
+            weights = np.array([zone.users for zone in self.zones])
+            live_weight = np.where(dark, 0.0, weights[:, None]).sum(axis=0)
+            for i in range(len(self.zones)):
+                share = np.where(
+                    (~dark[i]) & (live_weight > 0),
+                    weights[i] / np.maximum(live_weight, 1.0e-12),
+                    0.0,
+                )
+                active[i] = np.where(dark[i], 0.0, active[i]) + moved * share
+        threads = np.rint(active / self.users_per_thread).astype(np.int64)
+        return {
+            zone.name: threads[i] for i, zone in enumerate(self.zones)
+        }

@@ -23,6 +23,8 @@ route           payload
 /fleet/lanes    per-lane drill-down ranked worst-first by drift EWMA;
                 ``?top=K`` limits to the K worst offenders
 /fleet/lane/<i> one lane's full state: streams, history, latest window
+/dc             the attached datacenter's latest scenario report:
+                cap/violations, EP score, per-zone budgets and power
 /nodes          streaming-service per-node summary + fleet aggregate
 /nodes/<id>     one node's estimates, drift and attribution drill-down
 /service        shard/queue/stage/SLO state of the streaming service
@@ -82,6 +84,9 @@ class ObservabilityServer:
             the streaming routes — ``POST /ingest``, ``/nodes``,
             ``/nodes/<id>``, ``/service``, ``/slo`` — and the
             staleness/burn-aware ``/healthz`` verdict (optional).
+        dc: a :class:`~repro.dc.datacenter.Datacenter` (or any object
+            with a ``document()``/``last_report``) for ``/dc``
+            (optional).
         chaos: opt-in for the destructive ``POST /service/kill_shard``
             chaos hook; off by default so a production scrape (or a
             curious curl) can never degrade the service.
@@ -101,6 +106,7 @@ class ObservabilityServer:
         "/fleet",
         "/fleet/lanes",
         "/fleet/lane/<i>",
+        "/dc",
         "/nodes",
         "/nodes/<id>",
         "/service",
@@ -117,6 +123,7 @@ class ObservabilityServer:
         flight=None,
         fleet=None,
         service=None,
+        dc=None,
         chaos: bool = False,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -131,6 +138,7 @@ class ObservabilityServer:
         self.flight = flight
         self.fleet = fleet
         self.service = service
+        self.dc = dc
         self.chaos = bool(chaos)
         self.host = host
         self.port = int(port)
@@ -297,6 +305,14 @@ class ObservabilityServer:
             return 200, "application/json", _json_body(
                 self.service.nodes_document()
             )
+        if path == "/dc":
+            # A Datacenter (serving its last_report) or anything with a
+            # document() works as the attachment.
+            if self.dc is None:
+                return 200, "application/json", _json_body({"datacenter": None})
+            report = getattr(self.dc, "last_report", self.dc)
+            document = report.document() if report is not None else None
+            return 200, "application/json", _json_body({"datacenter": document})
         if path.startswith("/nodes/"):
             if self.service is None:
                 return 200, "application/json", _json_body({"nodes": None})

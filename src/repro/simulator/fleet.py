@@ -459,6 +459,7 @@ class FleetServer:
         self._daq_rate = meas.daq_rate_hz
         self._daq_noise_rel = meas.daq_noise_rel
         self._pstate_index = 0
+        self._lane_pstates: "np.ndarray | None" = None
         self._refresh_pstate()
 
         # -- SoA state (last axis = lane); everything listed in
@@ -562,20 +563,36 @@ class FleetServer:
     )
 
     def _refresh_pstate(self) -> None:
-        """Recompute frequency-derived constants (mirrors CpuPackage)."""
+        """Recompute frequency-derived constants (mirrors CpuPackage).
+
+        Uniform fleets keep these as python floats (the fast path, and
+        bit-identical to the pre-per-lane code); with per-lane pstates
+        set they become ``(width,)`` arrays, which broadcast against
+        the lane-axis-last state everywhere the hot loop uses them.
+        Elementwise IEEE ops match the scalar ones, so each lane stays
+        bit-identical to a scalar server pinned at that lane's pstate.
+        """
         cpu = self.config.cpu
-        state = cpu.dvfs_states[self._pstate_index]
         nominal = cpu.dvfs_states[0].frequency_hz
-        self._voltage_sq = state.voltage_scale**2
-        self._power_scale = state.voltage_scale**2 * (state.frequency_hz / nominal)
-        self._cycles = state.frequency_hz * self._dt
+        if self._lane_pstates is None:
+            state = cpu.dvfs_states[self._pstate_index]
+            vscale: "float | np.ndarray" = state.voltage_scale
+            freq: "float | np.ndarray" = state.frequency_hz
+        else:
+            vs = np.array([s.voltage_scale for s in cpu.dvfs_states])
+            fs = np.array([s.frequency_hz for s in cpu.dvfs_states])
+            vscale = vs[self._lane_pstates]
+            freq = fs[self._lane_pstates]
+        self._voltage_sq = vscale**2
+        self._power_scale = vscale**2 * (freq / nominal)
+        self._cycles = freq * self._dt
         self._halted_v = cpu.halted_power_w * self._voltage_sq
         self._active_delta = cpu.active_idle_power_w - cpu.halted_power_w
         # Scalar step 6 sums pt.cycles package by package; replicate the
         # sequential adds so ties in float rounding match exactly.
-        total = 0.0
+        total: "float | np.ndarray" = 0.0
         for _ in range(self.config.num_packages):
-            total += self._cycles
+            total = total + self._cycles
         self._cycles_total = total
 
     # -- control API ---------------------------------------------------
@@ -599,7 +616,77 @@ class FleetServer:
                 f"{len(self.config.cpu.dvfs_states)} states"
             )
         self._pstate_index = state_index
+        self._lane_pstates = None
         self._refresh_pstate()
+
+    def set_lane_pstates(self, pstates) -> None:
+        """Per-lane DVFS: lane ``i`` runs at ``pstates[i]``.
+
+        The control surface datacenter power policies coordinate
+        through — each node (lane) is shifted independently along the
+        ladder between batches.  Per-lane pstates are *configuration*
+        like ``_enabled``: frozen lanes keep them, nothing rolls them
+        back.  A uniform vector collapses to the scalar fast path.
+        """
+        idx = np.asarray(pstates, dtype=np.int64)
+        if idx.shape != (self.width,):
+            raise ValueError(
+                f"pstates must have shape ({self.width},); got {idx.shape}"
+            )
+        n_states = len(self.config.cpu.dvfs_states)
+        if idx.size and (idx.min() < 0 or idx.max() >= n_states):
+            raise ValueError(
+                f"pstates must lie in [0, {n_states - 1}]"
+            )
+        if self._servers is not None:
+            for server, state in zip(self._servers, idx):
+                server.set_all_pstates(int(state))
+            return
+        if np.all(idx == idx[0]):
+            self.set_all_pstates(int(idx[0]))
+            return
+        self._pstate_index = int(idx[0])
+        self._lane_pstates = idx.copy()
+        self._refresh_pstate()
+
+    def lane_pstates(self) -> np.ndarray:
+        """Current per-lane pstate indices, shape ``(width,)``."""
+        if self._servers is not None:
+            return np.array(
+                [server.packages[0].pstate_index for server in self._servers],
+                dtype=np.int64,
+            )
+        if self._lane_pstates is not None:
+            return self._lane_pstates.copy()
+        return np.full(self.width, self._pstate_index, dtype=np.int64)
+
+    def read_and_clear_lanes(
+        self, lanes: "np.ndarray | list[int]"
+    ) -> "dict[Event, np.ndarray]":
+        """Batched clear-on-read counter snapshot for many lanes.
+
+        Returns ``{event: (n_lanes, n_cpus)}`` — the shape a batched
+        :meth:`TrickleDownSuite.evaluate` design-matrix pass wants —
+        and zeroes exactly those lanes' counters, in one numpy slice
+        per event instead of a python loop over ``_LaneCounters``.
+        """
+        if self._servers is not None:
+            snaps = [
+                self._servers[int(lane)].counters.read_and_clear()
+                for lane in lanes
+            ]
+            return {
+                event: np.vstack([snap[event] for snap in snaps])
+                for event in _EVENTS
+            }
+        sel = np.asarray(lanes, dtype=np.int64)
+        c3 = self._counts3d
+        out = {}
+        for event in _EVENTS:
+            row = c3[_EIDX[event]]
+            out[event] = row[:, sel].T.copy()
+            row[:, sel] = 0.0
+        return out
 
     def set_lane_threads(self, lane: int, n_threads: int) -> None:
         """Enable the first ``n_threads`` workload threads on ``lane``.

@@ -1,5 +1,6 @@
 """Tests for the ensemble power-management extension (repro/cluster.py)."""
 
+import numpy as np
 import pytest
 
 from repro.cluster import (
@@ -7,9 +8,13 @@ from repro.cluster import (
     BOOT_POWER_W,
     Cluster,
     ClusterNode,
+    NAP_EXIT_POWER_W,
+    NAP_EXIT_TIME_S,
+    NAP_POWER_W,
     PowerAwareManager,
     STANDBY_POWER_W,
     StaticManager,
+    _NodeControl,
     diurnal_demand,
 )
 from repro.simulator.config import fast_config
@@ -72,6 +77,48 @@ class TestClusterNode:
         with pytest.raises(ValueError):
             node.set_load(node.capacity + 1)
 
+    def test_nap_draws_nap_power_and_wakes_quickly(self, node):
+        node.set_load(0)
+        node.nap()
+        assert node.napping and not node.available
+        assert node.tick_second() == NAP_POWER_W
+        node.wake()
+        assert node.waking and not node.available
+        for _ in range(int(NAP_EXIT_TIME_S)):
+            assert node.tick_second() == NAP_EXIT_POWER_W
+        assert node.available
+
+    def test_power_up_wakes_a_napping_node(self, node):
+        node.set_load(0)
+        node.nap()
+        node.power_up()
+        assert not node.napping and node.waking
+
+    def test_cannot_nap_loaded_or_unavailable_node(self, node):
+        node.set_load(2)
+        with pytest.raises(ValueError, match="still serves"):
+            node.nap()
+        node.set_load(0)
+        node.power_down()
+        with pytest.raises(ValueError, match="cannot nap"):
+            node.nap()
+
+    def test_power_down_from_nap(self, node):
+        node.set_load(0)
+        node.nap()
+        node.power_down()
+        assert not node.powered and not node.napping
+        assert node.tick_second() == STANDBY_POWER_W
+
+    def test_set_pstate_validates_and_applies(self, node):
+        node.set_pstate(2)
+        assert node.pstate == 2
+        node.set_load(0)
+        node.tick_second()
+        assert node._server.packages[0].pstate_index == 2
+        with pytest.raises(ValueError, match="out of range"):
+            node.set_pstate(99)
+
 
 class TestManagers:
     def run_short(self, manager, demand=None):
@@ -107,6 +154,93 @@ class TestManagers:
         with pytest.raises(ValueError):
             PowerAwareManager(headroom_threads=-1)
 
+    def test_demand_blip_cancels_boot_immediately(self):
+        """Regression: a booting surplus node must be killed, not left
+        burning BOOT_POWER_W for the rest of its boot."""
+        cluster = Cluster(n_nodes=2, seed=TEST_SEED, boot_time_s=10.0)
+        manager = PowerAwareManager(headroom_threads=0)
+        # 1-thread demand, a one-second blip to full capacity, then
+        # back down: node 1 starts booting on the blip and must be
+        # powered down on the very next placement.
+        demand = [1, 1, 16, 1, 1, 1]
+        trace = cluster.run(demand, manager)
+        boost_seconds = sum(
+            1 for w in trace.node_power_w[1] if w == BOOT_POWER_W
+        )
+        assert boost_seconds <= 1  # pre-fix: the full 10 s boot
+        assert trace.node_power_w[1][-1] == STANDBY_POWER_W
+        assert not cluster.nodes[1].powered
+
+    def test_mixed_capacity_sizing(self, monkeypatch):
+        """Regression: node count must come from actual capacities,
+        not ``nodes[0].capacity`` assumed homogeneous."""
+        cluster = _FakeCluster([2, 8, 8])
+        calls: "dict[int, list[int]]" = {}
+        orig = _FakeNode.set_load
+
+        def spy(self, n_threads):
+            calls.setdefault(self.node_id, []).append(n_threads)
+            orig(self, n_threads)
+
+        monkeypatch.setattr(_FakeNode, "set_load", spy)
+        PowerAwareManager(headroom_threads=0).place(cluster, 9)
+        # 2 + 8 >= 9: two nodes suffice; pre-fix ceil(9/2)=5 kept all 3.
+        assert [n.powered for n in cluster.nodes] == [True, True, False]
+        assert [n.assigned_threads for n in cluster.nodes] == [2, 7, 0]
+        # Every load change went through the set_load state machine.
+        for node in cluster.nodes:
+            assert calls[node.node_id][-1] == node.assigned_threads
+
+    def test_static_manager_routes_loads_through_set_load(self, monkeypatch):
+        cluster = _FakeCluster([4, 4])
+        calls: "dict[int, list[int]]" = {}
+        orig = _FakeNode.set_load
+
+        def spy(self, n_threads):
+            calls.setdefault(self.node_id, []).append(n_threads)
+            orig(self, n_threads)
+
+        monkeypatch.setattr(_FakeNode, "set_load", spy)
+        StaticManager().place(cluster, 5)
+        assert [n.assigned_threads for n in cluster.nodes] == [3, 2]
+        for node in cluster.nodes:
+            assert calls[node.node_id][-1] == node.assigned_threads
+
+    def test_spills_to_surplus_while_prefix_boots(self):
+        cluster = _FakeCluster([8, 8])
+        manager = PowerAwareManager(headroom_threads=0)
+        cluster.nodes[0].power_down()
+        cluster.nodes[0].power_up()  # booting for 5 s
+        manager.place(cluster, 6)
+        # Node 0 cannot serve yet; the surplus node keeps the demand
+        # instead of dropping it while node 0 boots.
+        assert cluster.nodes[0].assigned_threads == 0
+        assert cluster.nodes[1].assigned_threads == 6
+        assert cluster.nodes[1].powered
+
+
+class _FakeNode(_NodeControl):
+    """Capacity-parameterized control node (no simulated server)."""
+
+    def __init__(self, node_id: int, capacity: int, boot_time_s: float = 0.0):
+        self.node_id = node_id
+        self.capacity = capacity
+        self.boot_time_s = boot_time_s
+        self.config = fast_config()
+        self._init_control()
+
+
+class _FakeCluster:
+    def __init__(self, capacities):
+        self.nodes = [
+            _FakeNode(i, c, boot_time_s=5.0 if i == 0 else 0.0)
+            for i, c in enumerate(capacities)
+        ]
+
+    @property
+    def capacity(self):
+        return sum(n.capacity for n in self.nodes)
+
 
 class TestDemandGenerator:
     def test_range_and_length(self):
@@ -131,17 +265,87 @@ class TestDemandGenerator:
         with pytest.raises(ValueError):
             diurnal_demand(10, peak_threads=2, trough_threads=5)
 
+    def test_trough_equals_peak_is_flat(self):
+        demand = diurnal_demand(30, 10, 10, noise=0.0)
+        assert demand == [10] * 30
+
+    def test_zero_noise_matches_closed_form(self):
+        period = 60.0
+        demand = diurnal_demand(
+            60, 12, 4, period_s=period, noise=0.0, seed=1
+        )
+        t = np.arange(60)
+        base = 8.0 - 4.0 * np.cos(2.0 * np.pi * t / period)
+        assert demand == [int(round(v)) for v in base]
+        assert demand == diurnal_demand(
+            60, 12, 4, period_s=period, noise=0.0, seed=2
+        )  # seed is irrelevant without noise
+
+    def test_noise_clipped_at_zero(self):
+        demand = diurnal_demand(300, 2, 0, noise=5.0, seed=11)
+        assert min(demand) == 0  # huge noise would go negative unclipped
+        assert all(v >= 0 for v in demand)
+
 
 class TestCluster:
     def test_capacity(self):
         cluster = Cluster(n_nodes=2, seed=TEST_SEED)
         assert cluster.capacity == 16
 
-    def test_demand_clamped_to_capacity(self):
+    def test_offered_demand_recorded_above_capacity(self):
+        """Regression: the trace keeps *offered* demand; only placement
+        is clamped, so flash-crowd drops are counted, not hidden."""
         cluster = Cluster(n_nodes=1, seed=TEST_SEED)
         trace = cluster.run([99, 99], StaticManager())
-        assert max(trace.demand) <= cluster.capacity
+        assert trace.demand == [99, 99]
+        assert max(trace.served) <= cluster.capacity
+        assert trace.dropped_thread_seconds == 2 * (99 - cluster.capacity)
 
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             Cluster(n_nodes=0)
+
+
+class _ScriptedManager:
+    """Deterministic DVFS + nap + load schedule for engine equality."""
+
+    def __init__(self):
+        self.t = 0
+
+    def place(self, cluster, demand):
+        t = self.t
+        self.t += 1
+        n0, n1, n2 = cluster.nodes
+        for node in cluster.nodes:
+            node.power_up()
+        if t == 3:
+            n2.set_load(0)
+            n2.nap()
+        if t == 6:
+            n2.wake()
+        for node in cluster.nodes:
+            if node.available:
+                node.set_load(0)
+        n0.set_pstate(min(t // 2, 3))
+        n1.set_pstate(3 - min(t // 3, 3))
+        loads = [5, 3, 2]
+        remaining = demand
+        for node, want in zip(cluster.nodes, loads):
+            if node.available:
+                take = min(want, remaining)
+                node.set_load(take)
+                remaining -= take
+
+
+class TestEngineEquality:
+    def test_fleet_matches_scalar_under_dvfs_and_nap(self):
+        """Per-lane DVFS shifts, naps and freezes keep the fleet engine
+        bit-identical to per-node scalar servers."""
+        demand = [8, 9, 10, 7, 6, 8, 9, 10, 10, 9]
+        traces = {}
+        for engine in ("fleet", "scalar"):
+            cluster = Cluster(n_nodes=3, seed=TEST_SEED, engine=engine)
+            traces[engine] = cluster.run(demand, _ScriptedManager())
+        assert traces["fleet"].power_w == traces["scalar"].power_w
+        assert traces["fleet"].node_power_w == traces["scalar"].node_power_w
+        assert traces["fleet"].served == traces["scalar"].served

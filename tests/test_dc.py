@@ -1,0 +1,463 @@
+"""Datacenter-scale energy-proportional power management tests."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster import NAP_POWER_W, STANDBY_POWER_W, _NodeControl
+from repro.dc import (
+    BudgetAllocator,
+    Datacenter,
+    FlashCrowd,
+    NodePowerTable,
+    PolicyConfig,
+    SubsystemManager,
+    TrafficModel,
+    ZoneOutage,
+    ZoneSpec,
+    energy_proportionality,
+    policy_regret,
+    run_scenario,
+    scenario_objective,
+    train_zone_bank,
+)
+from repro.simulator.config import fast_config
+
+
+@pytest.fixture(scope="module")
+def calibration(config):
+    return train_zone_bank(config, duration_s=8.0, seed=901)
+
+
+# -- traffic -----------------------------------------------------------
+
+
+def _zones():
+    return (
+        ZoneSpec("a", 4, 1.0e6),
+        ZoneSpec("b", 4, 5.0e5, phase_s=60.0),
+    )
+
+
+class TestTraffic:
+    def test_deterministic(self):
+        kwargs = dict(zones=_zones(), period_s=120.0, seed=5)
+        one = TrafficModel(**kwargs).demand(90)
+        two = TrafficModel(**kwargs).demand(90)
+        for zone in one:
+            assert np.array_equal(one[zone], two[zone])
+
+    def test_diurnal_trough_and_peak(self):
+        model = TrafficModel(
+            zones=(ZoneSpec("a", 4, 1.0e6),),
+            period_s=100.0,
+            trough_fraction=0.4,
+            noise=0.0,
+        )
+        demand = model.demand(100)["a"]
+        # Wave starts at the trough and peaks half a period in.
+        assert demand[0] == round(0.4 * 1.0e6 / 25_000.0)
+        assert demand[50] == round(1.0e6 / 25_000.0)
+
+    def test_flash_crowd_multiplies_only_its_zone_and_window(self):
+        base = TrafficModel(zones=_zones(), period_s=1.0e9, noise=0.0)
+        crowd = TrafficModel(
+            zones=_zones(),
+            period_s=1.0e9,
+            noise=0.0,
+            flash_crowds=(
+                FlashCrowd(30.0, 20.0, magnitude=2.0, zone="a", ramp_s=5.0),
+            ),
+        )
+        quiet = base.demand(80)
+        spiky = crowd.demand(80)
+        assert np.array_equal(quiet["b"], spiky["b"])
+        assert np.array_equal(quiet["a"][:30], spiky["a"][:30])
+        # Plateau (after the 5 s ramp) doubles the demand.
+        assert np.all(
+            spiky["a"][36:44] > 1.9 * np.maximum(quiet["a"][36:44], 1)
+        )
+        assert np.array_equal(quiet["a"][55:], spiky["a"][55:])
+
+    def test_failover_conserves_users(self):
+        kwargs = dict(zones=_zones(), period_s=120.0, noise=0.0)
+        normal = TrafficModel(**kwargs).demand(60)
+        failed = TrafficModel(
+            outages=(ZoneOutage("b", 20.0, 20.0),), **kwargs
+        ).demand(60)
+        assert np.all(failed["b"][20:40] == 0)
+        total_normal = sum(normal.values())
+        total_failed = sum(failed.values())
+        # The dark zone's users land on the survivor; totals match up
+        # to per-zone rounding.
+        assert np.abs(total_failed - total_normal).max() <= len(_zones())
+        assert np.array_equal(normal["b"][:20], failed["b"][:20])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unique"):
+            TrafficModel(zones=(ZoneSpec("a", 1, 1.0), ZoneSpec("a", 1, 1.0)))
+        with pytest.raises(ValueError, match="unknown zone"):
+            TrafficModel(
+                zones=(ZoneSpec("a", 1, 1.0),),
+                outages=(ZoneOutage("nope", 0.0, 5.0),),
+            )
+        with pytest.raises(ValueError, match="unknown zone"):
+            TrafficModel(
+                zones=(ZoneSpec("a", 1, 1.0),),
+                flash_crowds=(FlashCrowd(0.0, 5.0, zone="nope"),),
+            )
+        with pytest.raises(ValueError, match="positive population"):
+            ZoneSpec("a", 1, 0.0)
+
+
+# -- scoring -----------------------------------------------------------
+
+
+class TestScoring:
+    def test_perfectly_proportional_scores_one(self):
+        u = np.linspace(0.0, 1.0, 50)
+        metrics = energy_proportionality(u * 400.0, u, peak_power_w=400.0)
+        assert metrics["ep_score"] == pytest.approx(1.0)
+        assert metrics["proportionality_gap"] == pytest.approx(0.0)
+        assert metrics["dynamic_range"] == pytest.approx(1.0)
+
+    def test_flat_power_scores_low(self):
+        u = np.linspace(0.0, 1.0, 50)
+        power = np.full(50, 400.0)
+        metrics = energy_proportionality(power, u, peak_power_w=400.0)
+        assert metrics["dynamic_range"] == 0.0
+        assert metrics["ep_score"] == pytest.approx(0.5, abs=0.02)
+        assert metrics["proportionality_gap"] == pytest.approx(0.5, abs=0.02)
+
+    def test_objective_and_regret(self):
+        assert scenario_objective(1000.0, 10.0, drop_penalty_j=50.0) == 1500.0
+        regret = policy_regret(1500.0, 1200.0)
+        assert regret["regret_j"] == pytest.approx(300.0)
+        assert regret["regret_pct"] == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            energy_proportionality([1.0, 2.0], [0.5])
+        with pytest.raises(ValueError, match="peak"):
+            energy_proportionality([0.0, 0.0], [0.0, 0.0], peak_power_w=-1.0)
+
+
+# -- budget allocation -------------------------------------------------
+
+
+class TestBudgetAllocator:
+    def test_requests_under_cap_get_headroom(self):
+        allocator = BudgetAllocator(1000.0)
+        budgets = allocator.allocate({"a": 300.0, "b": 100.0})
+        assert sum(budgets.values()) == pytest.approx(1000.0)
+        assert budgets["a"] >= 300.0 and budgets["b"] >= 100.0
+        # Leftover splits proportionally to the requests.
+        assert budgets["a"] == pytest.approx(300.0 + 600.0 * 0.75)
+
+    def test_requests_over_cap_scale_down(self):
+        allocator = BudgetAllocator(1000.0)
+        budgets = allocator.allocate({"a": 1500.0, "b": 500.0})
+        assert sum(budgets.values()) == pytest.approx(1000.0)
+        assert budgets["a"] == pytest.approx(750.0)
+        assert budgets["b"] == pytest.approx(250.0)
+
+    def test_redistribution_counted_on_shift(self):
+        allocator = BudgetAllocator(1000.0)
+        allocator.allocate({"a": 400.0, "b": 400.0})
+        assert allocator.redistributions == 0
+        allocator.allocate({"a": 800.0, "b": 0.0})  # failover-like shift
+        assert allocator.redistributions == 1
+
+
+# -- subsystem manager (unit, fake nodes) ------------------------------
+
+
+class _FakeNode(_NodeControl):
+    """The real node state machine over a fake capacity (no simulator)."""
+
+    def __init__(self, node_id, capacity=8, boot_time_s=0.0):
+        self.node_id = node_id
+        self.capacity = capacity
+        self.boot_time_s = boot_time_s
+        self.config = fast_config()
+        self._init_control()
+
+
+class _FakeCluster:
+    def __init__(self, n_nodes):
+        self.nodes = [_FakeNode(i) for i in range(n_nodes)]
+
+
+_TABLE = NodePowerTable(
+    peak_w=(230.0, 190.0, 165.0, 145.0), eff_capacity=(8, 6, 4, 3)
+)
+
+
+class TestSubsystemManager:
+    def test_consolidates_naps_and_deepens_partial_node(self):
+        cluster = _FakeCluster(6)
+        manager = SubsystemManager("z", _TABLE)
+        stats = manager.place(cluster, demand=20, budget_w=10_000.0)
+        loads = [node.assigned_threads for node in cluster.nodes]
+        assert loads == [8, 8, 4, 0, 0, 0]
+        assert stats["unserved"] == 0
+        # Partial node runs at the deepest pstate covering 4 threads.
+        assert cluster.nodes[2].pstate == 2
+        assert cluster.nodes[0].pstate == 0
+        # One warm nap, the rest powered off.
+        assert cluster.nodes[3].napping
+        assert not cluster.nodes[4].powered
+        assert not cluster.nodes[5].powered
+        assert manager.worst_case_w(cluster) <= 10_000.0
+
+    def test_tight_budget_never_exceeded(self):
+        cluster = _FakeCluster(5)
+        manager = SubsystemManager("z", _TABLE)
+        manager.place(cluster, demand=16, budget_w=300.0)
+        assert manager.worst_case_w(cluster) <= 300.0
+        served = sum(
+            node.assigned_threads
+            for node in cluster.nodes
+            if node.available
+        )
+        assert 0 < served < 16  # budget forces shedding
+
+    def test_zero_demand_keeps_one_deep_hot_node(self):
+        cluster = _FakeCluster(4)
+        manager = SubsystemManager("z", _TABLE)
+        manager.place(cluster, demand=0, budget_w=5_000.0)
+        hot = [node for node in cluster.nodes if node.available]
+        assert len(hot) == 1
+        assert hot[0].pstate == len(_TABLE.peak_w) - 1
+        assert cluster.nodes[1].napping
+
+    def test_boot_denied_under_budget_pressure(self):
+        cluster = _FakeCluster(3)
+        cluster.nodes[1].powered = False
+        cluster.nodes[2].powered = False
+        manager = SubsystemManager("z", _TABLE)
+        # Two actives wanted (afford = 465 // 230 = 2), but the running
+        # node's worst case plus a boot's overshoots the activation
+        # budget — the boot is denied, the cap is never risked.
+        manager.place(cluster, demand=16, budget_w=465.0)
+        assert cluster.nodes[0].powered
+        assert not cluster.nodes[1].powered
+        assert manager.boots_denied >= 1
+        assert manager.worst_case_w(cluster) <= 465.0
+
+    def test_sensed_feedback_moves_ceiling(self):
+        manager = SubsystemManager("z", _TABLE, PolicyConfig())
+        manager.note_sensed(950.0, 1000.0)  # above emergency_frac
+        assert manager.ceiling == 1
+        manager.note_sensed(950.0, 1000.0)
+        assert manager.ceiling == 2
+        manager.note_sensed(100.0, 1000.0)  # below relax_frac
+        assert manager.ceiling == 1
+
+    def test_request_w_covers_demand_at_efficient_state(self):
+        cluster = _FakeCluster(4)
+        manager = SubsystemManager("z", _TABLE)
+        request = manager.request_w(cluster, demand=12)
+        # p0 is the most watt-efficient per thread on this table
+        # (230/8 < 145/3): two active nodes, one nap, one standby.
+        assert request == pytest.approx(
+            2 * 230.0 + NAP_POWER_W + STANDBY_POWER_W
+        )
+
+    def test_request_w_respects_the_ceiling(self):
+        cluster = _FakeCluster(4)
+        manager = SubsystemManager("z", _TABLE)
+        manager.ceiling = 3  # deepest only
+        request = manager.request_w(cluster, demand=12)
+        assert request == pytest.approx(4 * 145.0)
+
+    def test_table_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            NodePowerTable(peak_w=(200.0,), eff_capacity=(8, 6))
+        with pytest.raises(ValueError, match="at least one thread"):
+            NodePowerTable(peak_w=(200.0,), eff_capacity=(0,))
+
+
+# -- calibration -------------------------------------------------------
+
+
+class TestCalibration:
+    def test_bank_and_table_cover_the_ladder(self, config, calibration):
+        n_states = len(config.cpu.dvfs_states)
+        assert calibration.bank.pstates == tuple(range(n_states))
+        assert calibration.table.n_states == n_states
+        # Slower states draw less at full load; capacities shrink.
+        assert list(calibration.table.peak_w) == sorted(
+            calibration.table.peak_w, reverse=True
+        )
+        assert calibration.table.eff_capacity == (8, 6, 4, 3)
+        # The margined bound clears the raw reference peak.
+        assert calibration.table.peak_w[0] > calibration.reference_peak_w
+
+
+# -- the datacenter ----------------------------------------------------
+
+
+def _small_traffic():
+    zones = (
+        ZoneSpec("east", 3, 4.2e5),
+        ZoneSpec("west", 3, 3.6e5, phase_s=20.0),
+    )
+    return TrafficModel(
+        zones,
+        users_per_thread=25_000.0,
+        period_s=40.0,
+        flash_crowds=(
+            FlashCrowd(10.0, 8.0, magnitude=1.8, zone="east", ramp_s=2.0),
+        ),
+        outages=(ZoneOutage("west", 24.0, 8.0),),
+        seed=17,
+    )
+
+
+class TestDatacenter:
+    def test_cap_held_and_estimates_track_truth(self, config, calibration):
+        cap = 0.65 * calibration.reference_peak_w * 6
+        dc = Datacenter(
+            _small_traffic(),
+            cap,
+            config=config,
+            calibration=calibration,
+            engine="fleet",
+            seed=31,
+        )
+        report = dc.run(40)
+        assert report.cap_violations == 0
+        assert report.max_power_w <= cap
+        estimated = np.asarray(report.estimated_power_w)
+        true = np.asarray(report.power_w)
+        assert np.isfinite(estimated).all()
+        error = np.abs(estimated - true) / np.maximum(true, 1.0e-9)
+        assert float(error.mean()) < 0.05
+        doc = report.document()
+        assert doc["energy_proportionality"]["ep_score"] > 0.5
+        assert doc["served_thread_seconds"] > 0
+        # /dc route serves the report.
+        from repro.obs.http import ObservabilityServer
+
+        server = ObservabilityServer(dc=dc)
+        status, _, body = server.payload("/dc")
+        assert status == 200
+        import json
+
+        assert (
+            json.loads(body)["datacenter"]["cap_violations"] == 0
+        )
+
+    def test_dc_route_without_attachment_is_null(self):
+        from repro.obs.http import ObservabilityServer
+
+        status, _, body = ObservabilityServer().payload("/dc")
+        import json
+
+        assert status == 200
+        assert json.loads(body)["datacenter"] is None
+
+    def test_fleet_and_scalar_engines_agree(self, config, calibration):
+        cap = 0.7 * calibration.reference_peak_w * 4
+        zones = (ZoneSpec("a", 2, 2.8e5), ZoneSpec("b", 2, 2.4e5))
+        traffic = TrafficModel(zones, period_s=24.0, seed=9)
+        reports = {}
+        for engine in ("fleet", "scalar"):
+            dc = Datacenter(
+                traffic,
+                cap,
+                config=config,
+                calibration=calibration,
+                engine=engine,
+                seed=77,
+            )
+            reports[engine] = dc.run(24)
+        assert reports["fleet"].power_w == reports["scalar"].power_w
+        assert np.allclose(
+            reports["fleet"].estimated_power_w,
+            reports["scalar"].estimated_power_w,
+            rtol=1.0e-9,
+        )
+        assert (
+            reports["fleet"].served_threads
+            == reports["scalar"].served_threads
+        )
+
+    def test_gauges_published(self, config, calibration):
+        cap = 0.7 * calibration.reference_peak_w * 4
+        zones = (ZoneSpec("a", 2, 2.8e5), ZoneSpec("b", 2, 2.4e5))
+        traffic = TrafficModel(zones, period_s=20.0, seed=3)
+        obs.enable()
+        try:
+            dc = Datacenter(
+                traffic,
+                cap,
+                config=config,
+                calibration=calibration,
+                seed=41,
+            )
+            dc.run(8)
+            assert obs.gauge_value("dc_power_watts") > 0
+            assert obs.gauge_value("dc_estimated_power_watts") > 0
+            assert obs.gauge_value("dc_cap_watts") == pytest.approx(cap)
+            for zone in ("a", "b"):
+                labels = {"zone": zone}
+                assert obs.gauge_value("dc_budget_watts", labels) > 0
+                assert obs.gauge_value("dc_nodes_active", labels) >= 0
+        finally:
+            obs.disable()
+
+
+# -- the acceptance scenario ------------------------------------------
+
+
+class TestAcceptanceScenario:
+    def test_thousand_node_multizone_scenario(self, config, calibration):
+        """ISSUE acceptance: >=1000 nodes, 3 zones, diurnal + flash +
+        failover through the fleet engine; the cap holds, EP and
+        estimated-vs-true regret are reported for both policies."""
+        per_zone = 342  # 3 * 342 = 1026 nodes
+        duration = 20
+        zones = tuple(
+            ZoneSpec(
+                f"zone{i}",
+                per_zone,
+                0.75 * per_zone * 8 * 25_000.0,
+                phase_s=i * duration / 6.0,
+            )
+            for i in range(3)
+        )
+        traffic = TrafficModel(
+            zones,
+            period_s=float(duration),
+            flash_crowds=(
+                FlashCrowd(4.0, 4.0, magnitude=1.6, zone="zone0", ramp_s=1.0),
+            ),
+            outages=(ZoneOutage("zone2", 11.0, 4.0),),
+            seed=23,
+        )
+        cap = 0.6 * calibration.reference_peak_w * 3 * per_zone
+        doc = run_scenario(
+            traffic,
+            cap,
+            duration,
+            config=config,
+            engine="fleet",
+            seed=13,
+            calibration=calibration,
+        )
+        managed = doc["subsystem_estimated"]
+        assert managed["n_nodes"] == 1026
+        assert managed["cap_violations"] == 0
+        assert managed["max_power_w"] <= cap
+        assert managed["energy_proportionality"]["ep_score"] > 0.0
+        # The dark zone's budget flowed to the survivors.
+        assert managed["budget_redistributions"] >= 1
+        # Regret of steering on estimates instead of ground truth.
+        assert "regret" in doc
+        assert doc["regret"]["true_objective_j"] > 0
+        # The managed policy is more energy-proportional than the
+        # static all-on baseline.
+        assert doc["ep_comparison"]["ep_gain"] > 0.0
+        assert doc["static"]["energy_proportionality"] is not None
