@@ -201,3 +201,39 @@ def test_datacenter_scenario_throughput(benchmark, show):
         f"{report.cap_violations == 0}"
     )
     assert report.cap_violations == 0
+
+
+def test_tsdb_append_throughput(benchmark, tmp_path, show):
+    """Samples per second into the durable telemetry store.
+
+    Drives the cached-appender hot path (delta-of-delta timestamp and
+    value encoding into the open block) across 8 labelled series, with
+    a flush per round so sealing and rollup folding are paid inside the
+    measured loop — the cost profile of a monitored run persisting
+    every window.  ``scripts/bench_compare.py`` gates it as
+    ``tsdb_append_samples_per_s`` (ROADMAP floor: >= 200k samples/s).
+    """
+    from repro.obs.tsdb import TSDB
+
+    db = TSDB(str(tmp_path / "store"))
+    appenders = [
+        db.appender("bench_power_watts", {"node": f"n{i}"}) for i in range(8)
+    ]
+    n_per_series = 5_000
+    state = {"t0": 0.0}
+
+    def append_all():
+        t0 = state["t0"]
+        for appender in appenders:
+            for i in range(n_per_series):
+                appender.append(t0 + i, 100.0 + (i % 50))
+        state["t0"] = t0 + n_per_series
+        db.flush()
+
+    benchmark.pedantic(append_all, iterations=1, rounds=5)
+    total = len(appenders) * n_per_series
+    show(
+        f"tsdb append: {len(appenders)} series x {n_per_series} samples "
+        f"({total} samples) + flush per round; see benchmark stats above"
+    )
+    assert db.document()["shards"]["bench_power_watts"]["appended"] >= total

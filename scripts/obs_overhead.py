@@ -18,7 +18,10 @@ also stay within the same budget relative to an attribution-free
 monitor.  A third pairing holds a width-64 :class:`FleetServer` with
 and without a :class:`~repro.obs.fleet.FleetMonitor` attached
 (telemetry off in both halves) — the fleet monitor's batched
-snapshot-and-flush pass must fit the same budget.  A gate failure
+snapshot-and-flush pass must fit the same budget.  A fifth pairing
+runs the monitor loop with and without a durable ``--store`` attached
+(window sink + recording rules + per-second flush into the TSDB) —
+the persistence path must also stay within the budget.  A gate failure
 dumps a flight-recorder bundle (via ``REPRO_FLIGHT_DIR`` when set) so
 CI failures come with a post-mortem.
 
@@ -226,6 +229,59 @@ def _ingest_pair(config):
     return rig_off, rig_on
 
 
+class _StoreRig:
+    """Adapts the monitor loop's per-second store work to ``run_ticks``.
+
+    Each batch advances the monitored server one simulated second and
+    folds the registry into a windowed aggregate — exactly what the
+    ``repro-power monitor`` loop does with or without ``--store``.  The
+    store half additionally pays the durable path per second: window
+    eviction into the :class:`~repro.obs.tsdb.WindowSink`, recording-
+    rule evaluation and the atomic state flush.
+    """
+
+    def __init__(self, server, windows, db=None) -> None:
+        self.server = server
+        self.windows = windows
+        self.db = db
+        self._now_s = 0.0
+
+    def run_ticks(self, n: int) -> None:
+        self.server.run_ticks(n)
+        self._now_s += 1.0
+        self.windows.ingest(self._now_s, obs.registry())
+        if self.db is not None:
+            self.db.flush(self._now_s)
+
+
+def _store_pair(config, workload, store_dir: str):
+    """Warmed store-off/store-on monitor rigs (telemetry on in both).
+
+    Both halves run an attribution-on live monitor and fold windows;
+    only the on half persists them, so the measured delta is the
+    ``--store`` write path itself.
+    """
+    from repro.obs.live import WindowedRegistry
+    from repro.obs.rules import RuleEngine
+    from repro.obs.tsdb import TSDB, WindowSink
+
+    rig_off = _StoreRig(
+        _monitored_server(config, workload, seed=9, attribute=True),
+        WindowedRegistry(window_s=5.0),
+    )
+    db = TSDB(store_dir)
+    db.attach_rules(RuleEngine())
+    rig_on = _StoreRig(
+        _monitored_server(config, workload, seed=9, attribute=True),
+        WindowedRegistry(window_s=5.0, on_evict=WindowSink(db)),
+        db=db,
+    )
+    obs.enable()
+    rig_off.run_ticks(_BATCH)  # warm caches
+    rig_on.run_ticks(_BATCH)
+    return rig_off, rig_on
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -286,6 +342,24 @@ def main(argv: "list[str] | None" = None) -> int:
     obs.disable()
     obs.reset()
 
+    # Durable-store gate: the monitor loop with and without the TSDB
+    # write path (window sink + recording rules + per-second flush);
+    # telemetry stays on in both halves.
+    import shutil
+    import tempfile
+
+    store_dir = tempfile.mkdtemp(prefix="obs-overhead-store-")
+    try:
+        obs.enable()
+        store_off, store_on = _store_pair(config, workload, store_dir)
+        store_overhead, store_disabled, store_enabled = _paired_overhead(
+            store_off, store_on, setup_off=obs.enable, setup_on=obs.enable
+        )
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    obs.disable()
+    obs.reset()
+
     print(f"telemetry off: {disabled:12.1f} ticks/s (best round)")
     print(f"telemetry on:  {enabled:12.1f} ticks/s (best round)")
     print(
@@ -310,6 +384,12 @@ def main(argv: "list[str] | None" = None) -> int:
         f"ingest_ops_overhead: {ingest_overhead * 100.0:+.2f}% median "
         f"paired (gate: {args.tolerance * 100.0:.0f}%)"
     )
+    print(f"store off: {store_disabled:16.1f} ticks/s (best round)")
+    print(f"store on:  {store_enabled:16.1f} ticks/s (best round)")
+    print(
+        f"store_overhead: {store_overhead * 100.0:+.2f}% median "
+        f"paired (gate: {args.tolerance * 100.0:.0f}%)"
+    )
     failures = []
     if overhead > args.tolerance:
         failures.append(("telemetry", overhead))
@@ -319,6 +399,8 @@ def main(argv: "list[str] | None" = None) -> int:
         failures.append(("fleet_monitor", fleet_overhead))
     if ingest_overhead > args.tolerance:
         failures.append(("ingest_ops", ingest_overhead))
+    if store_overhead > args.tolerance:
+        failures.append(("store", store_overhead))
     if failures:
         for what, value in failures:
             print(f"FAIL: {what} overhead {value * 100.0:+.2f}% exceeds the gate")
@@ -332,6 +414,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 "attribution_overhead": attr_overhead,
                 "fleet_monitor_overhead": fleet_overhead,
                 "ingest_ops_overhead": ingest_overhead,
+                "store_overhead": store_overhead,
                 "failed": [what for what, _ in failures],
             },
         )

@@ -12,7 +12,9 @@ Commands::
     repro-power select <subsystem>               # greedy event selection
     repro-power billing                          # per-process energy bill
     repro-power obs [DIR]                        # last run's telemetry
+    repro-power obs --store DIR [--range 5m]     # summary of a TSDB store
     repro-power monitor --workload gcc           # live run + HTTP endpoint
+    repro-power query METRIC --store DIR         # instant/range TSDB query
     repro-power sweep [gcc,mcf,...] [--resume]   # fault-tolerant bulk sweep
     repro-power explain [mcf]                    # per-term power attribution
     repro-power datacenter [--dc-zones 3]        # multi-zone EP scenario
@@ -57,6 +59,18 @@ streams, cross-lane aggregates and drill-down on ``/fleet``,
 ``/fleet/lanes`` and ``/fleet/lane/<i>``, with ``--perturb-lanes``
 restricting the mis-calibration to named lanes so alerts attribute to
 exactly those lanes.
+
+``--store DIR`` (on ``monitor``, ``serve`` and ``datacenter``) persists
+the run's telemetry into an embedded time-series store
+(:mod:`repro.obs.tsdb`): windowed metrics land as one sample per
+window, recording rules distill 5-minute rollup series on every flush,
+and alert firing/resolved transitions are stored as an
+``alerts_firing`` series.  ``repro-power query`` reads the store back
+from any later process — instant (``--at``) or range
+(``--start``/``--end``/``--range``, ``--step``, ``--agg``, ``--by``,
+``--tier``), with ``--label k=v`` / ``--label k=~regex`` matchers and
+``--csv`` for machine consumption.  ``repro-power obs --store DIR``
+prints a per-metric summary of the store's recent span.
 """
 
 from __future__ import annotations
@@ -136,9 +150,13 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "command",
         help="table1..table4, fig1..fig7, equations, report, run, list, "
-        "obs, monitor, serve, sweep, explain, datacenter",
+        "obs, monitor, serve, query, sweep, explain, datacenter",
     )
-    parser.add_argument("workload", nargs="?", help="workload name (for 'run')")
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        help="workload name (for 'run'), or metric name (for 'query')",
+    )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--duration", type=float, default=300.0)
     parser.add_argument("--tick-ms", type=float, default=10.0)
@@ -402,14 +420,102 @@ def main(argv: "list[str] | None" = None) -> int:
         dest="json_output",
         help="print the datacenter scenario document as JSON",
     )
+    store_group = parser.add_argument_group("store / query options")
+    store_group.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="durable telemetry: persist (monitor/serve/datacenter) or "
+        "read (query, obs) an embedded time-series store at DIR",
+    )
+    store_group.add_argument(
+        "--label",
+        action="append",
+        default=None,
+        metavar="K=V",
+        help="label matcher for 'query' (repeatable; k=v exact or "
+        "k=~regex)",
+    )
+    store_group.add_argument(
+        "--at",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="instant query: newest point at or before this timestamp "
+        "(default: newest overall)",
+    )
+    store_group.add_argument(
+        "--start",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="range query start timestamp (default 0)",
+    )
+    store_group.add_argument(
+        "--end",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="range query end timestamp (default: newest in the store)",
+    )
+    store_group.add_argument(
+        "--range",
+        dest="range_s",
+        default=None,
+        metavar="SPAN",
+        help="range query span ending at --end or the newest point, "
+        "e.g. 90, 5m, 2h (also the 'obs --store' summary span)",
+    )
+    store_group.add_argument(
+        "--step",
+        default=None,
+        metavar="SPAN",
+        help="range query bucket width (e.g. 10, 1m; default: raw points)",
+    )
+    store_group.add_argument(
+        "--agg",
+        default="mean",
+        choices=("mean", "min", "max", "sum", "count", "last"),
+        help="range query bucket aggregation (default mean)",
+    )
+    store_group.add_argument(
+        "--by",
+        default=None,
+        metavar="LABELS",
+        help="collapse series onto these comma-separated labels "
+        "(empty string = one fleet-wide series)",
+    )
+    store_group.add_argument(
+        "--tier",
+        default="auto",
+        choices=("auto", "raw", "10s", "2m"),
+        help="storage tier to answer from (default auto: the finest "
+        "still covering the range)",
+    )
+    store_group.add_argument(
+        "--csv",
+        action="store_true",
+        help="print query results as CSV instead of a table",
+    )
     args = parser.parse_args(argv)
     obs.log.configure()
 
-    if args.command == "obs":
-        return _print_telemetry(
-            args.telemetry or args.workload or DEFAULT_TELEMETRY_DIR,
-            args.cache_dir,
-        )
+    if args.command in ("obs", "query"):
+        try:
+            if args.command == "query":
+                return _cmd_query(args, parser)
+            if args.store:
+                return _cmd_obs_store(args)
+            return _print_telemetry(
+                args.telemetry or args.workload or DEFAULT_TELEMETRY_DIR,
+                args.cache_dir,
+            )
+        except BrokenPipeError:
+            # Reader (e.g. `| head`) closed the pipe: not an error, but
+            # stdout is now unusable — hand it /dev/null so interpreter
+            # shutdown doesn't print a second traceback.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
     if args.telemetry:
         obs.enable()
     recorder = None
@@ -666,6 +772,13 @@ def _cmd_datacenter(args: argparse.Namespace, context) -> int:
         f"under a {cap_w:.0f} W cap ({args.dc_engine} engine)...",
         file=sys.stderr,
     )
+    store = None
+    if args.store:
+        from repro.obs.tsdb import TSDB
+
+        store = TSDB(args.store)
+        print(f"datacenter: persisting per-second traces to {args.store}",
+              file=sys.stderr)
     doc = run_scenario(
         traffic,
         cap_w,
@@ -676,7 +789,20 @@ def _cmd_datacenter(args: argparse.Namespace, context) -> int:
         calibration=calibration,
         include_true_sensor=not args.no_regret,
         include_static=not args.no_static,
+        store=store,
     )
+    if store is not None:
+        from types import SimpleNamespace
+
+        from repro.obs.alertmgr import AlertManager
+
+        # The scenario is batch, so the alert plane sees one evaluation
+        # at end-of-run: cap violations / drift fallback fire (and
+        # persist as alerts_firing) exactly when the report carries them.
+        alerts = AlertManager(store=store)
+        alerts.attach_dc(SimpleNamespace(**doc["subsystem_estimated"]))
+        alerts.evaluate(float(duration))
+        store.close()
     if args.json_output:
         print(json.dumps(doc, indent=2))
     else:
@@ -1050,7 +1176,26 @@ def _cmd_monitor(
         recorder = flight_mod.get_global()
         if recorder is not None:
             recorder.drift = drift
-    endpoint = ObservabilityServer(drift=drift, flight=recorder, port=args.port)
+    store = alerts = rule_engine = None
+    if args.store:
+        from repro.obs.alertmgr import AlertManager
+        from repro.obs.rules import RuleEngine
+        from repro.obs.tsdb import TSDB
+
+        store = TSDB(args.store)
+        rule_engine = RuleEngine()
+        store.attach_rules(rule_engine)
+        alerts = AlertManager(store=store)
+        alerts.attach_drift(drift)
+        print(f"monitor: persisting telemetry to {args.store}")
+    endpoint = ObservabilityServer(
+        drift=drift,
+        flight=recorder,
+        port=args.port,
+        store=store,
+        alerts=alerts,
+        rules=rule_engine,
+    )
     endpoint.phase = "training"
     try:
         endpoint.start()
@@ -1096,6 +1241,13 @@ def _cmd_monitor(
             with open(alerts_path, "w", encoding="utf-8") as handle:
                 json.dump(drift.to_json(), handle, indent=2, sort_keys=True)
             print(f"monitor: wrote alert log to {alerts_path}")
+        if store is not None:
+            # Short runs may never evict a window naturally; drain the
+            # remainder, then commit everything in one final flush.
+            if endpoint.windows is not None:
+                endpoint.windows.drain()
+            store.close()
+            print(f"monitor: store committed to {args.store}")
         endpoint.stop()
     return code
 
@@ -1126,7 +1278,25 @@ def _cmd_serve(
 
         recorder = flight_mod.get_global()
 
-    endpoint = ObservabilityServer(flight=recorder, chaos=args.chaos, port=args.port)
+    store = alerts = rule_engine = None
+    if args.store:
+        from repro.obs.alertmgr import AlertManager
+        from repro.obs.rules import RuleEngine
+        from repro.obs.tsdb import TSDB
+
+        store = TSDB(args.store)
+        rule_engine = RuleEngine()
+        store.attach_rules(rule_engine)
+        alerts = AlertManager(store=store)
+        print(f"serve: persisting telemetry to {args.store}")
+    endpoint = ObservabilityServer(
+        flight=recorder,
+        chaos=args.chaos,
+        port=args.port,
+        store=store,
+        alerts=alerts,
+        rules=rule_engine,
+    )
     endpoint.phase = "training"
     try:
         endpoint.start()
@@ -1151,6 +1321,9 @@ def _cmd_serve(
         flight=recorder,
     )
     endpoint.service = service
+    if store is not None:
+        service.attach_store(store, window_s=args.window)
+        alerts.attach_slo(service.slo)
     service.start()
     socket_server = None
     if args.socket_port is not None:
@@ -1191,6 +1364,7 @@ def _cmd_serve(
             sleep(0.2)
             if monotonic() >= next_report:
                 _print_serve_summary(service)
+                _store_tick(endpoint, monotonic())
                 next_report = monotonic() + args.refresh
         endpoint.phase = "done"
     except KeyboardInterrupt:
@@ -1211,6 +1385,12 @@ def _cmd_serve(
         if socket_server is not None:
             socket_server.stop()
         service.stop()
+        if store is not None:
+            # stop() drained the service's windows; record the final
+            # alert state and commit.
+            _store_tick(endpoint, monotonic())
+            store.close()
+            print(f"serve: store committed to {args.store}")
         endpoint.stop()
     return code
 
@@ -1306,6 +1486,32 @@ def _report_alerts(drift, seen: int) -> int:
     return len(history)
 
 
+def _attach_store_sink(endpoint, windows) -> None:
+    """Route a monitor's evicted windows into the endpoint's store."""
+    if endpoint.store is not None:
+        from repro.obs.tsdb import WindowSink
+
+        windows.on_evict = WindowSink(endpoint.store)
+
+
+def _store_tick(endpoint, now_s: float) -> None:
+    """Periodic store upkeep: sink closed windows, alerts, then flush.
+
+    Closed windows persist eagerly (the sink is idempotent, so their
+    eventual eviction is a no-op) — without this the store would trail
+    the live registry by the whole sliding-window depth.  The flush
+    evaluates recording rules at ``now_s`` and commits everything
+    appended so far, so a killed run loses at most one refresh
+    interval.
+    """
+    if endpoint.store is not None and endpoint.windows is not None:
+        endpoint.windows.sink_closed(now_s)
+    if endpoint.alerts is not None:
+        endpoint.alerts.evaluate(now_s)
+    if endpoint.store is not None:
+        endpoint.store.flush(now_s)
+
+
 def _monitor_server(
     args: argparse.Namespace,
     context: "ex.ExperimentContext",
@@ -1330,6 +1536,7 @@ def _monitor_server(
         flight=endpoint.flight,
     )
     endpoint.windows = monitor.windows
+    _attach_store_sink(endpoint, monitor.windows)
     if endpoint.flight is not None:
         endpoint.flight.windows = monitor.windows
     server.attach_monitor(monitor)
@@ -1348,6 +1555,7 @@ def _monitor_server(
             restored = True
             print(f"monitor: t={server.now_s:6.1f}s  calibrated suite restored")
         seen_alerts = _report_alerts(drift, seen_alerts)
+        _store_tick(endpoint, server.now_s)
         if second >= next_report:
             _print_live_summary(
                 server.now_s,
@@ -1392,6 +1600,7 @@ def _monitor_fleet(
     )
     endpoint.windows = monitor.windows
     endpoint.fleet = monitor
+    _attach_store_sink(endpoint, monitor.windows)
     if endpoint.flight is not None:
         endpoint.flight.windows = monitor.windows
     fleet.attach_fleet_monitor(monitor)
@@ -1434,6 +1643,7 @@ def _monitor_fleet(
             print(f"monitor: t={fleet.now_s:6.1f}s  calibrated suite restored")
         monitor.flush()
         seen_alerts = _report_alerts(drift, seen_alerts)
+        _store_tick(endpoint, fleet.now_s)
         if second >= next_report:
             _print_fleet_summary(
                 fleet.now_s,
@@ -1535,6 +1745,7 @@ def _monitor_cluster(
         flight=endpoint.flight,
     )
     endpoint.windows = observer.windows
+    _attach_store_sink(endpoint, observer.windows)
     if endpoint.flight is not None:
         endpoint.flight.windows = observer.windows
     manager = PowerAwareManager()
@@ -1559,6 +1770,7 @@ def _monitor_cluster(
             restored = True
             print(f"monitor: t={now:6.1f}s  calibrated suite restored")
         seen_alerts = _report_alerts(drift, seen_alerts)
+        _store_tick(endpoint, now)
         if now >= next_report:
             firing = ",".join(drift.firing) or "-"
             error = (
@@ -1689,6 +1901,183 @@ def _print_telemetry(directory: str, cache_dir: "str | None") -> int:
             f"run cache at {cache.root}: lifetime {lifetime.describe()}, "
             f"hit ratio {lifetime.hit_ratio:.1%}"
         )
+    return 0
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _cmd_query(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``repro-power query``: read a TSDB store from any process."""
+    from repro.obs.tsdb import TSDB, parse_duration, parse_matchers
+
+    if not args.store:
+        parser.error("'query' needs --store DIR")
+    name = args.workload
+    if not name:
+        parser.error("'query' needs a metric name (positional)")
+    if not os.path.isdir(args.store):
+        print(f"query: no store at {args.store!r}", file=sys.stderr)
+        return 1
+    db = TSDB(args.store)
+    try:
+        matchers = parse_matchers(args.label) or None
+    except ValueError as error:
+        parser.error(str(error))
+    range_mode = any(
+        value is not None
+        for value in (args.start, args.end, args.range_s, args.step)
+    )
+    if not range_mode:
+        results = db.query(name, matchers, at_s=args.at)
+        if not results and not args.csv:
+            print(f"query: no series matched {name}")
+            return 1
+        if args.csv:
+            print("metric,labels,t_s,value")
+            for series in results:
+                print(
+                    f"{name},{_label_str(series['labels'])},"
+                    f"{series['t_s']:g},{series['value']:g}"
+                )
+        else:
+            rows = [
+                [name + _label_str(s["labels"]), s["t_s"], s["value"]]
+                for s in results
+            ]
+            print(
+                format_table(
+                    f"{name} @ "
+                    + (f"{args.at:g}s" if args.at is not None else "latest"),
+                    ("series", "t_s", "value"),
+                    rows,
+                    precision=3,
+                )
+            )
+        return 0 if results else 1
+
+    start = args.start
+    end = args.end
+    if args.range_s is not None:
+        span = parse_duration(args.range_s)
+        anchor = end if end is not None else (db.max_t_s() or 0.0)
+        start = anchor - span
+        end = anchor
+    by = None
+    if args.by is not None:
+        by = tuple(part for part in args.by.split(",") if part)
+    results = db.query_range(
+        name,
+        matchers,
+        start_s=start if start is not None else 0.0,
+        end_s=end,
+        step_s=parse_duration(args.step) if args.step else None,
+        agg=args.agg,
+        by=by,
+        tier=args.tier,
+    )
+    if args.csv:
+        print("metric,labels,tier,t_s,value")
+        for series in results:
+            labels = _label_str(series["labels"])
+            for t_s, value in series["points"]:
+                print(f"{name},{labels},{series['tier']},{t_s:g},{value:g}")
+        return 0 if any(s["points"] for s in results) else 1
+    rows = []
+    for series in results:
+        points = series["points"]
+        if not points:
+            continue
+        values = [value for _, value in points]
+        rows.append(
+            [
+                name + _label_str(series["labels"]),
+                series["tier"],
+                len(points),
+                min(values),
+                sum(values) / len(values),
+                max(values),
+                values[-1],
+            ]
+        )
+    if not rows:
+        print(f"query: no points for {name} in the requested range")
+        return 1
+    print(
+        format_table(
+            f"{name} [{args.agg}"
+            + (f", step {args.step}" if args.step else "")
+            + "]",
+            ("series", "tier", "points", "min", "mean", "max", "last"),
+            rows,
+            precision=3,
+        )
+    )
+    return 0
+
+
+def _cmd_obs_store(args: argparse.Namespace) -> int:
+    """``repro-power obs --store``: per-metric summary of a TSDB store."""
+    from repro.obs.tsdb import TSDB, parse_duration
+
+    if not os.path.isdir(args.store):
+        print(
+            f"no store at {args.store!r}; run monitor/serve/datacenter "
+            "with --store first"
+        )
+        return 1
+    db = TSDB(args.store)
+    names = db.names()
+    if not names:
+        print(f"store at {args.store} holds no series yet")
+        return 1
+    newest = db.max_t_s() or 0.0
+    span = parse_duration(args.range_s) if args.range_s else 300.0
+    rows = []
+    for name in names:
+        for series in db.query_range(
+            name, start_s=newest - span, end_s=newest, tier=args.tier
+        ):
+            points = series["points"]
+            if not points:
+                continue
+            values = [value for _, value in points]
+            rows.append(
+                [
+                    name + _label_str(series["labels"]),
+                    series["tier"],
+                    len(points),
+                    min(values),
+                    sum(values) / len(values),
+                    max(values),
+                    values[-1],
+                ]
+            )
+    print(
+        format_table(
+            f"Store at {args.store}: last {span:g}s "
+            f"({len(names)} metric(s))",
+            ("series", "tier", "points", "min", "mean", "max", "last"),
+            rows,
+            precision=3,
+        )
+    )
+    summary = db.document()
+    shards = summary["shards"]
+    appended = sum(entry["appended"] for entry in shards.values())
+    segments = sum(
+        count
+        for entry in shards.values()
+        for count in entry["segments"].values()
+    )
+    print(
+        f"store: {len(shards)} metric shard(s), "
+        f"{appended} sample(s) appended lifetime, "
+        f"{segments} sealed segment(s), {summary['flushes']} flush(es)"
+    )
     return 0
 
 

@@ -255,6 +255,45 @@ class DatacenterReport:
             },
         }
 
+    def persist(
+        self,
+        db,
+        t0_s: float = 0.0,
+        labels: "dict[str, str] | None" = None,
+    ) -> int:
+        """Append this run's per-second traces to a TSDB.
+
+        The scenario clock is relative (second ``i`` of the run), so
+        ``t0_s`` anchors it — pass a wall-clock epoch to interleave
+        several runs in one store, or leave 0 for a single run.  Extra
+        ``labels`` (beyond the automatic ``policy``/``sensor``)
+        distinguish runs sharing a store.  Returns the number of
+        samples appended; the caller flushes.
+        """
+        base = {"policy": self.policy, "sensor": self.sensor, **(labels or {})}
+        appended = 0
+        fleet = (
+            ("dc_power_watts", self.power_w),
+            ("dc_estimated_power_watts", self.estimated_power_w),
+            ("dc_offered_threads", self.offered_threads),
+            ("dc_served_threads", self.served_threads),
+        )
+        for name, trace in fleet:
+            appender = db.appender(name, base)
+            for i, value in enumerate(trace):
+                appended += appender.append(t0_s + i, float(value))
+        zones = (
+            ("dc_zone_power_watts", self.zone_power_w),
+            ("dc_zone_budget_watts", self.zone_budget_w),
+            ("dc_zone_nodes_active", self.zone_nodes_active),
+        )
+        for name, per_zone in zones:
+            for zone, trace in per_zone.items():
+                appender = db.appender(name, {**base, "zone": zone})
+                for i, value in enumerate(trace):
+                    appended += appender.append(t0_s + i, float(value))
+        return appended
+
     #: Total p0 thread capacity, set by the datacenter after a run.
     _capacity_threads: int = 0
 
@@ -573,6 +612,7 @@ def run_scenario(
     include_true_sensor: bool = True,
     include_static: bool = True,
     drop_penalty_j: float = DEFAULT_DROP_PENALTY_J,
+    store=None,
 ) -> dict:
     """Run the full comparison a datacenter scenario is scored by.
 
@@ -580,6 +620,10 @@ def run_scenario(
     again steering on ground truth (their objective difference is the
     estimated-vs-true *policy regret*), and the static all-on baseline
     provides the EP reference.  Returns a JSON-able document.
+
+    With a ``store`` (a :class:`~repro.obs.tsdb.TSDB`), every run's
+    per-second traces persist as ``dc_*`` series labelled by
+    policy/sensor, flushed before returning.
     """
     config = config or fast_config()
     calibration = calibration or train_zone_bank(config)
@@ -600,15 +644,21 @@ def run_scenario(
     doc: dict = {"cap_w": float(cap_w), "duration_s": int(duration_s)}
     estimated = _build("subsystem", "estimated").run(duration_s)
     doc["subsystem_estimated"] = estimated.document()
+    if store is not None:
+        estimated.persist(store)
     if include_true_sensor:
         true_run = _build("subsystem", "true").run(duration_s)
         doc["subsystem_true"] = true_run.document()
         doc["regret"] = policy_regret(
             estimated.objective_j, true_run.objective_j
         )
+        if store is not None:
+            true_run.persist(store)
     if include_static:
         static = _build("static", "true").run(duration_s)
         doc["static"] = static.document()
+        if store is not None:
+            static.persist(store)
         managed_ep = doc["subsystem_estimated"]["energy_proportionality"]
         static_ep = doc["static"]["energy_proportionality"]
         if managed_ep and static_ep:
@@ -617,4 +667,6 @@ def run_scenario(
                 "static_ep_score": static_ep["ep_score"],
                 "ep_gain": managed_ep["ep_score"] - static_ep["ep_score"],
             }
+    if store is not None:
+        store.flush()
     return doc

@@ -69,6 +69,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Tracer",
+    "alertmgr",
     "attribution",
     "counter",
     "disable",
@@ -92,9 +93,11 @@ __all__ = [
     "read_jsonl",
     "registry",
     "reset",
+    "rules",
     "snapshot",
     "span",
     "tracer",
+    "tsdb",
 ]
 
 #: Filenames :func:`dump` writes into its target directory.
@@ -278,7 +281,10 @@ def __getattr__(name: str):
     # The live layer (windowed aggregation, drift monitoring, the HTTP
     # exposition server) loads lazily so importing ``repro.obs`` stays
     # as cheap as the batch telemetry alone.
-    if name in ("live", "drift", "fleet", "http", "attribution", "flight"):
+    if name in (
+        "live", "drift", "fleet", "http", "attribution", "flight",
+        "tsdb", "rules", "alertmgr",
+    ):
         import importlib
 
         module = importlib.import_module(f"repro.obs.{name}")

@@ -1,0 +1,286 @@
+"""One alert plane over three disjoint surfaces: drift, SLO burn, dc.
+
+Before this module, "is anything wrong?" required three different
+queries: the drift monitor's ``firing`` tuple, the SLO engine's
+``fast_burning`` names, and the datacenter report's cap/fallback
+tallies.  :class:`AlertManager` polls all three through small source
+adapters and maintains one deduplicated alert set with stable keys
+(``source:name{label=value,...}``), grouping, silences, and
+firing→resolved transition history.  With a store attached, every
+transition also lands as an ``alerts_firing`` sample (1.0 on firing,
+0.0 on resolve) so "what was alerting at 14:32?" stays answerable
+after the process is gone.
+
+Sources (attach any subset):
+
+* ``attach_drift(monitor)`` — a scalar
+  :class:`~repro.obs.drift.DriftMonitor` or vectorized
+  :class:`~repro.obs.fleet.FleetDriftMonitor`; every entry of its
+  ``firing`` tuple becomes one alert keyed by stream name.
+* ``attach_slo(engine)`` — a :class:`~repro.serve.slo.SLOEngine`;
+  every ``fast_burning`` SLO becomes one alert.
+* ``attach_dc(datacenter)`` — a
+  :class:`~repro.dc.datacenter.Datacenter`; a report with cap
+  violations fires ``cap_violation``, and nonzero drift-fallback
+  seconds fire ``drift_fallback`` until a cleaner report lands.
+
+Silences are matcher dicts with an expiry (the caller's clock):
+a silenced alert stays tracked — state transitions still record —
+but is excluded from the ``firing`` rollup that feeds ``/healthz``
+style decisions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+
+
+def dedup_key(source: str, name: str, labels: "dict[str, str]") -> str:
+    """The stable identity of one alert across polls and restarts."""
+    rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{source}:{name}{{{rendered}}}"
+
+
+@dataclass
+class Alert:
+    """One deduplicated alert and its current state."""
+
+    source: str
+    name: str
+    labels: "dict[str, str]"
+    severity: str = "warning"
+    state: str = "firing"
+    since_s: float = 0.0
+    last_seen_s: float = 0.0
+    detail: "dict" = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return dedup_key(self.source, self.name, self.labels)
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "source": self.source,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "severity": self.severity,
+            "state": self.state,
+            "since_s": self.since_s,
+            "last_seen_s": self.last_seen_s,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass
+class Silence:
+    """Mute alerts matching ``matchers`` until ``until_s``."""
+
+    silence_id: int
+    matchers: "dict[str, str]"
+    until_s: float
+    comment: str = ""
+
+    def matches(self, alert: Alert) -> bool:
+        fields = {"source": alert.source, "name": alert.name, **alert.labels}
+        for label, wanted in self.matchers.items():
+            have = fields.get(label)
+            if wanted.startswith("=~"):
+                if have is None or re.fullmatch(wanted[2:], have) is None:
+                    return False
+            elif have != wanted:
+                return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.silence_id,
+            "matchers": dict(self.matchers),
+            "until_s": self.until_s,
+            "comment": self.comment,
+        }
+
+
+class AlertManager:
+    """Polls the attached sources and folds them into one alert set."""
+
+    def __init__(self, store=None, max_history: int = 256) -> None:
+        #: Optional :class:`~repro.obs.tsdb.TSDB` receiving
+        #: ``alerts_firing`` transition samples.
+        self.store = store
+        self.max_history = int(max_history)
+        self.alerts: "dict[str, Alert]" = {}
+        self.history: "list[dict]" = []
+        self.silences: "list[Silence]" = []
+        self._silence_ids = itertools.count(1)
+        self._drift = None
+        self._slo = None
+        self._dc = None
+        self.evaluations = 0
+
+    # -- sources -------------------------------------------------------
+
+    def attach_drift(self, monitor) -> None:
+        self._drift = monitor
+
+    def attach_slo(self, engine) -> None:
+        self._slo = engine
+
+    def attach_dc(self, datacenter) -> None:
+        self._dc = datacenter
+
+    # -- silences ------------------------------------------------------
+
+    def silence(
+        self, matchers: "dict[str, str]", until_s: float, comment: str = ""
+    ) -> int:
+        """Mute matching alerts until ``until_s``; returns the silence id."""
+        entry = Silence(next(self._silence_ids), dict(matchers), float(until_s), comment)
+        self.silences.append(entry)
+        return entry.silence_id
+
+    def expire_silences(self, now_s: float) -> None:
+        self.silences = [s for s in self.silences if s.until_s > now_s]
+
+    def _silenced(self, alert: Alert) -> bool:
+        return any(s.matches(alert) for s in self.silences)
+
+    # -- evaluation ----------------------------------------------------
+
+    def evaluate(self, now_s: float) -> "list[dict]":
+        """Poll every source; returns this round's transitions."""
+        self.expire_silences(now_s)
+        active: "dict[str, Alert]" = {}
+        for alert in self._drift_alerts():
+            active[alert.key] = alert
+        for alert in self._slo_alerts():
+            active[alert.key] = alert
+        for alert in self._dc_alerts():
+            active[alert.key] = alert
+
+        transitions: "list[dict]" = []
+        for key, alert in active.items():
+            known = self.alerts.get(key)
+            if known is None or known.state != "firing":
+                alert.state = "firing"
+                alert.since_s = now_s
+                alert.last_seen_s = now_s
+                self.alerts[key] = alert
+                transitions.append(self._transition(alert, now_s))
+            else:
+                known.last_seen_s = now_s
+                known.detail = alert.detail
+        for key, known in self.alerts.items():
+            if known.state == "firing" and key not in active:
+                known.state = "resolved"
+                known.last_seen_s = now_s
+                transitions.append(self._transition(known, now_s))
+        self.evaluations += 1
+        return transitions
+
+    def _transition(self, alert: Alert, now_s: float) -> dict:
+        record = alert.to_dict()
+        record["t_s"] = now_s
+        self.history.append(record)
+        del self.history[: -self.max_history]
+        if self.store is not None:
+            self.store.append(
+                "alerts_firing",
+                {"source": alert.source, "alert": alert.name, **alert.labels},
+                now_s,
+                1.0 if alert.state == "firing" else 0.0,
+            )
+        return record
+
+    # -- source adapters -----------------------------------------------
+
+    def _drift_alerts(self) -> "list[Alert]":
+        monitor = self._drift
+        if monitor is None:
+            return []
+        out = []
+        slo_pct = getattr(monitor, "slo_pct", None)
+        for stream in monitor.firing:
+            # FleetDriftMonitor streams read "subsystem[lane]".
+            name, _, lane = str(stream).partition("[")
+            labels = {"subsystem": name}
+            if lane:
+                labels["lane"] = lane.rstrip("]")
+            out.append(Alert(
+                source="drift",
+                name="drift_slo_breach",
+                labels=labels,
+                severity="critical",
+                detail={"slo_pct": slo_pct},
+            ))
+        return out
+
+    def _slo_alerts(self) -> "list[Alert]":
+        engine = self._slo
+        if engine is None:
+            return []
+        return [
+            Alert(
+                source="slo",
+                name="fast_burn",
+                labels={"slo": name},
+                severity="critical",
+            )
+            for name in engine.fast_burning
+        ]
+
+    def _dc_alerts(self) -> "list[Alert]":
+        datacenter = self._dc
+        if datacenter is None:
+            return []
+        report = getattr(datacenter, "last_report", datacenter)
+        if report is None:
+            return []
+        out = []
+        violations = getattr(report, "cap_violations", 0)
+        if violations:
+            out.append(Alert(
+                source="dc",
+                name="cap_violation",
+                labels={"policy": str(getattr(report, "policy", ""))},
+                severity="critical",
+                detail={"cap_violations": int(violations)},
+            ))
+        fallback = getattr(report, "drift_fallback_seconds", 0)
+        if fallback:
+            out.append(Alert(
+                source="dc",
+                name="drift_fallback",
+                labels={"policy": str(getattr(report, "policy", ""))},
+                severity="warning",
+                detail={"drift_fallback_seconds": int(fallback)},
+            ))
+        return out
+
+    # -- exposition ----------------------------------------------------
+
+    @property
+    def firing(self) -> "list[Alert]":
+        """Currently firing, unsilenced alerts (stable key order)."""
+        return [
+            alert
+            for key, alert in sorted(self.alerts.items())
+            if alert.state == "firing" and not self._silenced(alert)
+        ]
+
+    def document(self) -> dict:
+        """The aggregated ``/alerts`` block for this manager."""
+        groups: "dict[str, list]" = {}
+        for key, alert in sorted(self.alerts.items()):
+            doc = alert.to_dict()
+            doc["silenced"] = self._silenced(alert)
+            groups.setdefault(alert.source, []).append(doc)
+        return {
+            "firing": [alert.key for alert in self.firing],
+            "groups": groups,
+            "silences": [s.to_dict() for s in self.silences],
+            "history": list(self.history),
+            "evaluations": self.evaluations,
+        }

@@ -8,7 +8,15 @@ route           payload
 =============== =======================================================
 /metrics        Prometheus text exposition of the metrics registry
 /metrics.json   the same metrics as JSON (the ``metrics.json`` shape)
-/alerts         drift-monitor state: SLO, firing streams, history
+/alerts         the aggregated alert plane: drift-monitor state, SLO
+                burn, dc alerts and the unified AlertManager document
+                (absent sources are explicit ``null``, never 404)
+/query          instant query against the attached store:
+                ``?name=...&label=k=v&at=T``
+/query_range    range query: ``?name=...&start=&end=&step=&agg=&by=``
+                (label matchers repeat ``label=k=v``; regex ``k=~re``)
+/rules          the recording-rule engine's rules + evaluation stats,
+                and the store's shard/segment summary
 /windows        the windowed registry's recent windows (when attached);
                 ``?last=N`` pages the newest N windows
 /healthz        liveness **and drift state**: 200 while healthy, 503
@@ -55,6 +63,7 @@ from __future__ import annotations
 
 import json
 import logging
+import re
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -84,6 +93,13 @@ class ObservabilityServer:
             the streaming routes — ``POST /ingest``, ``/nodes``,
             ``/nodes/<id>``, ``/service``, ``/slo`` — and the
             staleness/burn-aware ``/healthz`` verdict (optional).
+        store: a :class:`~repro.obs.tsdb.TSDB` for ``/query`` and
+            ``/query_range`` (optional; the routes answer
+            ``{"store": null}`` without one).
+        alerts: an :class:`~repro.obs.alertmgr.AlertManager` folded
+            into the aggregated ``/alerts`` payload (optional).
+        rules: a :class:`~repro.obs.rules.RuleEngine` served on
+            ``/rules`` next to the store summary (optional).
         dc: a :class:`~repro.dc.datacenter.Datacenter` (or any object
             with a ``document()``/``last_report``) for ``/dc``
             (optional).
@@ -99,6 +115,9 @@ class ObservabilityServer:
         "/metrics",
         "/metrics.json",
         "/alerts",
+        "/query",
+        "/query_range",
+        "/rules",
         "/windows",
         "/healthz",
         "/attribution",
@@ -124,6 +143,9 @@ class ObservabilityServer:
         fleet=None,
         service=None,
         dc=None,
+        store=None,
+        alerts=None,
+        rules=None,
         chaos: bool = False,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -139,6 +161,9 @@ class ObservabilityServer:
         self.fleet = fleet
         self.service = service
         self.dc = dc
+        self.store = store
+        self.alerts = alerts
+        self.rules = rules
         self.chaos = bool(chaos)
         self.host = host
         self.port = int(port)
@@ -221,11 +246,19 @@ class ObservabilityServer:
         if path == "/metrics.json":
             return 200, "application/json", _json_body(self.registry.to_json())
         if path == "/alerts":
-            document = self.drift.to_json() if self.drift is not None else {
-                "slo_pct": None,
-                "firing": [],
-                "streams": {},
-                "history": [],
+            return 200, "application/json", _json_body(self.alerts_document())
+        if path == "/query":
+            return self._query_route(query)
+        if path == "/query_range":
+            return self._query_range_route(query)
+        if path == "/rules":
+            document = {
+                "rules": (
+                    self.rules.document() if self.rules is not None else None
+                ),
+                "store": (
+                    self.store.document() if self.store is not None else None
+                ),
             }
             return 200, "application/json", _json_body(document)
         if path == "/windows":
@@ -363,6 +396,96 @@ class ObservabilityServer:
             return 200, "application/json", _json_body(document)
         return 404, "application/json", _json_body(
             {"error": f"unknown route {path!r}", "routes": list(self.ROUTES)}
+        )
+
+    def alerts_document(self) -> dict:
+        """The aggregated ``/alerts`` payload.
+
+        Every alert surface gets a key; unattached sources are an
+        explicit ``null`` (the route is always 200 — "no monitor" is an
+        answer, not an error).
+        """
+        slo_doc = None
+        if self.service is not None:
+            slo_doc = self.service.slo.check()
+        dc_doc = None
+        if self.dc is not None:
+            report = getattr(self.dc, "last_report", self.dc)
+            if report is not None:
+                dc_doc = {
+                    "cap_violations": getattr(report, "cap_violations", 0),
+                    "boots_denied": getattr(report, "boots_denied", 0),
+                    "cap_enforcements": getattr(report, "cap_enforcements", 0),
+                    "drift_fallback_seconds": getattr(
+                        report, "drift_fallback_seconds", 0
+                    ),
+                }
+        return {
+            "drift": self.drift.to_json() if self.drift is not None else None,
+            "slo": slo_doc,
+            "dc": dc_doc,
+            "alerts": (
+                self.alerts.document() if self.alerts is not None else None
+            ),
+        }
+
+    def _query_route(self, query: str) -> "tuple[int, str, str]":
+        if self.store is None:
+            return 200, "application/json", _json_body({"store": None})
+        params = parse_qs(query)
+        name = (params.get("name") or [None])[-1]
+        if not name:
+            return 400, "application/json", _json_body(
+                {"error": "query needs ?name=<metric>"}
+            )
+        from repro.obs.tsdb import parse_matchers
+
+        try:
+            matchers = parse_matchers(params.get("label"))
+            at = params.get("at")
+            result = self.store.query(
+                name, matchers or None,
+                at_s=float(at[-1]) if at else None,
+            )
+        except (ValueError, re.error) as exc:
+            return 400, "application/json", _json_body({"error": str(exc)})
+        return 200, "application/json", _json_body(
+            {"name": name, "result": result}
+        )
+
+    def _query_range_route(self, query: str) -> "tuple[int, str, str]":
+        if self.store is None:
+            return 200, "application/json", _json_body({"store": None})
+        params = parse_qs(query)
+        name = (params.get("name") or [None])[-1]
+        if not name:
+            return 400, "application/json", _json_body(
+                {"error": "query_range needs ?name=<metric>"}
+            )
+        from repro.obs.tsdb import parse_matchers
+
+        def last(key, default=None):
+            raw = params.get(key)
+            return raw[-1] if raw else default
+
+        try:
+            matchers = parse_matchers(params.get("label"))
+            by = last("by")
+            step = last("step")
+            result = self.store.query_range(
+                name,
+                matchers or None,
+                start_s=float(last("start", 0.0)),
+                end_s=float(last("end")) if last("end") is not None else None,
+                step_s=float(step) if step is not None else None,
+                agg=last("agg", "mean"),
+                by=tuple(by.split(",")) if by else None,
+                tier=last("tier", "auto"),
+            )
+        except (ValueError, re.error) as exc:
+            return 400, "application/json", _json_body({"error": str(exc)})
+        return 200, "application/json", _json_body(
+            {"name": name, "result": result}
         )
 
 

@@ -92,12 +92,21 @@ class WindowedRegistry:
     time, so windows are deterministic for a fixed seed.  All methods
     are thread-safe — the HTTP exposition thread may query while the
     simulation thread ingests.
+
+    ``on_evict`` is the durable-telemetry hook: when a window falls off
+    the sliding edge (a newer one pushed it past ``max_windows``) it is
+    handed — whole, exactly as :meth:`series` reported it — to the
+    callback before being dropped, e.g. a
+    :class:`~repro.obs.tsdb.WindowSink` persisting it into a store.
+    Short runs may finish before anything evicts; :meth:`drain` hands
+    over the remaining windows at end of run.
     """
 
     def __init__(
         self,
         window_s: float = DEFAULT_WINDOW_S,
         max_windows: int = DEFAULT_MAX_WINDOWS,
+        on_evict=None,
     ) -> None:
         if window_s <= 0:
             raise ValueError("window_s must be positive")
@@ -105,6 +114,7 @@ class WindowedRegistry:
             raise ValueError("max_windows must be >= 1")
         self.window_s = float(window_s)
         self.max_windows = int(max_windows)
+        self.on_evict = on_evict
         self._windows: "deque[_Window]" = deque(maxlen=max_windows)
         self._prev_counters: "dict[tuple, float]" = {}
         self._prev_hist: "dict[tuple, tuple]" = {}
@@ -118,9 +128,50 @@ class WindowedRegistry:
             last = self._windows[-1]
             if start <= last.start_s:
                 return last  # same window (or a non-monotonic clock)
+        # The deque would drop the oldest window silently; evict it by
+        # hand first so the persistence hook sees every window, oldest
+        # first, exactly as the queries reported it.
+        if self.on_evict is not None and len(self._windows) == self.max_windows:
+            self.on_evict(self._windows.popleft())
         window = _Window(start, start + self.window_s)
         self._windows.append(window)
         return window
+
+    def sink_closed(self, now_s: float) -> int:
+        """Hand windows that closed before ``now_s`` to ``on_evict``.
+
+        Unlike eviction/:meth:`drain` the windows stay in the registry
+        for queries, so the hook sees each closed window on **every**
+        call — it must be idempotent per window (the TSDB
+        :class:`~repro.obs.tsdb.WindowSink` is).  This is the eager
+        per-tick persistence path: without it, a window would only
+        reach the store once it fell off the sliding edge, up to
+        ``max_windows * window_s`` seconds after it closed.
+        """
+        if self.on_evict is None:
+            return 0
+        with self._lock:
+            closed = [w for w in self._windows if w.end_s <= now_s]
+        for window in closed:
+            self.on_evict(window)
+        return len(closed)
+
+    def drain(self) -> int:
+        """Hand every retained window to ``on_evict``, oldest first.
+
+        The end-of-run flush for runs too short to evict naturally
+        (returns the number of windows handed over; 0 without a hook).
+        Drained windows leave the registry, so calling it twice cannot
+        double-persist.
+        """
+        if self.on_evict is None:
+            return 0
+        with self._lock:
+            drained = list(self._windows)
+            self._windows.clear()
+        for window in drained:
+            self.on_evict(window)
+        return len(drained)
 
     def ingest(self, now_s: float, registry: "MetricsRegistry | dict") -> None:
         """Fold one registry snapshot into the window containing ``now_s``.

@@ -40,6 +40,46 @@ DEFAULT_BUCKETS: "tuple[float, ...]" = (
 #: A metric key: (name, ((label, value), ...)) with labels sorted.
 MetricKey = "tuple[str, tuple[tuple[str, str], ...]]"
 
+#: Help text for the repo's well-known metrics, emitted as ``# HELP``
+#: lines by :meth:`MetricsRegistry.to_prometheus`.  Call sites can
+#: register more at metric creation (``help=`` on inc/gauge/observe, or
+#: :meth:`MetricsRegistry.describe`); registry merges carry them along.
+DEFAULT_HELP: "dict[str, str]" = {
+    "sim_ticks_total": "Simulated ticks executed.",
+    "run_cache_hits_total": "Disk-cache hits during sweeps.",
+    "run_cache_misses_total": "Disk-cache misses during sweeps.",
+    "run_cache_writes_total": "Runs stored to the disk cache.",
+    "estimator_samples_total": "Online estimation windows processed.",
+    "models_trained_total": "Subsystem model fits.",
+    "experiments_total": "Table/figure entry points executed.",
+    "live_windows_total": "Sampler windows seen by the live monitor.",
+    "drift_alerts_total": "Drift alert transitions.",
+    "sweep_retries_total": "Per-task retries (exception or timeout).",
+    "sweep_worker_failures_total": "Worker deaths absorbed by the sweep.",
+    "sweep_failed_specs_total": "Specs permanently failed after retries.",
+    "flight_bundles_total": "Flight-recorder bundles written to disk.",
+    "sim_ticks_per_second": "Batched tick-loop throughput.",
+    "sim_time_seconds": "Simulated time reached.",
+    "sim_energy_joules": "True integrated energy per subsystem.",
+    "validation_error_pct": "Equation-6 estimation error.",
+    "live_power_watts": "Live true/estimated power per window.",
+    "live_error_pct": "Live per-window estimation error.",
+    "drift_error_pct": "The drift monitor's EWMA error.",
+    "drift_alert_active": "1 while the drift stream is firing.",
+    "serve_nodes_fresh": "Streaming-service nodes with fresh estimates.",
+    "serve_nodes_stale": "Streaming-service nodes past the staleness bound.",
+    "serve_fleet_power_watts": "Fleet power aggregate across fresh nodes.",
+    "dc_power_watts": "Datacenter true power per second.",
+    "dc_estimated_power_watts": "Datacenter estimated power per second.",
+    "dc_cap_watts": "The datacenter power cap.",
+    "alerts_firing": "1 while the keyed alert fires, 0 once resolved.",
+}
+
+
+def _escape_help(text: str) -> str:
+    """Escape per the exposition format: ``\\`` and newlines."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
 
 def metric_key(name: str, labels: "dict[str, object] | None" = None) -> MetricKey:
     """Canonical hashable key for a named, labelled metric."""
@@ -171,21 +211,32 @@ class MetricsRegistry:
         self.counters: "dict[MetricKey, float]" = {}
         self.gauges: "dict[MetricKey, float]" = {}
         self.histograms: "dict[MetricKey, Histogram]" = {}
+        #: Per-metric-name help text (``# HELP`` lines); merged across
+        #: registries right-biased like gauges.
+        self.help: "dict[str, str]" = {}
         self._lock = threading.RLock()
 
     # -- recording -----------------------------------------------------
+
+    def describe(self, name: str, text: str) -> None:
+        """Register help text for a metric name (``# HELP`` line)."""
+        with self._lock:
+            self.help[name] = str(text)
 
     def inc(
         self,
         name: str,
         value: float = 1.0,
         labels: "dict[str, object] | None" = None,
+        help: "str | None" = None,
     ) -> None:
         """Add ``value`` (>= 0) to a counter."""
         if value < 0:
             raise ValueError(f"counter {name!r} cannot decrease (got {value})")
         key = metric_key(name, labels)
         with self._lock:
+            if help is not None:
+                self.help[name] = help
             self.counters[key] = self.counters.get(key, 0.0) + float(value)
 
     def gauge(
@@ -193,9 +244,12 @@ class MetricsRegistry:
         name: str,
         value: float,
         labels: "dict[str, object] | None" = None,
+        help: "str | None" = None,
     ) -> None:
         """Set a gauge to ``value`` (last write wins)."""
         with self._lock:
+            if help is not None:
+                self.help[name] = help
             self.gauges[metric_key(name, labels)] = float(value)
 
     def observe(
@@ -204,6 +258,7 @@ class MetricsRegistry:
         value: float,
         labels: "dict[str, object] | None" = None,
         buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
+        help: "str | None" = None,
     ) -> None:
         """Record one observation into a fixed-bucket histogram.
 
@@ -212,6 +267,8 @@ class MetricsRegistry:
         """
         key = metric_key(name, labels)
         with self._lock:
+            if help is not None:
+                self.help[name] = help
             hist = self.histograms.get(key)
             if hist is None:
                 hist = self.histograms[key] = Histogram(buckets)
@@ -234,6 +291,7 @@ class MetricsRegistry:
         """A picklable/JSON-safe deep copy of every metric."""
         with self._lock:
             return {
+                "help": dict(self.help),
                 "counters": [
                     {"name": k[0], "labels": _labels_dict(k), "value": v}
                     for k, v in sorted(self.counters.items())
@@ -257,6 +315,7 @@ class MetricsRegistry:
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold a :meth:`snapshot` dict into this registry."""
         with self._lock:
+            self.help.update(snapshot.get("help", {}))
             for entry in snapshot.get("counters", ()):
                 self.inc(entry["name"], entry["value"], entry.get("labels"))
             for entry in snapshot.get("gauges", ()):
@@ -275,6 +334,7 @@ class MetricsRegistry:
             self.counters.clear()
             self.gauges.clear()
             self.histograms.clear()
+            self.help.clear()
 
     @property
     def empty(self) -> bool:
@@ -288,19 +348,28 @@ class MetricsRegistry:
         self.counters = {}
         self.gauges = {}
         self.histograms = {}
+        self.help = {}
         self._lock = threading.RLock()
         self.merge_snapshot(state)
 
     # -- exposition ----------------------------------------------------
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition of every metric."""
+        """Prometheus text exposition of every metric.
+
+        Emits ``# HELP`` (when registered here or in
+        :data:`DEFAULT_HELP`, newline/backslash-escaped per the
+        exposition format) and ``# TYPE`` before each metric family.
+        """
         lines: "list[str]" = []
         seen_types: "set[str]" = set()
 
         def type_line(name: str, kind: str) -> None:
             if name not in seen_types:
                 seen_types.add(name)
+                text = self.help.get(name, DEFAULT_HELP.get(name))
+                if text:
+                    lines.append(f"# HELP {name} {_escape_help(text)}")
                 lines.append(f"# TYPE {name} {kind}")
 
         with self._lock:

@@ -198,6 +198,25 @@ class EstimationService:
         self.shed_samples_total = 0
         self.decode_errors_total = 0
         self.poison_samples_total = 0
+        self.store = None
+        self._store_windows = None
+
+    def attach_store(self, db, window_s: float = 5.0) -> None:
+        """Persist this service's telemetry into a TSDB.
+
+        Every housekeeping :meth:`tick` folds the process registry into
+        a :class:`~repro.obs.live.WindowedRegistry` whose evicted
+        windows land in ``db`` (one sample per metric at the window's
+        start); :meth:`stop` drains the remainder and flushes the
+        store, so short runs persist too.
+        """
+        from repro.obs.live import WindowedRegistry
+        from repro.obs.tsdb import WindowSink
+
+        self.store = db
+        self._store_windows = WindowedRegistry(
+            window_s=window_s, on_evict=WindowSink(db)
+        )
 
     # -- lifecycle -----------------------------------------------------
 
@@ -239,6 +258,9 @@ class EstimationService:
             self._housekeeper.join(timeout=5.0)
             self._housekeeper = None
         self._started_monotonic = None
+        if self._store_windows is not None:
+            self._store_windows.drain()
+            self.store.flush()
 
     def __enter__(self) -> "EstimationService":
         self.start()
@@ -418,6 +440,11 @@ class EstimationService:
                 ("min", arr.min()), ("max", arr.max()),
             ):
                 obs.gauge("serve_fleet_power_watts", float(value), {"agg": agg})
+        if self._store_windows is not None:
+            self._store_windows.ingest(moment, obs.registry())
+            # Closed windows persist eagerly (the sink is idempotent);
+            # eviction and the stop() drain then skip them.
+            self._store_windows.sink_closed(moment)
         return state
 
     # -- the shared processing pipeline --------------------------------

@@ -374,6 +374,75 @@ class TestWindowedRegistryEdgeCases:
             )
 
 
+class TestWindowEviction:
+    """The on_evict persistence hook (feeds the durable TSDB sink)."""
+
+    def test_evicted_window_identical_to_pre_eviction_series(self):
+        evicted = []
+        windows = WindowedRegistry(
+            window_s=1.0, max_windows=2, on_evict=evicted.append
+        )
+        reg = MetricsRegistry()
+        for t in range(2):
+            reg.reset()
+            reg.inc("ticks_total", 10.0 * (t + 1))
+            reg.gauge("power_watts", 100.0 + t)
+            windows.ingest(float(t) + 0.5, reg)
+        # What series() reports for the window about to fall off.
+        before = {
+            "counters": windows.series("ticks_total")[0],
+            "gauges": windows.series("power_watts")[0],
+        }
+        reg.reset()
+        reg.inc("ticks_total", 30.0)
+        reg.gauge("power_watts", 102.0)
+        windows.ingest(2.5, reg)  # forces the first window out
+        assert len(evicted) == 1
+        window = evicted[0]
+        assert (window.start_s, next(iter(window.counters.values()))) == (
+            before["counters"][0],
+            before["counters"][1],
+        )
+        assert (window.start_s, next(iter(window.gauges.values()))) == (
+            before["gauges"][0],
+            before["gauges"][1],
+        )
+        # The hook saw the dropped window; queries kept the rest.
+        assert [s for s, _ in windows.series("power_watts")] == [1.0, 2.0]
+
+    def test_max_windows_one_with_backwards_clock_evicts_in_order(self):
+        evicted = []
+        windows = WindowedRegistry(
+            window_s=1.0, max_windows=1, on_evict=evicted.append
+        )
+        reg = MetricsRegistry()
+        # Timestamps jitter backwards mid-stream; the registry folds
+        # non-monotonic ticks into the current window rather than
+        # resurrecting an evicted one, so eviction stays ordered.
+        for t, gauge in ((0.5, 1.0), (1.5, 2.0), (1.2, 3.0), (2.5, 4.0)):
+            reg.reset()
+            reg.gauge("power_watts", gauge)
+            windows.ingest(t, reg)
+        drained = windows.drain()
+        assert drained == 1
+        starts = [window.start_s for window in evicted]
+        assert starts == sorted(starts) == [0.0, 1.0, 2.0]
+        # The backwards tick (1.2) landed in the 1s window, last write
+        # wins for gauges.
+        assert next(iter(evicted[1].gauges.values())) == 3.0
+
+    def test_drain_is_idempotent(self):
+        evicted = []
+        windows = WindowedRegistry(window_s=1.0, on_evict=evicted.append)
+        reg = MetricsRegistry()
+        reg.gauge("power_watts", 1.0)
+        windows.ingest(0.5, reg)
+        assert windows.drain() == 1
+        assert windows.drain() == 0
+        assert len(evicted) == 1
+        assert len(windows) == 0
+
+
 class TestDriftMonitor:
     WATTS = {"cpu": 100.0}
 
@@ -543,7 +612,12 @@ class TestObservabilityHTTP:
             metrics = json.loads(_fetch(endpoint.url("/metrics.json")))
             assert metrics["counters"][0]["name"] == "requests_total"
             alerts = json.loads(_fetch(endpoint.url("/alerts")))
-            assert set(alerts["firing"]) == {"cpu", "total"}
+            # /alerts aggregates every alert surface; unattached ones
+            # are explicit nulls rather than missing keys (or a 404).
+            assert set(alerts["drift"]["firing"]) == {"cpu", "total"}
+            assert alerts["slo"] is None
+            assert alerts["dc"] is None
+            assert alerts["alerts"] is None
             # The attached drift monitor is firing, so health is a 503
             # naming the unresolved alerts.
             with pytest.raises(urllib.error.HTTPError) as err:

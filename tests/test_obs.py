@@ -128,6 +128,49 @@ class TestMetricsRegistry:
         assert 'h_seconds_bucket{le="+Inf"} 1' in text
         assert "h_seconds_count 1" in text
 
+    def test_prometheus_help_lines(self):
+        reg = MetricsRegistry()
+        reg.inc("c_total", 1.0, help="Things counted.")
+        reg.gauge("g", 2.0)
+        reg.describe("g", "A gauge.")
+        lines = reg.to_prometheus().splitlines()
+        assert "# HELP c_total Things counted." in lines
+        assert "# HELP g A gauge." in lines
+        # HELP precedes TYPE for each metric, per the exposition format.
+        assert lines.index("# HELP c_total Things counted.") \
+            == lines.index("# TYPE c_total counter") - 1
+
+    def test_prometheus_help_escaping(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 1.0, help="line one\nline two \\ backslash")
+        text = reg.to_prometheus()
+        assert "# HELP g line one\\nline two \\\\ backslash" in text
+        # The exposition stays one-line-per-record parseable.
+        assert all(
+            line.startswith("#") or " " in line
+            for line in text.splitlines() if line
+        )
+
+    def test_prometheus_default_help_fallback(self):
+        from repro.obs.metrics import DEFAULT_HELP
+
+        reg = MetricsRegistry()
+        reg.gauge("live_power_watts", 95.0, {"subsystem": "cpu"})
+        text = reg.to_prometheus()
+        assert f"# HELP live_power_watts {DEFAULT_HELP['live_power_watts']}" in text
+        # Unknown metrics get TYPE but no HELP rather than a blank line.
+        reg.gauge("mystery", 1.0)
+        exposition = reg.to_prometheus()
+        assert "# TYPE mystery gauge" in exposition
+        assert "# HELP mystery" not in exposition
+
+    def test_help_survives_snapshot_merge(self):
+        left = MetricsRegistry()
+        left.inc("c_total", 1.0, help="From the worker.")
+        right = MetricsRegistry()
+        right.merge_snapshot(left.snapshot())
+        assert "# HELP c_total From the worker." in right.to_prometheus()
+
 
 class TestTracing:
     def test_span_nesting_and_ordering_in_jsonl(self, tmp_path):

@@ -1,0 +1,687 @@
+"""Tests for durable telemetry (PR: embedded TSDB + unified alert plane).
+
+Covers the store end to end: delta-of-delta/varint codec round-trips,
+the single-atomic-commit crash-safety protocol (restart, unflushed-tail
+loss, corrupt state, orphan segments), tiered downsampling with *exact*
+min/mean/max/count rollups across compaction and restart, per-tier
+retention, the query engine (matchers, instant, range, step
+aggregation, label grouping, tier selection, rate, quantiles),
+recording rules, the AlertManager folding drift/SLO/dc sources into one
+deduplicated plane with silences and ``alerts_firing`` persistence, the
+``WindowSink`` bridge, the HTTP query/alert routes, and the
+``repro-power query`` / ``obs --store`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.alertmgr import Alert, AlertManager, dedup_key
+from repro.obs.http import ObservabilityServer
+from repro.obs.rules import DEFAULT_RULES, RecordingRule, RuleEngine
+from repro.obs.tsdb import (
+    DEFAULT_RETENTION_S,
+    TSDB,
+    WindowSink,
+    parse_duration,
+    parse_matchers,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return TSDB(str(tmp_path / "store"))
+
+
+def _fill(db, name="power_watts", labels=None, n=100, t0=0.0, dt=1.0, f=None):
+    appender = db.appender(name, labels or {"node": "a"})
+    points = []
+    for i in range(n):
+        t = t0 + i * dt
+        value = f(i) if f is not None else 100.0 + math.sin(i / 7.0) * 25.0
+        assert appender.append(t, value)
+        points.append((t, value))
+    return points
+
+
+class TestParsing:
+    def test_parse_duration(self):
+        assert parse_duration("90") == 90.0
+        assert parse_duration("90s") == 90.0
+        assert parse_duration("5m") == 300.0
+        assert parse_duration("2h") == 7200.0
+        assert parse_duration("7d") == 7 * 86400.0
+
+    def test_parse_matchers(self):
+        assert parse_matchers(["k=v", "node=~web-.*"]) == {
+            "k": "v",
+            "node": "=~web-.*",
+        }
+        assert parse_matchers(None) == {}
+        with pytest.raises(ValueError):
+            parse_matchers(["no-separator"])
+
+
+class TestCodecRoundTrip:
+    def test_uneven_timestamps_and_exact_floats(self, store):
+        # Every value-encoding path: repeats, small integers, negative
+        # integers, and raw IEEE doubles that must survive bit-exactly.
+        values = [1.0, 1.0, 1.0, 7.0, -13.0, 0.1, 0.1 + 0.2, 1e-300, -2.5e17]
+        times = [0.0, 0.001, 0.002, 5.0, 5.001, 100.0, 101.5, 3600.0, 3600.001]
+        appender = store.appender("mixed", None)
+        for t, value in zip(times, values):
+            assert appender.append(t, value)
+        (series,) = store.select("mixed")
+        assert [v for _, v in series["points"]] == values
+        for got, want in zip(series["points"], times):
+            assert got[0] == pytest.approx(want, abs=5e-4)
+
+    def test_out_of_order_appends_dropped_and_counted(self, store):
+        appender = store.appender("m", None)
+        assert appender.append(10.0, 1.0)
+        assert not appender.append(9.0, 2.0)
+        assert appender.append(10.0, 3.0)  # equal timestamps are fine
+        assert store.document()["shards"]["m"]["dropped_out_of_order"] == 1
+
+    def test_many_points_round_trip_after_restart(self, store):
+        points = _fill(store, n=5000, dt=0.25)
+        store.flush()
+        reopened = TSDB(store.root)
+        (series,) = reopened.select("power_watts")
+        assert len(series["points"]) == 5000
+        for (gt, gv), (wt, wv) in zip(series["points"], points):
+            assert gv == wv
+            assert gt == pytest.approx(wt, abs=5e-4)
+
+
+class TestCrashSafety:
+    def test_unflushed_tail_lost_flushed_prefix_intact(self, store):
+        _fill(store, n=50)
+        store.flush()
+        _fill(store, n=50, t0=50.0)  # never flushed
+        reopened = TSDB(store.root)
+        (series,) = reopened.select("power_watts")
+        assert len(series["points"]) == 50
+        # The reopened store accepts appends continuing the series.
+        assert reopened.append("power_watts", {"node": "a"}, 50.0, 1.0)
+
+    def test_corrupt_state_resets_shard_not_store(self, store, caplog):
+        _fill(store, n=10)
+        store.flush()
+        state = os.path.join(store.root, "power_watts", "state.bin")
+        with open(state, "wb") as handle:
+            handle.write(b"garbage")
+        reopened = TSDB(store.root)
+        assert reopened.select("power_watts") == []
+
+    def test_orphan_segments_removed_on_open(self, store):
+        _fill(store, n=10)
+        store.flush()
+        orphan = os.path.join(store.root, "power_watts", "raw-999999.seg")
+        with open(orphan, "wb") as handle:
+            handle.write(b"leftover from a seal crash")
+        reopened = TSDB(store.root)
+        reopened.select("power_watts")  # faults the shard in
+        assert not os.path.exists(orphan)
+
+    def test_flush_is_the_only_commit_point(self, store):
+        _fill(store, n=10)
+        shard_dir = os.path.join(store.root, "power_watts")
+        assert not os.path.exists(os.path.join(shard_dir, "state.bin"))
+        store.flush()
+        assert os.path.exists(os.path.join(shard_dir, "state.bin"))
+
+
+class TestRollups:
+    def test_rollup_cells_exact_against_raw(self, store):
+        points = _fill(store, n=1000, dt=0.5, f=lambda i: (i * 37) % 101 - 50.0)
+        for tier, width in (("10s", 10.0), ("2m", 120.0)):
+            (series,) = store.select_cells("power_watts", tier=tier)
+            assert series["cells"], tier
+            total = 0
+            for start_s, vmin, vmax, mean, count in series["cells"]:
+                raw = [v for t, v in points if start_s <= t < start_s + width]
+                assert count == len(raw)
+                assert vmin == min(raw)
+                assert vmax == max(raw)
+                assert mean == pytest.approx(sum(raw) / len(raw), rel=1e-12)
+                total += count
+            assert total == len(points)
+
+    def test_rollups_exact_across_compaction_and_restart(self, tmp_path):
+        # A tiny seal threshold forces real segment compaction cycles.
+        db = TSDB(str(tmp_path / "s"), seal_bytes=256)
+        points = []
+        for chunk in range(20):
+            points += _fill(db, n=50, t0=chunk * 50.0, f=lambda i: float(i % 17))
+            db.flush()
+        assert any(
+            count > 0
+            for count in db.document()["shards"]["power_watts"]["segments"].values()
+        )
+        reopened = TSDB(str(tmp_path / "s"))
+        (raw,) = reopened.select("power_watts")
+        assert [v for _, v in raw["points"]] == [v for _, v in points]
+        (cells,) = reopened.select_cells("power_watts", tier="10s")
+        for start_s, vmin, vmax, mean, count in cells["cells"]:
+            window = [v for t, v in points if start_s <= t < start_s + 10.0]
+            assert (vmin, vmax, count) == (min(window), max(window), len(window))
+            assert mean == pytest.approx(sum(window) / len(window), rel=1e-12)
+
+    def test_open_tail_visible_in_rollups_before_seal(self, store):
+        # Nothing sealed, nothing flushed: rollup queries still see
+        # every appended sample (the unfolded open-raw tail).
+        _fill(store, n=25)
+        (series,) = store.select_cells("power_watts", tier="10s")
+        assert sum(cell[4] for cell in series["cells"]) == 25
+
+
+class TestRetention:
+    def test_raw_prunes_but_rollups_keep_history(self, tmp_path):
+        db = TSDB(
+            str(tmp_path / "s"),
+            retention_s={"raw": 30.0},
+            seal_bytes=64,
+        )
+        for chunk in range(10):
+            _fill(db, n=20, t0=chunk * 20.0, f=float)
+            db.flush()
+        document = db.document()["shards"]["power_watts"]
+        assert document["appended"] == 200
+        (raw,) = db.select("power_watts")
+        # Sealed raw segments older than 30s are gone (the open block
+        # and still-covered segments remain).
+        assert raw["points"][0][0] > 0.0
+        # The 10s tier kept the full run.
+        (cells,) = db.select_cells("power_watts", tier="10s")
+        assert sum(cell[4] for cell in cells["cells"]) == 200
+        # Pruned files are actually unlinked.
+        listing = os.listdir(os.path.join(db.root, "power_watts"))
+        manifest = db.document()["shards"]["power_watts"]["segments"]
+        assert len([f for f in listing if f.startswith("raw-")]) == manifest["raw"]
+
+
+class TestQueryEngine:
+    def test_matchers_exact_and_regex(self, store):
+        for node in ("web-1", "web-2", "db-1"):
+            store.append("reqs", {"node": node}, 1.0, 1.0)
+        assert len(store.select("reqs")) == 3
+        assert len(store.select("reqs", {"node": "web-1"})) == 1
+        assert len(store.select("reqs", {"node": "=~web-.*"})) == 2
+        assert store.select("reqs", {"node": "=~db"}) == []  # fullmatch
+
+    def test_instant_query_at_and_latest(self, store):
+        _fill(store, n=10, f=float)
+        (latest,) = store.query("power_watts")
+        assert (latest["t_s"], latest["value"]) == (9.0, 9.0)
+        (at,) = store.query("power_watts", at_s=4.5)
+        assert (at["t_s"], at["value"]) == (4.0, 4.0)
+        assert store.query("power_watts", at_s=-1.0) == []
+
+    def test_range_step_aggregations(self, store):
+        _fill(store, n=100, f=float)
+        for agg, want in (
+            ("mean", 4.5),
+            ("min", 0.0),
+            ("max", 9.0),
+            ("sum", 45.0),
+            ("count", 10.0),
+            ("last", 9.0),
+        ):
+            (series,) = store.query_range(
+                "power_watts", start_s=0, end_s=99, step_s=10, agg=agg
+            )
+            assert series["points"][0] == (0.0, want), agg
+
+    def test_last_bucket_includes_end(self, store):
+        _fill(store, n=100, f=float)
+        (series,) = store.query_range(
+            "power_watts", start_s=0, end_s=99, step_s=10, agg="count"
+        )
+        assert sum(v for _, v in series["points"]) == 100
+
+    def test_by_grouping_collapses_series(self, store):
+        for node, base in (("a", 10.0), ("b", 30.0)):
+            _fill(store, labels={"node": node, "dc": "x"}, n=10, f=lambda i, b=base: b)
+        grouped = store.query_range(
+            "power_watts", start_s=0, end_s=9, step_s=10, agg="mean", by=("dc",)
+        )
+        assert len(grouped) == 1
+        assert grouped[0]["labels"] == {"dc": "x"}
+        assert grouped[0]["points"][0][1] == pytest.approx(20.0)
+        collapsed = store.query_range(
+            "power_watts", start_s=0, end_s=9, step_s=10, agg="mean", by=()
+        )
+        assert collapsed[0]["labels"] == {}
+
+    def test_tier_auto_falls_back_when_raw_pruned(self, tmp_path):
+        db = TSDB(str(tmp_path / "s"), retention_s={"raw": 30.0}, seal_bytes=64)
+        for chunk in range(10):
+            _fill(db, n=20, t0=chunk * 20.0, f=float)
+            db.flush()
+        full = db.query_range("power_watts", start_s=0.0, end_s=199.0)
+        assert full[0]["tier"] == "10s"
+        recent = db.query_range("power_watts", start_s=190.0, end_s=199.0)
+        assert recent[0]["tier"] == "raw"
+        forced = db.query_range(
+            "power_watts", start_s=0.0, end_s=199.0, tier="2m"
+        )
+        assert forced[0]["tier"] == "2m"
+
+    def test_rate_reset_aware(self, store):
+        appender = store.appender("reqs_total", None)
+        for t, value in enumerate([0, 10, 20, 30, 5, 15, 25, 35, 45, 55]):
+            appender.append(float(t), float(value))
+        (series,) = store.rate("reqs_total", start_s=0, end_s=9)
+        # Positive deltas only: 30 before the reset + 50 after, over 9s.
+        assert series["rate"] == pytest.approx((30.0 + 50.0) / 9.0)
+
+    def test_quantile_over_time(self, store):
+        _fill(store, n=100, f=float)
+        (series,) = store.quantile_over_time("power_watts", 0.5, start_s=0, end_s=99)
+        assert series["value"] == pytest.approx(49.5)
+        (p100,) = store.quantile_over_time("power_watts", 1.0, start_s=0, end_s=99)
+        assert p100["value"] == 99.0
+
+    def test_empty_end_defaults_to_newest(self, store):
+        _fill(store, n=10, f=float)
+        (series,) = store.query_range("power_watts", start_s=0.0)
+        assert len(series["points"]) == 10
+
+    def test_names_exclude_read_misses(self, store):
+        store.append("real", None, 1.0, 1.0)
+        store.query("ghost")
+        store.query_range("phantom", start_s=0.0, end_s=1.0)
+        assert store.names() == ["real"]
+        store.flush()
+        assert TSDB(store.root).names() == ["real"]
+
+    def test_max_t_s_from_fresh_process(self, store):
+        _fill(store, n=10, f=float)
+        store.flush()
+        assert TSDB(store.root).max_t_s() == pytest.approx(9.0)
+        assert TSDB(str(store.root) + "-empty").max_t_s() is None
+
+
+class TestRecordingRules:
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            RecordingRule(record="", source="x", window_s=60.0)
+        with pytest.raises(ValueError):
+            RecordingRule(record="r", source="x", window_s=0.0)
+        with pytest.raises(ValueError):
+            RecordingRule(record="r", source="x", window_s=60.0, agg="bogus")
+        rule = RecordingRule(record="r", source="x", window_s=60.0, agg="p95")
+        assert RecordingRule.from_dict(rule.to_dict()) == rule
+
+    def test_rules_evaluate_on_flush(self, store):
+        for sub in ("cpu", "disk"):
+            _fill(
+                store,
+                name="drift_error_pct",
+                labels={"subsystem": sub},
+                n=60,
+                f=lambda i: 4.0,
+            )
+        engine = RuleEngine()
+        store.attach_rules(engine)
+        store.flush()
+        results = store.select("drift_error_pct:mean_5m")
+        assert {tuple(r["labels"].items()) for r in results} == {
+            (("subsystem", "cpu"),),
+            (("subsystem", "disk"),),
+        }
+        for series in results:
+            assert series["points"][-1][1] == pytest.approx(4.0)
+
+    def test_evaluation_idempotent_per_timestamp(self, store):
+        _fill(store, name="drift_error_pct", labels={"subsystem": "cpu"}, n=60)
+        engine = RuleEngine()
+        assert engine.evaluate(store, 59.0) > 0
+        assert engine.evaluate(store, 59.0) == 0  # same instant: no-op
+        assert engine.evaluate(store, 58.0) == 0  # never goes back
+        (series,) = store.select("drift_error_pct:mean_5m")
+        assert len(series["points"]) == 1
+
+    def test_custom_rate_and_quantile_rules(self, store):
+        appender = store.appender("reqs_total", {"node": "a"})
+        for t in range(61):
+            appender.append(float(t), float(t * 2))
+        engine = RuleEngine((
+            RecordingRule(
+                record="reqs:rate_1m", source="reqs_total", window_s=60.0,
+                agg="rate",
+            ),
+            RecordingRule(
+                record="reqs:p50_1m", source="reqs_total", window_s=60.0,
+                agg="p50",
+            ),
+        ))
+        assert engine.evaluate(store, 60.0) == 2
+        (rate,) = store.select("reqs:rate_1m")
+        assert rate["points"][0][1] == pytest.approx(2.0)
+        assert store.select("reqs:p50_1m")
+
+    def test_default_rules_document(self):
+        doc = RuleEngine().document()
+        assert len(doc["rules"]) == len(DEFAULT_RULES)
+        assert any(
+            rule["record"] == "drift_error_pct:mean_5m" for rule in doc["rules"]
+        )
+
+
+class _FakeDrift:
+    def __init__(self, firing=()):
+        self.slo_pct = 9.0
+        self.firing = tuple(firing)
+
+
+class _FakeSLO:
+    def __init__(self, burning=()):
+        self.fast_burning = tuple(burning)
+
+
+class TestAlertManager:
+    def test_dedup_key_stable(self):
+        key = dedup_key("drift", "breach", {"b": "2", "a": "1"})
+        assert key == "drift:breach{a=1,b=2}"
+        alert = Alert("drift", "breach", {"a": "1", "b": "2"})
+        assert alert.key == key
+
+    def test_firing_resolved_transitions_persist(self, store):
+        drift = _FakeDrift(firing=("cpu[3]", "memory"))
+        manager = AlertManager(store=store)
+        manager.attach_drift(drift)
+        fired = manager.evaluate(10.0)
+        assert {t["key"] for t in fired} == {
+            "drift:drift_slo_breach{lane=3,subsystem=cpu}",
+            "drift:drift_slo_breach{subsystem=memory}",
+        }
+        assert all(t["state"] == "firing" for t in fired)
+        # Steady state: no new transitions while still firing.
+        assert manager.evaluate(11.0) == []
+        drift.firing = ()
+        resolved = manager.evaluate(12.0)
+        assert all(t["state"] == "resolved" for t in resolved)
+        assert manager.firing == []
+        series = store.select("alerts_firing")
+        assert len(series) == 2
+        for entry in series:
+            assert [v for _, v in entry["points"]] == [1.0, 0.0]
+
+    def test_three_sources_in_one_plane(self, store):
+        from types import SimpleNamespace
+
+        manager = AlertManager(store=store)
+        manager.attach_drift(_FakeDrift(firing=("cpu",)))
+        manager.attach_slo(_FakeSLO(burning=("freshness",)))
+        manager.attach_dc(SimpleNamespace(
+            policy="subsystem", cap_violations=3, drift_fallback_seconds=7,
+        ))
+        manager.evaluate(1.0)
+        doc = manager.document()
+        assert set(doc["groups"]) == {"drift", "slo", "dc"}
+        assert len(doc["firing"]) == 4  # breach + burn + cap + fallback
+        assert doc["groups"]["dc"][0]["detail"]["cap_violations"] == 3
+
+    def test_silences_mute_but_keep_tracking(self):
+        drift = _FakeDrift(firing=("cpu",))
+        manager = AlertManager()
+        manager.attach_drift(drift)
+        silence_id = manager.silence({"subsystem": "cpu"}, until_s=100.0)
+        assert silence_id == 1
+        manager.evaluate(1.0)
+        assert manager.firing == []  # silenced
+        doc = manager.document()
+        assert doc["groups"]["drift"][0]["silenced"] is True
+        # Expiry un-mutes without re-firing.
+        manager.evaluate(101.0)
+        assert len(manager.firing) == 1
+
+    def test_regex_silences(self):
+        manager = AlertManager()
+        manager.attach_drift(_FakeDrift(firing=("cpu[1]", "cpu[2]", "disk")))
+        manager.silence({"lane": "=~[0-9]+"}, until_s=10.0)
+        manager.evaluate(1.0)
+        assert [a.labels["subsystem"] for a in manager.firing] == ["disk"]
+
+    def test_history_bounded(self):
+        manager = AlertManager(max_history=4)
+        drift = _FakeDrift()
+        manager.attach_drift(drift)
+        for i in range(10):
+            drift.firing = ("cpu",) if i % 2 == 0 else ()
+            manager.evaluate(float(i))
+        assert len(manager.history) == 4
+
+
+class TestWindowSink:
+    def test_windows_become_samples(self, store):
+        from repro.obs.live import WindowedRegistry
+
+        sink = WindowSink(store)
+        windows = WindowedRegistry(window_s=5.0, max_windows=2, on_evict=sink)
+        registry = obs.registry()
+        obs.enable()
+        for second in range(20):
+            obs.inc("reqs_total", 3.0)
+            obs.gauge("depth", float(second))
+            obs.observe("latency_seconds", 0.01)
+            windows.ingest(float(second), registry)
+        drained = windows.drain()
+        assert drained == 2
+        assert sink.windows_persisted == 4
+        (counters,) = store.select("reqs_total")
+        # Counters persist per-window deltas, not cumulative values.
+        assert [v for _, v in counters["points"]] == [15.0, 15.0, 15.0, 15.0]
+        assert [t for t, _ in counters["points"]] == [0.0, 5.0, 10.0, 15.0]
+        (gauges,) = store.select("depth")
+        assert [v for _, v in gauges["points"]] == [4.0, 9.0, 14.0, 19.0]
+        assert store.select("latency_seconds:mean")
+        (count,) = store.select("latency_seconds:count")
+        assert [v for _, v in count["points"]] == [5.0, 5.0, 5.0, 5.0]
+
+    def test_sink_is_idempotent_per_window(self, store):
+        from repro.obs.live import WindowedRegistry
+
+        sink = WindowSink(store)
+        windows = WindowedRegistry(window_s=5.0, on_evict=sink)
+        registry = obs.registry()
+        obs.enable()
+        for second in range(12):
+            obs.gauge("depth", float(second))
+            windows.ingest(float(second), registry)
+            # The eager per-tick pass re-offers every closed window.
+            windows.sink_closed(float(second))
+        windows.drain()
+        (series,) = store.select("depth")
+        # Two closed windows sunk eagerly + the final partial window at
+        # drain — each exactly once despite the repeated offers.
+        assert series["points"] == [(0.0, 4.0), (5.0, 9.0), (10.0, 11.0)]
+        assert sink.windows_persisted == 3
+
+    def test_sink_closed_keeps_windows_queryable(self, store):
+        from repro.obs.live import WindowedRegistry
+
+        sink = WindowSink(store)
+        windows = WindowedRegistry(window_s=5.0, on_evict=sink)
+        registry = obs.registry()
+        obs.enable()
+        for second in range(7):
+            obs.gauge("depth", float(second))
+            windows.ingest(float(second), registry)
+        assert windows.sink_closed(7.0) == 1
+        # Persisted but not evicted: live queries still see the window.
+        assert len(windows) == 2
+        assert windows.series("depth")[0] == (0.0, 4.0)
+        (series,) = store.select("depth")
+        assert series["points"] == [(0.0, 4.0)]
+
+
+class TestHTTPRoutes:
+    def test_query_routes(self, store):
+        _fill(store, n=10, f=float)
+        server = ObservabilityServer(store=store)
+        status, _, body = server.payload("/query", "name=power_watts")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["result"][0]["value"] == 9.0
+        status, _, body = server.payload(
+            "/query_range",
+            "name=power_watts&start=0&end=9&step=5&agg=mean&label=node=a",
+        )
+        assert status == 200
+        doc = json.loads(body)
+        assert len(doc["result"][0]["points"]) == 2
+        status, _, body = server.payload("/query", "")
+        assert status == 400
+        status, _, body = server.payload("/query", "name=x&label=bogus")
+        assert status == 400
+
+    def test_query_routes_without_store(self):
+        server = ObservabilityServer()
+        for path in ("/query", "/query_range"):
+            status, _, body = server.payload(path, "name=x")
+            assert status == 200
+            assert json.loads(body) == {"store": None}
+
+    def test_alerts_aggregated_payload(self, store):
+        manager = AlertManager(store=store)
+        manager.attach_drift(_FakeDrift(firing=("cpu",)))
+        manager.evaluate(1.0)
+        server = ObservabilityServer(alerts=manager)
+        status, _, body = server.payload("/alerts", "")
+        assert status == 200
+        doc = json.loads(body)
+        # Unattached surfaces are explicit nulls, never a 404.
+        assert doc["drift"] is None and doc["slo"] is None and doc["dc"] is None
+        assert doc["alerts"]["firing"] == [
+            "drift:drift_slo_breach{subsystem=cpu}"
+        ]
+
+    def test_rules_route(self, store):
+        engine = RuleEngine()
+        store.attach_rules(engine)
+        server = ObservabilityServer(store=store, rules=engine)
+        status, _, body = server.payload("/rules", "")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["rules"]["rules"]
+        assert doc["store"]["root"] == store.root
+
+
+class TestCLI:
+    @pytest.fixture()
+    def filled_store(self, tmp_path):
+        root = str(tmp_path / "store")
+        db = TSDB(root)
+        _fill(db, name="drift_error_pct", labels={"subsystem": "cpu"}, n=60,
+              f=lambda i: 3.0 + 0.01 * i)
+        db.close()
+        return root
+
+    def test_query_instant(self, filled_store, capsys):
+        assert main(["query", "drift_error_pct", "--store", filled_store]) == 0
+        out = capsys.readouterr().out
+        assert "drift_error_pct{subsystem=cpu}" in out
+
+    def test_query_range_csv(self, filled_store, capsys):
+        code = main([
+            "query", "drift_error_pct", "--store", filled_store,
+            "--range", "1m", "--step", "30", "--agg", "max", "--csv",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "metric,labels,tier,t_s,value"
+        assert len(lines) > 1
+
+    def test_query_label_matcher_and_miss(self, filled_store, capsys):
+        assert main([
+            "query", "drift_error_pct", "--store", filled_store,
+            "--label", "subsystem=disk",
+        ]) == 1
+        assert main([
+            "query", "drift_error_pct", "--store", filled_store,
+            "--label", "subsystem=~c.*",
+        ]) == 0
+
+    def test_query_missing_store_dir(self, tmp_path, capsys):
+        assert main([
+            "query", "x", "--store", str(tmp_path / "nope"),
+        ]) == 1
+
+    def test_obs_store_summary(self, filled_store, capsys):
+        assert main(["obs", "--store", filled_store, "--range", "5m"]) == 0
+        out = capsys.readouterr().out
+        assert "drift_error_pct{subsystem=cpu}" in out
+        assert "metric shard(s)" in out
+
+    def test_obs_store_empty(self, tmp_path, capsys):
+        assert main(["obs", "--store", str(tmp_path / "missing")]) == 1
+
+
+class TestServiceStore:
+    def test_attach_store_persists_and_drains_on_stop(self, tmp_path):
+        from repro.core.events import Subsystem
+        from repro.core.models import ConstantModel
+        from repro.core.suite import TrickleDownSuite
+        from repro.serve.service import EstimationService
+
+        obs.enable()
+        suite = TrickleDownSuite(
+            {Subsystem.CPU: ConstantModel(10.0)}, recipe_name="tsdb-test"
+        )
+        db = TSDB(str(tmp_path / "s"))
+        service = EstimationService(suite, shards=1)
+        service.attach_store(db, window_s=1.0)
+        try:
+            for second in range(8):
+                service.tick(float(second))
+        finally:
+            service.stop()
+        reopened = TSDB(db.root)
+        assert reopened.names()  # windows drained + flushed on stop
+        assert any(
+            name.startswith("serve_") for name in reopened.names()
+        )
+
+    def test_datacenter_report_persist(self, tmp_path):
+        from repro.dc.datacenter import DatacenterReport
+
+        report = DatacenterReport(
+            policy="subsystem", sensor="estimated", engine="fleet",
+            cap_w=100.0, duration_s=3, n_nodes=2,
+            power_w=[10.0, 20.0, 30.0],
+            estimated_power_w=[11.0, 19.0, 31.0],
+            offered_threads=[4, 5, 6],
+            served_threads=[4, 5, 5],
+            zone_power_w={"z0": [10.0, 20.0, 30.0]},
+            zone_budget_w={"z0": [50.0, 50.0, 50.0]},
+            zone_nodes_active={"z0": [2, 2, 2]},
+        )
+        db = TSDB(str(tmp_path / "s"))
+        appended = report.persist(db, t0_s=100.0)
+        assert appended == 4 * 3 + 3 * 3
+        db.close()
+        reopened = TSDB(db.root)
+        (power,) = reopened.select("dc_power_watts")
+        assert power["labels"] == {"policy": "subsystem", "sensor": "estimated"}
+        assert [v for _, v in power["points"]] == [10.0, 20.0, 30.0]
+        assert [t for t, _ in power["points"]] == [100.0, 101.0, 102.0]
+        (zone,) = reopened.select("dc_zone_nodes_active")
+        assert zone["labels"]["zone"] == "z0"
